@@ -1,0 +1,29 @@
+"""Shared helpers for the experiment benches (E1-E14).
+
+Each bench regenerates its experiment's table(s) once per session
+(module-scoped fixtures), writes them under ``benchmarks/results/`` so
+EXPERIMENTS.md can reference stable artifacts, and exposes
+pytest-benchmark timings for the headline operations.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit(exp_id: str, text: str) -> str:
+    """Print an experiment table and persist it to results/<exp_id>.txt."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{exp_id}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[written to {path}]")
+    return text
+
+
+def recall_of(hits, truth_row) -> float:
+    truth = set(int(t) for t in truth_row)
+    if not truth:
+        return 1.0
+    return len(truth.intersection(h.id for h in hits)) / len(truth)

@@ -1,0 +1,147 @@
+"""E12 (§2.3 out-of-place updates): LSM buffering vs in-place rebuilds.
+
+Regenerates the update-handling claim: buffering writes out-of-place
+(LSM memtable + bulk merge) sustains orders-of-magnitude higher write
+throughput than rebuilding the graph per insert, while search recall
+stays high because queries merge the buffer exactly.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from _util import emit, recall_of
+from repro.bench.datasets import gaussian_mixture
+from repro.bench.metrics import exact_ground_truth
+from repro.bench.reporting import format_table
+from repro.core.updates import BufferedVectorIndex
+from repro.index import HnswIndex
+from repro.scores import EuclideanScore
+
+
+@pytest.fixture(scope="module")
+def update_workload():
+    return gaussian_mixture(n=2500, dim=32, num_queries=15, seed=13)
+
+
+def _fresh_index():
+    return HnswIndex(m=12, ef_construction=48, seed=0)
+
+
+@pytest.fixture(scope="module")
+def e12_table(update_workload):
+    ds = update_workload
+    base, updates = ds.train[:1500], ds.train[1500:]
+    rows = []
+
+    # Policy 1: out-of-place buffered, at two merge intervals — a larger
+    # interval amortizes the rebuild over more writes (§2.3's "apply in
+    # bulk at a more appropriate time").
+    buffered_rates = {}
+    buffered_by_interval = {}
+    for interval in (500, 1000):
+        buffered = BufferedVectorIndex(
+            _fresh_index, dim=32, merge_threshold=interval
+        )
+        for v in base:
+            buffered.insert(v)
+        buffered.merge()
+        start = time.perf_counter()
+        for v in updates:
+            buffered.insert(v)
+        buffered_rates[interval] = len(updates) / (time.perf_counter() - start)
+        buffered_by_interval[interval] = buffered
+    buffered = buffered_by_interval[500]
+    buffered_write = buffered_rates[500]
+
+    # Policy 2: periodic full rebuild (every 100 inserts), no buffer search.
+    rebuild_index = _fresh_index().build(base)
+    stored = [base]
+    start = time.perf_counter()
+    pending = []
+    for i, v in enumerate(updates):
+        pending.append(v)
+        if len(pending) == 100:
+            stored.append(np.vstack(pending))
+            rebuild_index = _fresh_index().build(np.vstack(stored))
+            pending = []
+    if pending:
+        stored.append(np.vstack(pending))
+        rebuild_index = _fresh_index().build(np.vstack(stored))
+    rebuild_write = len(updates) / (time.perf_counter() - start)
+
+    # Search quality after all updates (ground truth over the full set).
+    truth = exact_ground_truth(ds.train, ds.queries, 10, EuclideanScore())
+    buffered_recall = float(np.mean([
+        recall_of(buffered.search(q, 10), truth[i])
+        for i, q in enumerate(ds.queries)
+    ]))
+    rebuilt_recall = float(np.mean([
+        recall_of(rebuild_index.search(q, 10), truth[i])
+        for i, q in enumerate(ds.queries)
+    ]))
+
+    rows.append(
+        {
+            "policy": "out-of-place (LSM buffer, merge@500)",
+            "writes/s": round(buffered_write, 0),
+            "recall@10_after": round(buffered_recall, 3),
+            "merges": buffered.merges,
+        }
+    )
+    rows.append(
+        {
+            "policy": "out-of-place (LSM buffer, merge@1000)",
+            "writes/s": round(buffered_rates[1000], 0),
+            "recall@10_after": "(same path)",
+            "merges": buffered_by_interval[1000].merges,
+        }
+    )
+    rows.append(
+        {
+            "policy": "in-place (full rebuild every 100)",
+            "writes/s": round(rebuild_write, 0),
+            "recall@10_after": round(rebuilt_recall, 3),
+            "merges": "-",
+        }
+    )
+    emit("e12_updates", format_table(
+        rows, "E12: write throughput, out-of-place vs rebuild (1000 inserts)"
+    ))
+    return rows
+
+
+def test_e12_buffered_writes_much_faster(e12_table):
+    rebuild = e12_table[-1]["writes/s"]
+    assert e12_table[0]["writes/s"] > 3 * rebuild  # merge@500
+    assert e12_table[1]["writes/s"] > 6 * rebuild  # merge@1000 amortizes more
+
+
+def test_e12_throughput_grows_with_merge_interval(e12_table):
+    assert e12_table[1]["writes/s"] >= e12_table[0]["writes/s"]
+
+
+def test_e12_recall_not_sacrificed(e12_table):
+    assert e12_table[0]["recall@10_after"] >= e12_table[-1]["recall@10_after"] - 0.05
+    assert e12_table[0]["recall@10_after"] >= 0.85
+
+
+def test_bench_e12_buffered_insert(benchmark, update_workload, e12_table):
+    buffered = BufferedVectorIndex(_fresh_index, dim=32, merge_threshold=None)
+    for v in update_workload.train[:500]:
+        buffered.insert(v)
+    buffered.merge()
+    vectors = iter(np.tile(update_workload.train[500:], (50, 1)))
+    benchmark(lambda: buffered.insert(next(vectors)))
+
+
+def test_bench_e12_buffered_search(benchmark, update_workload):
+    buffered = BufferedVectorIndex(_fresh_index, dim=32, merge_threshold=None)
+    for v in update_workload.train[:1000]:
+        buffered.insert(v)
+    buffered.merge()
+    for v in update_workload.train[1000:1200]:
+        buffered.insert(v)  # leave a live buffer
+    q = update_workload.queries[0]
+    benchmark(lambda: buffered.search(q, 10))

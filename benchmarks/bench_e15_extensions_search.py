@@ -1,0 +1,170 @@
+"""E15 (§2.3 / §2.6(5) extensions): filtered graphs & incremental search.
+
+Two ablations of the open problems the tutorial closes with:
+
+* **Stitched (attribute-aware) graph construction** [3, 43, 87] vs
+  online bitmask blocking on a plain graph, across label selectivity —
+  stitching keeps per-label subgraphs connected, so filtered recall
+  survives where blocking degrades and costs fewer hops.
+* **Index-supported incremental search** (§2.6(5)) vs the re-query
+  workaround: cumulative distance computations per page fetched.
+"""
+
+import numpy as np
+import pytest
+
+from _util import emit, recall_of
+from repro.bench.reporting import format_table
+from repro.core.incremental import IncrementalSearcher, RestartIncrementalSearcher
+from repro.core.types import SearchStats
+from repro.index import FilteredHnswIndex, HnswIndex
+from repro.index.flat import FlatIndex
+from repro.scores import EuclideanScore
+
+
+@pytest.fixture(scope="module")
+def labeled_workload(workload):
+    rng = np.random.default_rng(3)
+    labels = {}
+    # Three label granularities -> three selectivities.
+    for count in (4, 20, 100):
+        labels[count] = rng.integers(count, size=len(workload.train))
+    return workload, labels
+
+
+@pytest.fixture(scope="module")
+def e15_filtered_table(labeled_workload):
+    workload, labels_by_count = labeled_workload
+    rows = []
+    for count, labels in labels_by_count.items():
+        stitched = FilteredHnswIndex(
+            m=12, ef_construction=64, label_k=6, seed=0
+        ).build_with_labels(workload.train, labels)
+        plain = HnswIndex(m=12, ef_construction=64, seed=0).build(workload.train)
+
+        target_labels = list(range(min(5, count)))
+        per_method = {}
+        for method in ("stitched", "bitmask"):
+            stats = SearchStats()
+            recalls = []
+            for label in target_labels:
+                members = np.flatnonzero(labels == label)
+                oracle = FlatIndex(EuclideanScore()).build(
+                    workload.train[members], ids=members.astype(np.int64)
+                )
+                mask = labels == label
+                for q in workload.queries[:8]:
+                    truth = [h.id for h in oracle.search(q, 10)]
+                    if method == "stitched":
+                        hits = stitched.search(q, 10, label=label,
+                                               ef_search=48, stats=stats)
+                    else:
+                        hits = plain.search(q, 10, allowed=mask,
+                                            ef_search=48, stats=stats)
+                    recalls.append(recall_of(hits, np.asarray(truth)))
+            per_method[method] = (
+                float(np.mean(recalls)),
+                stats.distance_computations / (len(target_labels) * 8),
+            )
+        rows.append(
+            {
+                "labels": count,
+                "selectivity": round(1.0 / count, 3),
+                "stitched_recall": round(per_method["stitched"][0], 3),
+                "bitmask_recall": round(per_method["bitmask"][0], 3),
+                "stitched_dists": round(per_method["stitched"][1], 1),
+                "bitmask_dists": round(per_method["bitmask"][1], 1),
+            }
+        )
+    emit("e15_filtered", format_table(
+        rows, "E15a: stitched (attribute-aware) graph vs bitmask blocking"
+    ))
+    return rows
+
+
+@pytest.fixture(scope="module")
+def e15_incremental_table(workload):
+    index = HnswIndex(m=12, ef_construction=80, seed=0).build(workload.train)
+    rows = []
+    pages = 6
+    page_size = 10
+    inc_cum, restart_cum = [], []
+    inc_total = 0.0
+    restart_total = 0.0
+    for q in workload.queries[:10]:
+        inc = IncrementalSearcher(index, q)
+        restart = RestartIncrementalSearcher(index, q)
+        inc_marks, restart_marks = [], []
+        for _ in range(pages):
+            inc.next_batch(page_size)
+            restart.next_batch(page_size)
+            inc_marks.append(inc.stats.distance_computations)
+            restart_marks.append(restart.stats.distance_computations)
+        inc_cum.append(inc_marks)
+        restart_cum.append(restart_marks)
+    inc_mean = np.mean(inc_cum, axis=0)
+    restart_mean = np.mean(restart_cum, axis=0)
+    for page in range(pages):
+        rows.append(
+            {
+                "page": page + 1,
+                "results_so_far": (page + 1) * page_size,
+                "incremental_cum_dists": round(float(inc_mean[page]), 1),
+                "restart_cum_dists": round(float(restart_mean[page]), 1),
+                "savings": round(float(restart_mean[page] / inc_mean[page]), 2),
+            }
+        )
+    emit("e15_incremental", format_table(
+        rows, "E15b: incremental search vs re-query pagination (§2.6(5))"
+    ))
+    return rows
+
+
+def test_e15_stitched_recall_dominates_at_low_selectivity(e15_filtered_table):
+    fine = next(r for r in e15_filtered_table if r["labels"] == 100)
+    assert fine["stitched_recall"] >= fine["bitmask_recall"] - 0.02
+    assert fine["stitched_recall"] >= 0.9
+
+
+def test_e15_stitched_cheaper_hops(e15_filtered_table):
+    """Label-subgraph traversal never wastes hops on blocked nodes."""
+    for row in e15_filtered_table:
+        assert row["stitched_dists"] <= row["bitmask_dists"] * 1.5
+
+
+def test_e15_incremental_saves_work(e15_incremental_table):
+    last = e15_incremental_table[-1]
+    assert last["savings"] > 1.5
+    # Savings grow with page depth.
+    assert last["savings"] >= e15_incremental_table[0]["savings"]
+
+
+def test_e15_incremental_cost_sublinear_in_pages(e15_incremental_table):
+    """Each additional page costs less than the first (shared frontier)."""
+    marks = [r["incremental_cum_dists"] for r in e15_incremental_table]
+    first_page = marks[0]
+    increments = np.diff(marks)
+    assert all(inc < first_page for inc in increments)
+
+
+def test_bench_e15_filtered_search(benchmark, labeled_workload,
+                                   e15_filtered_table, e15_incremental_table):
+    workload, labels_by_count = labeled_workload
+    labels = labels_by_count[20]
+    index = FilteredHnswIndex(
+        m=12, ef_construction=64, label_k=6, seed=0
+    ).build_with_labels(workload.train, labels)
+    q = workload.queries[0]
+    benchmark(lambda: index.search(q, 10, label=3))
+
+
+def test_bench_e15_incremental_page(benchmark, workload):
+    index = HnswIndex(m=12, ef_construction=80, seed=0).build(workload.train)
+    q = workload.queries[0]
+
+    def paged():
+        inc = IncrementalSearcher(index, q)
+        inc.next_batch(10)
+        return inc.next_batch(10)
+
+    benchmark(paged)

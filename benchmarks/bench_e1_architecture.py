@@ -1,0 +1,81 @@
+"""E1 (Figure 1): the full VDBMS pipeline, across system design points.
+
+The paper's only figure is the architecture of a generic VDBMS.  This
+bench drives a query through every stage — interface, planner,
+optimizer, executor, index scan, storage — for each §2.4 system
+category preset, and reports which plan each design point picks and
+what it costs.
+"""
+
+import numpy as np
+import pytest
+
+from _util import emit, recall_of
+from repro.bench.reporting import format_table
+from repro.hybrid.predicates import Field
+from repro.systems import build_preset_index, mostly_mixed, mostly_vector, relational
+
+
+@pytest.fixture(scope="module")
+def systems(hybrid_bench_dataset):
+    ds = hybrid_bench_dataset
+    out = {}
+    for name, maker in (
+        ("mostly_vector", mostly_vector),
+        ("mostly_mixed", mostly_mixed),
+        ("relational", relational),
+    ):
+        db = maker(ds.dim)
+        db.insert_many(ds.train, ds.attributes)
+        build_preset_index(db)
+        out[name] = db
+    return out
+
+
+@pytest.fixture(scope="module")
+def e1_table(systems, hybrid_bench_dataset, truth10=None):
+    ds = hybrid_bench_dataset
+    predicate = Field("category") == 3
+    rows = []
+    for name, db in systems.items():
+        latencies, plans, counts = [], set(), []
+        for q in ds.queries:
+            result = db.search(q, k=10, predicate=predicate)
+            latencies.append(result.stats.elapsed_seconds)
+            plans.add(result.stats.plan_name.split(" (")[0])
+            counts.append(len(result))
+        rows.append(
+            {
+                "system_preset": name,
+                "plan(s) chosen": "; ".join(sorted(plans)),
+                "mean_latency_ms": round(float(np.mean(latencies)) * 1e3, 3),
+                "mean_results": round(float(np.mean(counts)), 1),
+            }
+        )
+    emit("e1_architecture", format_table(
+        rows, "E1 (Fig.1): query pipeline across system design points"
+    ))
+    return rows
+
+
+def test_e1_postfilter_can_underfill(e1_table):
+    """Mostly-vector's fixed post-filter plan may return < k (§2.3)."""
+    by_name = {r["system_preset"]: r for r in e1_table}
+    assert by_name["mostly_vector"]["mean_results"] <= 10.0
+    assert by_name["mostly_mixed"]["mean_results"] == 10.0  # optimizer avoids it
+
+
+def test_bench_e1_full_pipeline_query(benchmark, systems, hybrid_bench_dataset,
+                                      e1_table):
+    db = systems["mostly_mixed"]
+    q = hybrid_bench_dataset.queries[0]
+    predicate = Field("category") == 3
+    result = benchmark(lambda: db.search(q, k=10, predicate=predicate))
+    assert len(result) == 10
+
+
+def test_bench_e1_plain_search(benchmark, systems, hybrid_bench_dataset):
+    db = systems["mostly_vector"]
+    q = hybrid_bench_dataset.queries[1]
+    result = benchmark(lambda: db.search(q, k=10))
+    assert len(result) == 10

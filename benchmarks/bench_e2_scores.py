@@ -1,0 +1,95 @@
+"""E2 (§2.1): score behaviour and the curse of dimensionality.
+
+Regenerates two tables the tutorial argues from:
+
+* different scores produce different top-k results on the same data
+  (pairwise result-set overlap between L2 / cosine / IP / L1);
+* relative contrast collapses toward 1 as dimensionality grows on
+  uniform data [30], while clustered data retains contrast — the
+  reason score selection matters.
+"""
+
+import numpy as np
+import pytest
+
+from _util import emit
+from repro.bench.datasets import gaussian_mixture, uniform_hypercube
+from repro.bench.reporting import format_table
+from repro.index.flat import FlatIndex
+from repro.scores import get_score, relative_contrast
+
+SCORES = ["l2", "cosine", "ip", "l1"]
+
+
+@pytest.fixture(scope="module")
+def e2_overlap_table(workload):
+    indexes = {
+        name: FlatIndex(get_score(name)).build(workload.train) for name in SCORES
+    }
+    results = {
+        name: [set(h.id for h in idx.search(q, 10)) for q in workload.queries]
+        for name, idx in indexes.items()
+    }
+    rows = []
+    for a in SCORES:
+        row = {"score": a}
+        for b in SCORES:
+            overlaps = [
+                len(ra & rb) / 10 for ra, rb in zip(results[a], results[b])
+            ]
+            row[b] = round(float(np.mean(overlaps)), 3)
+        rows.append(row)
+    emit("e2_score_overlap", format_table(
+        rows, "E2a: mean top-10 overlap between similarity scores"
+    ))
+    return rows
+
+
+@pytest.fixture(scope="module")
+def e2_contrast_table():
+    rows = []
+    for dim in (2, 8, 32, 128, 512):
+        uniform = uniform_hypercube(n=1000, dim=dim, seed=0).train
+        clustered = gaussian_mixture(n=1000, dim=dim, cluster_std=0.2, seed=0).train
+        rows.append(
+            {
+                "dim": dim,
+                "uniform_contrast": round(relative_contrast(uniform), 3),
+                "clustered_contrast": round(relative_contrast(clustered), 3),
+            }
+        )
+    emit("e2_contrast", format_table(
+        rows, "E2b: relative contrast (Dmax/Dmin) vs dimension [30]"
+    ))
+    return rows
+
+
+def test_e2_scores_disagree(e2_overlap_table):
+    """Different scores must give different result sets (off-diagonal
+    overlap < 1), the §2.1 motivation for score selection."""
+    for row in e2_overlap_table:
+        for other in ("l2", "cosine", "ip", "l1"):
+            if other != row["score"]:
+                assert row[other] < 1.0
+
+
+def test_e2_contrast_collapses_with_dim(e2_contrast_table):
+    uniform = [r["uniform_contrast"] for r in e2_contrast_table]
+    assert uniform[0] > uniform[-1]
+    assert uniform[-1] < 2.0  # concentrated
+    # Clustered data keeps contrast better at high d.
+    assert e2_contrast_table[-1]["clustered_contrast"] > uniform[-1]
+
+
+def test_bench_e2_similarity_projection(benchmark, workload, e2_overlap_table,
+                                        e2_contrast_table):
+    score = get_score("l2")
+    q = workload.queries[0]
+    benchmark(lambda: score.distances(q, workload.train))
+
+
+@pytest.mark.parametrize("name", SCORES)
+def test_bench_e2_score_kernels(benchmark, workload, name):
+    score = get_score(name)
+    q = workload.queries[0]
+    benchmark(lambda: score.distances(q, workload.train))

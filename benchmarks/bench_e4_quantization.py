@@ -1,0 +1,124 @@
+"""E4 (§2.2 quantization): compression ratio vs recall; IVFADC sweep.
+
+Regenerates:
+
+* SQ / PQ / OPQ compression ratio, reconstruction error, and recall@10
+  with and without exact re-ranking;
+* IVFADC recall/codes-scanned vs nprobe [49].
+"""
+
+import numpy as np
+import pytest
+
+from _util import emit, recall_of
+from repro.bench.reporting import format_table
+from repro.core.types import SearchStats
+from repro.index import IvfAdcIndex, PqIndex, SqIndex
+from repro.quantization import OptimizedProductQuantizer, ProductQuantizer, ScalarQuantizer
+
+
+@pytest.fixture(scope="module")
+def e4_compression_table(workload, truth10):
+    data = workload.train.astype(np.float64)
+    raw_bytes = workload.train.nbytes
+
+    rows = []
+    configs = [
+        ("sq8", SqIndex(bits=8), ScalarQuantizer(8)),
+        ("sq4", SqIndex(bits=4), ScalarQuantizer(4)),
+        ("pq(m=4)", PqIndex(m=4, ks=256, seed=0), ProductQuantizer(4, 256, seed=0)),
+        ("pq(m=8)", PqIndex(m=8, ks=256, seed=0), ProductQuantizer(8, 256, seed=0)),
+        (
+            "opq(m=4)",
+            PqIndex(m=4, ks=256, optimized=True, opq_iterations=5, seed=0),
+            OptimizedProductQuantizer(4, 256, opq_iterations=5, seed=0),
+        ),
+    ]
+    for name, index, quantizer in configs:
+        quantizer.train(data)
+        if hasattr(quantizer, "quantization_error"):
+            err = quantizer.quantization_error(data[:500])
+        else:
+            recon = quantizer.decode(quantizer.encode(data[:500]))
+            err = float(np.mean(np.sum((data[:500] - recon) ** 2, axis=1)))
+        index.build(workload.train)
+        plain = float(np.mean([
+            recall_of(index.search(q, 10, rerank=0), truth10[i])
+            for i, q in enumerate(workload.queries)
+        ]))
+        rerank = float(np.mean([
+            recall_of(index.search(q, 10, rerank=100), truth10[i])
+            for i, q in enumerate(workload.queries)
+        ]))
+        rows.append(
+            {
+                "quantizer": name,
+                "compression": f"{raw_bytes / max(1, index.memory_bytes()):.0f}x",
+                "mse": round(err, 3),
+                "recall@10": round(plain, 3),
+                "recall@10+rerank": round(rerank, 3),
+            }
+        )
+    emit("e4_compression", format_table(
+        rows, "E4a: quantization compression vs recall"
+    ))
+    return rows
+
+
+@pytest.fixture(scope="module")
+def e4_ivfadc_table(workload, truth10):
+    index = IvfAdcIndex(nlist=48, m=8, ks=256, rerank=50, seed=0)
+    index.build(workload.train)
+    rows = []
+    for nprobe in (1, 4, 8, 16, 32):
+        stats = SearchStats()
+        recalls = [
+            recall_of(index.search(q, 10, nprobe=nprobe, stats=stats), truth10[i])
+            for i, q in enumerate(workload.queries)
+        ]
+        rows.append(
+            {
+                "nprobe": nprobe,
+                "recall@10": round(float(np.mean(recalls)), 3),
+                "codes/query": round(
+                    stats.candidates_examined / len(workload.queries), 1
+                ),
+            }
+        )
+    emit("e4_ivfadc", format_table(rows, "E4b: IVFADC recall vs nprobe [49]"))
+    return rows
+
+
+def test_e4_more_compression_more_error(e4_compression_table):
+    by_name = {r["quantizer"]: r for r in e4_compression_table}
+    assert by_name["sq4"]["mse"] > by_name["sq8"]["mse"]
+    assert by_name["pq(m=4)"]["mse"] > by_name["pq(m=8)"]["mse"]
+
+
+def test_e4_rerank_recovers_recall(e4_compression_table):
+    for row in e4_compression_table:
+        assert row["recall@10+rerank"] >= row["recall@10"] - 0.01
+
+
+def test_e4_opq_not_worse_than_pq(e4_compression_table):
+    by_name = {r["quantizer"]: r for r in e4_compression_table}
+    assert by_name["opq(m=4)"]["mse"] <= by_name["pq(m=4)"]["mse"] * 1.05
+
+
+def test_e4_ivfadc_recall_rises_with_nprobe(e4_ivfadc_table):
+    recalls = [r["recall@10"] for r in e4_ivfadc_table]
+    assert all(b >= a - 0.01 for a, b in zip(recalls, recalls[1:]))
+
+
+def test_bench_e4_adc_table_build(benchmark, workload, e4_compression_table,
+                                  e4_ivfadc_table):
+    pq = ProductQuantizer(8, 256, seed=0).train(workload.train.astype(np.float64))
+    q = workload.queries[0].astype(np.float64)
+    benchmark(lambda: pq.adc_table(q))
+
+
+def test_bench_e4_ivfadc_search(benchmark, workload):
+    index = IvfAdcIndex(nlist=48, m=8, ks=256, rerank=50, seed=0)
+    index.build(workload.train)
+    q = workload.queries[0]
+    benchmark(lambda: index.search(q, 10, nprobe=8))

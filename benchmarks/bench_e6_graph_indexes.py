@@ -1,0 +1,153 @@
+"""E6 (§2.2 graph-based): construction cost, recall/ef sweeps, hop counts.
+
+Regenerates:
+
+* NN-Descent builds an approximate KNNG with far fewer distance
+  computations than the O(N^2) brute force, at >0.9 graph recall [36];
+* recall@10 vs ef_search for every graph index (the Pareto-dominating
+  family per §2.5 benchmarks);
+* HNSW nodes-visited grows sublinearly (~log N) with collection size
+  [58].
+"""
+
+import numpy as np
+import pytest
+
+from _util import emit, recall_of
+from repro.bench.datasets import gaussian_mixture
+from repro.bench.reporting import format_table
+from repro.core.types import SearchStats
+from repro.index import (
+    FanngIndex,
+    HnswIndex,
+    NsgIndex,
+    NswIndex,
+    VamanaIndex,
+    brute_force_knng,
+    knng_recall,
+    nn_descent,
+)
+from repro.scores import EuclideanScore
+
+
+@pytest.fixture(scope="module")
+def e6_construction_table():
+    rows = []
+    score = EuclideanScore()
+    for n in (1000, 3000):
+        data = gaussian_mixture(n=n, dim=32, seed=2).train
+        exact = brute_force_knng(data, 10, score)
+        for init in ("random", "forest"):
+            result = nn_descent(data, 10, score, max_iterations=8, init=init,
+                                seed=0)
+            rows.append(
+                {
+                    "N": n,
+                    "init": init,
+                    "dist_comps": result.distance_computations,
+                    "vs_brute(N^2)": round(result.distance_computations / n**2, 3),
+                    "graph_recall": round(
+                        knng_recall(result.neighbor_ids, exact), 3
+                    ),
+                    "iters": result.iterations,
+                }
+            )
+    emit("e6_construction", format_table(
+        rows, "E6a: NN-Descent (KGraph/EFANNA) vs brute-force KNNG build"
+    ))
+    return rows
+
+
+@pytest.fixture(scope="module")
+def graph_indexes(workload):
+    return {
+        "nsw": NswIndex(connections=12, seed=0).build(workload.train),
+        "hnsw": HnswIndex(m=12, ef_construction=80, seed=0).build(workload.train),
+        "nsg": NsgIndex(max_degree=16, knng_k=12, seed=0).build(workload.train),
+        "vamana": VamanaIndex(max_degree=24, beam_width=64, seed=0).build(
+            workload.train
+        ),
+        "fanng": FanngIndex(num_trials=6000, init_knng_k=8, seed=0).build(
+            workload.train
+        ),
+    }
+
+
+@pytest.fixture(scope="module")
+def e6_ef_table(graph_indexes, workload, truth10):
+    rows = []
+    for ef in (10, 32, 96):
+        row = {"ef_search": ef}
+        for name, index in graph_indexes.items():
+            stats = SearchStats()
+            recalls = [
+                recall_of(index.search(q, 10, ef_search=ef, stats=stats),
+                          truth10[i])
+                for i, q in enumerate(workload.queries)
+            ]
+            row[name] = round(float(np.mean(recalls)), 3)
+        rows.append(row)
+    emit("e6_ef_sweep", format_table(
+        rows, "E6b: graph-index recall@10 vs ef_search"
+    ))
+    return rows
+
+
+@pytest.fixture(scope="module")
+def e6_hops_table():
+    rows = []
+    for n in (500, 2000, 8000):
+        ds = gaussian_mixture(n=n, dim=32, num_queries=15, seed=3)
+        index = HnswIndex(m=12, ef_construction=64, seed=0).build(ds.train)
+        stats = SearchStats()
+        for q in ds.queries:
+            index.search(q, 10, ef_search=32, stats=stats)
+        rows.append(
+            {
+                "N": n,
+                "layers": index.num_layers,
+                "nodes_visited/query": round(
+                    stats.nodes_visited / len(ds.queries), 1
+                ),
+                "visited/N": round(
+                    stats.nodes_visited / len(ds.queries) / n, 4
+                ),
+            }
+        )
+    emit("e6_hops", format_table(
+        rows, "E6c: HNSW traversal cost vs N (sublinear growth)"
+    ))
+    return rows
+
+
+def test_e6_nndescent_beats_brute_force(e6_construction_table):
+    for row in e6_construction_table:
+        if row["N"] >= 3000:
+            assert row["vs_brute(N^2)"] < 1.0
+        assert row["graph_recall"] > 0.9
+
+
+def test_e6_recall_rises_with_ef(e6_ef_table):
+    for name in ("hnsw", "nsg", "vamana", "nsw"):
+        series = [row[name] for row in e6_ef_table]
+        assert all(b >= a - 0.02 for a, b in zip(series, series[1:])), name
+        assert series[-1] >= 0.9, name
+
+
+def test_e6_traversal_sublinear(e6_hops_table):
+    fractions = [row["visited/N"] for row in e6_hops_table]
+    assert fractions[-1] < fractions[0]  # visited share shrinks with N
+
+
+def test_bench_e6_hnsw_search(benchmark, graph_indexes, workload,
+                              e6_construction_table, e6_ef_table, e6_hops_table):
+    index = graph_indexes["hnsw"]
+    q = workload.queries[0]
+    benchmark(lambda: index.search(q, 10, ef_search=32))
+
+
+@pytest.mark.parametrize("name", ["nsw", "nsg", "vamana", "fanng"])
+def test_bench_e6_graph_search(benchmark, graph_indexes, workload, name):
+    index = graph_indexes[name]
+    q = workload.queries[0]
+    benchmark(lambda: index.search(q, 10, ef_search=32))

@@ -1,0 +1,194 @@
+"""E8 (§2.3 hybrid operators): strategy crossover vs selectivity.
+
+The central hybrid-query claim: pre-filtering wins at low selectivity,
+post-filtering at high selectivity, single-stage (visit-first) /
+block-first in between — and unoversampled post-filtering starves the
+result set, fixed by a*k retrieval (§2.6(3)).
+
+The sweep uses a numeric predicate whose threshold controls
+selectivity exactly.
+"""
+
+import numpy as np
+import pytest
+
+from _util import emit, recall_of
+from repro.bench.metrics import exact_ground_truth
+from repro.bench.reporting import format_table
+from repro.core.collection import VectorCollection
+from repro.core.types import SearchStats
+from repro.hybrid import (
+    adaptive_postfilter_scan,
+    blocked_index_scan,
+    postfilter_scan,
+    prefilter_scan,
+    visit_first_scan,
+)
+from repro.hybrid.predicates import Field
+from repro.index import HnswIndex
+from repro.index.flat import FlatIndex
+from repro.scores import EuclideanScore
+
+SELECTIVITIES = (0.01, 0.05, 0.2, 0.5, 0.9)
+
+
+@pytest.fixture(scope="module")
+def hybrid_setup(hybrid_bench_dataset):
+    ds = hybrid_bench_dataset
+    # Replace prices with a uniform rank column so that a threshold t
+    # yields selectivity exactly t.
+    n = len(ds.train)
+    rank = np.random.default_rng(0).permutation(n) / n
+    attrs = [
+        {**a, "rank": float(rank[i])} for i, a in enumerate(ds.attributes)
+    ]
+    coll = VectorCollection(ds.dim)
+    coll.insert_many(ds.train, attrs)
+    graph = HnswIndex(m=12, ef_construction=80, seed=0).build(ds.train)
+    flat = FlatIndex(EuclideanScore()).build(ds.train)
+    return coll, graph, flat, ds
+
+
+def _filtered_truth(coll, flat, query, predicate, k=10):
+    mask = coll.predicate_mask(predicate)
+    return [h.id for h in flat.search(query, k, allowed=mask)]
+
+
+@pytest.fixture(scope="module")
+def e8_crossover_table(hybrid_setup):
+    coll, graph, flat, ds = hybrid_setup
+    score = EuclideanScore()
+    rows = []
+    for s in SELECTIVITIES:
+        predicate = Field("rank") < s
+        per_strategy = {}
+        for strategy in ("pre_filter", "block_first", "visit_first",
+                         "post_filter(a=1/s)"):
+            stats = SearchStats()
+            recalls, counts = [], []
+            for q in ds.queries:
+                truth = _filtered_truth(coll, flat, q, predicate)
+                if strategy == "pre_filter":
+                    hits = prefilter_scan(coll, q, 10, predicate, score,
+                                          stats=stats)
+                elif strategy == "block_first":
+                    hits = blocked_index_scan(graph, coll, q, 10, predicate,
+                                              stats=stats, ef_search=64)
+                elif strategy == "visit_first":
+                    hits = visit_first_scan(graph, coll, q, 10, predicate,
+                                            ef=64, stats=stats)
+                else:
+                    hits = postfilter_scan(
+                        graph, coll, q, 10, predicate,
+                        oversample=1.0 / s, stats=stats, ef_search=64,
+                    )
+                recalls.append(recall_of(hits, truth) if truth else 1.0)
+                counts.append(len(hits))
+            per_strategy[strategy] = (
+                float(np.mean(recalls)),
+                stats.distance_computations / len(ds.queries),
+                float(np.mean(counts)),
+            )
+        for strategy, (recall, dists, count) in per_strategy.items():
+            rows.append(
+                {
+                    "selectivity": s,
+                    "strategy": strategy,
+                    "recall@10": round(recall, 3),
+                    "dists/query": round(dists, 1),
+                    "results": round(count, 1),
+                }
+            )
+    emit("e8_crossover", format_table(
+        rows, "E8a: hybrid strategy recall/cost vs predicate selectivity"
+    ))
+    return rows
+
+
+@pytest.fixture(scope="module")
+def e8_starvation_table(hybrid_setup):
+    coll, graph, flat, ds = hybrid_setup
+    predicate = Field("rank") < 0.1
+    rows = []
+    for oversample in (1.0, 2.0, 5.0, 10.0, None):
+        counts, attempts = [], []
+        for q in ds.queries:
+            if oversample is None:
+                result = adaptive_postfilter_scan(
+                    graph, coll, q, 10, predicate, ef_search=128
+                )
+                counts.append(len(result.hits))
+                attempts.append(result.attempts)
+            else:
+                hits = postfilter_scan(
+                    graph, coll, q, 10, predicate, oversample=oversample,
+                    ef_search=128,
+                )
+                counts.append(len(hits))
+                attempts.append(1)
+        rows.append(
+            {
+                "oversample_a": "adaptive" if oversample is None else oversample,
+                "mean_results(k=10)": round(float(np.mean(counts)), 2),
+                "mean_attempts": round(float(np.mean(attempts)), 2),
+            }
+        )
+    emit("e8_starvation", format_table(
+        rows, "E8b: post-filter result starvation vs a*k oversampling (s=0.1)"
+    ))
+    return rows
+
+
+def _best_strategy(rows, selectivity):
+    candidates = [r for r in rows if r["selectivity"] == selectivity]
+    # Best = lowest cost among strategies achieving >= 0.85 recall.
+    good = [r for r in candidates if r["recall@10"] >= 0.85]
+    pool = good or candidates
+    return min(pool, key=lambda r: r["dists/query"])["strategy"]
+
+
+def test_e8_prefilter_wins_low_selectivity(e8_crossover_table):
+    assert _best_strategy(e8_crossover_table, 0.01) == "pre_filter"
+
+
+def test_e8_prefilter_loses_high_selectivity(e8_crossover_table):
+    assert _best_strategy(e8_crossover_table, 0.9) != "pre_filter"
+
+
+def test_e8_prefilter_cost_grows_with_selectivity(e8_crossover_table):
+    costs = [
+        r["dists/query"]
+        for r in e8_crossover_table
+        if r["strategy"] == "pre_filter"
+    ]
+    assert all(b > a for a, b in zip(costs, costs[1:]))
+
+
+def test_e8_postfilter_starves_without_oversampling(e8_starvation_table):
+    plain = e8_starvation_table[0]
+    assert plain["mean_results(k=10)"] < 10
+    adaptive = e8_starvation_table[-1]
+    assert adaptive["mean_results(k=10)"] == pytest.approx(10.0)
+
+
+def test_bench_e8_block_first(benchmark, hybrid_setup, e8_crossover_table,
+                              e8_starvation_table):
+    coll, graph, flat, ds = hybrid_setup
+    predicate = Field("rank") < 0.2
+    q = ds.queries[0]
+    benchmark(lambda: blocked_index_scan(graph, coll, q, 10, predicate,
+                                         ef_search=64))
+
+
+def test_bench_e8_visit_first(benchmark, hybrid_setup):
+    coll, graph, flat, ds = hybrid_setup
+    predicate = Field("rank") < 0.2
+    q = ds.queries[0]
+    benchmark(lambda: visit_first_scan(graph, coll, q, 10, predicate, ef=64))
+
+
+def test_bench_e8_pre_filter(benchmark, hybrid_setup):
+    coll, graph, flat, ds = hybrid_setup
+    predicate = Field("rank") < 0.2
+    q = ds.queries[0]
+    benchmark(lambda: prefilter_scan(coll, q, 10, predicate, EuclideanScore()))

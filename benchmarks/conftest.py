@@ -1,0 +1,31 @@
+"""Bench-session fixtures: one shared workload per size class."""
+
+import sys
+import pathlib
+
+import pytest
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+
+from repro.bench.datasets import gaussian_mixture, hybrid_workload
+from repro.bench.metrics import exact_ground_truth
+from repro.scores import EuclideanScore
+
+
+@pytest.fixture(scope="session")
+def workload():
+    """The standard bench workload: 4000 x 32-d clustered vectors."""
+    return gaussian_mixture(n=4000, dim=32, num_clusters=24, num_queries=30,
+                            seed=11)
+
+
+@pytest.fixture(scope="session")
+def truth10(workload):
+    return exact_ground_truth(workload.train, workload.queries, 10,
+                              EuclideanScore())
+
+
+@pytest.fixture(scope="session")
+def hybrid_bench_dataset():
+    return hybrid_workload(n=4000, dim=32, num_queries=20, num_categories=10,
+                           seed=5)

@@ -1,0 +1,83 @@
+"""Quickstart: the 5-minute tour of the VDBMS.
+
+Covers the core loop every vector database user runs: insert vectors
+with attributes, build an index, run plain / hybrid / range / batch
+queries, inspect the optimizer's choice, and use the SQL surface.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import Field, VectorDatabase, execute_sql
+from repro.core.query import SearchQuery
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+    dim = 32
+
+    # 1. Create a database and load a small collection with attributes.
+    db = VectorDatabase(dim=dim, score="l2", selector="cost")
+    vectors = rng.standard_normal((2000, dim)).astype(np.float32)
+    attributes = [
+        {
+            "category": ["shoes", "bags", "hats", "socks"][i % 4],
+            "price": float(5 + (i * 7) % 120),
+            "rating": int(1 + i % 5),
+        }
+        for i in range(2000)
+    ]
+    db.insert_many(vectors, attributes)
+    print(f"loaded: {db!r}")
+
+    # 2. Build an HNSW index (the default of most commercial VDBMSs).
+    db.create_index("main", "hnsw", m=16, ef_construction=100, seed=0)
+    print(f"index built in {db.indexes['main'].build_seconds:.2f}s")
+
+    # 3. Plain k-NN search.
+    query = vectors[17] + 0.05 * rng.standard_normal(dim).astype(np.float32)
+    result = db.search(query, k=5)
+    print("\ntop-5 nearest:")
+    for hit in result:
+        print(f"  id={hit.id:5d} distance={hit.distance:.4f}")
+    print(f"  [plan: {result.stats.plan_name},"
+          f" {result.stats.distance_computations} distance computations]")
+
+    # 4. Hybrid search: combine the vector query with attribute filters.
+    predicate = (Field("category") == "shoes") & (Field("price") < 60)
+    hybrid = db.search(query, k=5, predicate=predicate)
+    print("\ntop-5 cheap shoes:")
+    for hit in hybrid:
+        attrs = db.collection.attributes(hit.id)
+        print(f"  id={hit.id:5d} distance={hit.distance:.4f} {attrs}")
+    print(f"  [plan: {hybrid.stats.plan_name}]")
+
+    # 5. Ask the optimizer to explain itself.
+    print("\nEXPLAIN:")
+    print(db.explain(SearchQuery(query, 5, predicate=predicate)))
+
+    # 6. Range and batch queries.
+    nearby = db.range_search(query, radius=4.0)
+    print(f"\n{len(nearby)} vectors within distance 4.0")
+    batch = db.batch_search(vectors[:4], k=3)
+    print(f"batch of 4 queries -> {[r.ids for r in batch]}")
+
+    # 7. The SQL interface (how extended relational systems expose this).
+    vector_literal = "[" + ", ".join(f"{x:.4f}" for x in query) + "]"
+    sql = (
+        "SELECT * FROM items WHERE category = 'shoes' AND price < 60 "
+        f"ORDER BY DISTANCE(vec, {vector_literal}) LIMIT 3"
+    )
+    print("\nSQL:", sql[:70] + "...")
+    print("   ->", execute_sql(db, sql).ids)
+
+    # 8. Deletes are immediate, across every plan.
+    victim = result.ids[0]
+    db.delete(victim)
+    assert victim not in db.search(query, k=5).ids
+    print(f"\ndeleted id={victim}; it no longer appears in results")
+
+
+if __name__ == "__main__":
+    main()

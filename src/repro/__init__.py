@@ -1,0 +1,82 @@
+"""repro — a vector database management system.
+
+A from-scratch Python reproduction of the system landscape surveyed in
+*Vector Database Management Techniques and Systems* (Pan, Wang, Li;
+SIGMOD-Companion 2024): similarity scores, every index family (table /
+tree / graph, in-memory and disk-resident), quantization, hybrid query
+operators, plan enumeration and selection, batched and distributed
+execution, out-of-place updates, and an ANN-benchmarks-style harness.
+
+Quickstart::
+
+    import numpy as np
+    from repro import VectorDatabase, Field
+
+    db = VectorDatabase(dim=32, score="l2")
+    db.insert_many(np.random.rand(1000, 32),
+                   [{"category": i % 5, "price": float(i), "rating": 3}
+                    for i in range(1000)])
+    db.create_index("main", "hnsw", m=16)
+    result = db.search(np.random.rand(32), k=5,
+                       predicate=(Field("category") == 2) & (Field("price") < 500))
+    for hit in result:
+        print(hit.id, hit.distance)
+"""
+
+from .core import (
+    BatchQuery,
+    BufferedVectorIndex,
+    CostModel,
+    EmpiricalCostModel,
+    IncrementalSearcher,
+    MultiVectorEntityCollection,
+    MultiVectorQuery,
+    QueryPlan,
+    RangeQuery,
+    SearchHit,
+    SearchQuery,
+    SearchResult,
+    SearchStats,
+    VdbmsError,
+    VectorCollection,
+    VectorDatabase,
+    batched_graph_search,
+    execute_sql,
+    parse_sql,
+)
+from .hybrid import Field, Predicate
+from .index import VectorIndex, available_indexes, make_index
+from .scores import Score, available_scores, get_score
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BatchQuery",
+    "BufferedVectorIndex",
+    "CostModel",
+    "EmpiricalCostModel",
+    "Field",
+    "IncrementalSearcher",
+    "MultiVectorEntityCollection",
+    "MultiVectorQuery",
+    "Predicate",
+    "QueryPlan",
+    "RangeQuery",
+    "Score",
+    "SearchHit",
+    "SearchQuery",
+    "SearchResult",
+    "SearchStats",
+    "VdbmsError",
+    "VectorCollection",
+    "VectorDatabase",
+    "VectorIndex",
+    "available_indexes",
+    "available_scores",
+    "batched_graph_search",
+    "execute_sql",
+    "get_score",
+    "make_index",
+    "parse_sql",
+    "__version__",
+]

@@ -1,0 +1,46 @@
+"""Benchmark harness: workloads, ground truth, metrics, runner (§2.5)."""
+
+from .datasets import (
+    DATASETS,
+    Dataset,
+    gaussian_mixture,
+    hybrid_workload,
+    multi_vector_entities,
+    normalized_embeddings,
+    sift_like,
+    uniform_hypercube,
+)
+from .metrics import (
+    Measurement,
+    exact_ground_truth,
+    mean_recall,
+    pareto_frontier,
+    precision_at_k,
+    recall_at_k,
+)
+from .reporting import format_table, print_table
+from .runner import AlgorithmSpec, default_suite, measure, report, run_suite
+
+__all__ = [
+    "AlgorithmSpec",
+    "DATASETS",
+    "Dataset",
+    "Measurement",
+    "default_suite",
+    "exact_ground_truth",
+    "format_table",
+    "gaussian_mixture",
+    "hybrid_workload",
+    "mean_recall",
+    "measure",
+    "multi_vector_entities",
+    "normalized_embeddings",
+    "pareto_frontier",
+    "precision_at_k",
+    "print_table",
+    "recall_at_k",
+    "report",
+    "run_suite",
+    "sift_like",
+    "uniform_hypercube",
+]

@@ -1,0 +1,198 @@
+"""Synthetic workload generators (§2.5, substituting public datasets).
+
+ANN-Benchmarks [29] and the experimental survey [55] use real image/
+text/audio embeddings; offline we generate synthetic datasets whose
+controllable properties — cluster structure, intrinsic dimensionality,
+norm distribution, attribute correlation — are the factors that drive
+index behaviour (see DESIGN.md "Substitutions").
+
+Every generator is deterministic given ``seed`` and returns a
+:class:`Dataset` of float32 train vectors, query vectors, and (for the
+hybrid workloads) attribute dicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..core.types import VECTOR_DTYPE
+from ..scores.basic import normalize_rows
+
+
+@dataclass
+class Dataset:
+    """A benchmark workload: base vectors, queries, optional attributes."""
+
+    name: str
+    train: np.ndarray  # (n, d) float32
+    queries: np.ndarray  # (q, d) float32
+    attributes: list[dict[str, Any]] | None = None
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def dim(self) -> int:
+        return self.train.shape[1]
+
+    def __len__(self) -> int:
+        return self.train.shape[0]
+
+
+def gaussian_mixture(
+    n: int = 10_000,
+    dim: int = 32,
+    num_clusters: int = 16,
+    cluster_std: float = 0.4,
+    num_queries: int = 100,
+    seed: int = 0,
+) -> Dataset:
+    """Clustered embeddings — the shape real embedding spaces have.
+
+    Cluster centers are unit-scale Gaussian; points scatter around them
+    with ``cluster_std``, controlling how separable the clusters (and
+    hence how easy IVF/LSH partitioning) are.
+    """
+    rng = np.random.default_rng(seed)
+    centers = rng.standard_normal((num_clusters, dim))
+    labels = rng.integers(num_clusters, size=n)
+    train = centers[labels] + cluster_std * rng.standard_normal((n, dim))
+    qlabels = rng.integers(num_clusters, size=num_queries)
+    queries = centers[qlabels] + cluster_std * rng.standard_normal((num_queries, dim))
+    return Dataset(
+        name=f"gaussian_mixture(n={n},d={dim},k={num_clusters})",
+        train=train.astype(VECTOR_DTYPE),
+        queries=queries.astype(VECTOR_DTYPE),
+        metadata={"num_clusters": num_clusters, "cluster_std": cluster_std,
+                  "labels": labels},
+    )
+
+
+def uniform_hypercube(
+    n: int = 10_000, dim: int = 32, num_queries: int = 100, seed: int = 0
+) -> Dataset:
+    """Uniform data — the worst case for distance meaningfulness [30]."""
+    rng = np.random.default_rng(seed)
+    return Dataset(
+        name=f"uniform(n={n},d={dim})",
+        train=rng.uniform(0, 1, size=(n, dim)).astype(VECTOR_DTYPE),
+        queries=rng.uniform(0, 1, size=(num_queries, dim)).astype(VECTOR_DTYPE),
+    )
+
+
+def sift_like(
+    n: int = 10_000, dim: int = 128, num_queries: int = 100, seed: int = 0
+) -> Dataset:
+    """SIFT1M-shaped workload: non-negative, heavy-tailed byte vectors.
+
+    SIFT descriptors are 128-d uint8 histograms with strong per-dim
+    scale differences; we emulate with clamped log-normal draws around
+    mixture centers, quantized to [0, 255].
+    """
+    rng = np.random.default_rng(seed)
+    num_clusters = 32
+    centers = rng.lognormal(mean=2.0, sigma=1.0, size=(num_clusters, dim))
+
+    def draw(count: int) -> np.ndarray:
+        labels = rng.integers(num_clusters, size=count)
+        raw = centers[labels] * rng.lognormal(0.0, 0.4, size=(count, dim))
+        return np.clip(raw, 0, 255).astype(VECTOR_DTYPE)
+
+    return Dataset(
+        name=f"sift_like(n={n},d={dim})",
+        train=draw(n),
+        queries=draw(num_queries),
+    )
+
+
+def normalized_embeddings(
+    n: int = 10_000, dim: int = 64, num_queries: int = 100, seed: int = 0
+) -> Dataset:
+    """Unit-norm vectors (sentence-embedding-like); for IP/cosine runs."""
+    base = gaussian_mixture(n, dim, num_queries=num_queries, seed=seed)
+    return Dataset(
+        name=f"normalized(n={n},d={dim})",
+        train=normalize_rows(base.train),
+        queries=normalize_rows(base.queries),
+        metadata=base.metadata,
+    )
+
+
+def hybrid_workload(
+    n: int = 10_000,
+    dim: int = 32,
+    num_queries: int = 100,
+    num_categories: int = 10,
+    correlated: bool = False,
+    seed: int = 0,
+) -> Dataset:
+    """Clustered vectors + structured attributes for hybrid queries.
+
+    Attributes: ``category`` (int, uniform unless ``correlated``, in
+    which case category follows the vector's cluster — the case where
+    offline partitioning shines), ``price`` (float, log-normal) and
+    ``rating`` (1..5 int).
+    """
+    base = gaussian_mixture(n, dim, num_queries=num_queries, seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    if correlated:
+        labels = base.metadata["labels"] % num_categories
+    else:
+        labels = rng.integers(num_categories, size=n)
+    attributes = [
+        {
+            "category": int(labels[i]),
+            "price": float(np.round(rng.lognormal(3.0, 0.7), 2)),
+            "rating": int(rng.integers(1, 6)),
+        }
+        for i in range(n)
+    ]
+    return Dataset(
+        name=f"hybrid(n={n},d={dim},cats={num_categories},corr={correlated})",
+        train=base.train,
+        queries=base.queries,
+        attributes=attributes,
+        metadata={"num_categories": num_categories, "correlated": correlated},
+    )
+
+
+def multi_vector_entities(
+    num_entities: int = 2_000,
+    vectors_per_entity: int = 3,
+    dim: int = 32,
+    num_queries: int = 50,
+    query_vectors: int = 2,
+    seed: int = 0,
+) -> tuple[list[np.ndarray], np.ndarray]:
+    """Entities with several facet vectors + multi-vector queries (§2.1).
+
+    Each entity has a latent center; its facet vectors scatter around
+    it, as do the query groups — so ground truth is well defined under
+    aggregate scores.
+    """
+    rng = np.random.default_rng(seed)
+    centers = rng.standard_normal((num_entities, dim))
+    entities = [
+        (centers[i] + 0.3 * rng.standard_normal((vectors_per_entity, dim))).astype(
+            VECTOR_DTYPE
+        )
+        for i in range(num_entities)
+    ]
+    targets = rng.integers(num_entities, size=num_queries)
+    queries = np.stack(
+        [
+            centers[t] + 0.3 * rng.standard_normal((query_vectors, dim))
+            for t in targets
+        ]
+    ).astype(VECTOR_DTYPE)
+    return entities, queries
+
+
+DATASETS = {
+    "gaussian_mixture": gaussian_mixture,
+    "uniform": uniform_hypercube,
+    "sift_like": sift_like,
+    "normalized": normalized_embeddings,
+    "hybrid": hybrid_workload,
+}

@@ -1,0 +1,99 @@
+"""Result-quality and throughput metrics (§2.1, §2.5).
+
+The quality of a result set "is measured using precision and recall";
+ANN benchmarking convention reports recall@k against exact ground truth
+plus QPS.  Everything here is oracle-based: ground truth comes from the
+flat index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.types import SearchHit
+from ..scores import Score
+
+
+def exact_ground_truth(
+    train: np.ndarray, queries: np.ndarray, k: int, score: Score
+) -> np.ndarray:
+    """(q, k) matrix of true nearest-neighbor row positions."""
+    dmat = score.pairwise(queries, train)
+    k = min(k, train.shape[0])
+    part = np.argpartition(dmat, k - 1, axis=1)[:, :k]
+    rows = np.arange(queries.shape[0])[:, None]
+    order = np.argsort(dmat[rows, part], axis=1, kind="stable")
+    return part[rows, order]
+
+
+def recall_at_k(result_ids: list[int], truth_ids: np.ndarray) -> float:
+    """|result ∩ truth| / |truth| for one query."""
+    truth = set(int(t) for t in truth_ids)
+    if not truth:
+        return 1.0
+    return len(truth.intersection(int(r) for r in result_ids)) / len(truth)
+
+
+def precision_at_k(result_ids: list[int], truth_ids: np.ndarray, k: int) -> float:
+    """|result ∩ truth| / k — penalizes short result sets, unlike recall."""
+    truth = set(int(t) for t in truth_ids)
+    return len(truth.intersection(int(r) for r in result_ids)) / max(1, k)
+
+
+def mean_recall(
+    results: list[list[SearchHit]], truth: np.ndarray
+) -> float:
+    """Mean recall@k over a query set (truth rows align with results)."""
+    if not results:
+        return 0.0
+    return float(
+        np.mean(
+            [
+                recall_at_k([h.id for h in hits], truth[i])
+                for i, hits in enumerate(results)
+            ]
+        )
+    )
+
+
+@dataclass
+class Measurement:
+    """One operating point of one algorithm on one workload."""
+
+    algorithm: str
+    parameters: str
+    recall: float
+    qps: float
+    build_seconds: float
+    memory_bytes: int
+    mean_distance_computations: float = 0.0
+    mean_page_reads: float = 0.0
+
+    def row(self) -> dict:
+        return {
+            "algorithm": self.algorithm,
+            "parameters": self.parameters,
+            "recall": round(self.recall, 4),
+            "qps": round(self.qps, 1),
+            "build_s": round(self.build_seconds, 3),
+            "memory_kb": round(self.memory_bytes / 1024, 1),
+            "dists/query": round(self.mean_distance_computations, 1),
+            "pages/query": round(self.mean_page_reads, 2),
+        }
+
+
+def pareto_frontier(points: list[Measurement]) -> list[Measurement]:
+    """Measurements not dominated in (recall, qps) — the ann-benchmarks
+    plot reduced to a table."""
+    frontier = []
+    for p in points:
+        dominated = any(
+            (q.recall >= p.recall and q.qps > p.qps)
+            or (q.recall > p.recall and q.qps >= p.qps)
+            for q in points
+        )
+        if not dominated:
+            frontier.append(p)
+    return sorted(frontier, key=lambda m: m.recall)

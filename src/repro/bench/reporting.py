@@ -1,0 +1,44 @@
+"""Plain-text table rendering for benchmark output.
+
+Benches print the same row/series structure a paper table would carry;
+this module keeps the formatting in one place (monospace-aligned,
+pipe-delimited) so outputs diff cleanly across runs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+
+def format_table(
+    rows: Sequence[Mapping[str, Any]], title: str | None = None
+) -> str:
+    """Render dict rows as an aligned text table (column order = first
+    row's key order)."""
+    if not rows:
+        return f"{title or 'table'}: (no rows)"
+    columns = list(rows[0].keys())
+    rendered = [[_cell(r.get(c, "")) for c in columns] for r in rows]
+    widths = [
+        max(len(col), *(len(row[i]) for row in rendered))
+        for i, col in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(f"== {title} ==")
+    lines.append(" | ".join(col.ljust(w) for col, w in zip(columns, widths)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _cell(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def print_table(rows: Sequence[Mapping[str, Any]], title: str | None = None) -> None:
+    print(format_table(rows, title))
+    print()

@@ -1,0 +1,171 @@
+"""ANN-Benchmarks-style harness (§2.5).
+
+Runs indexes at multiple operating points over a workload and reports
+recall@k / QPS / build time / memory — the same rows ann-benchmarks
+publishes.  Used by bench E13 and importable by the other benches.
+
+Also a command-line entry point::
+
+    python -m repro.bench.runner            # the master comparison
+    python -m repro.bench.runner --quick    # smaller workload
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..core.types import SearchStats
+from ..index.registry import make_index
+from ..scores import get_score
+from .datasets import Dataset, gaussian_mixture
+from .metrics import Measurement, exact_ground_truth, mean_recall, pareto_frontier
+from .reporting import format_table
+
+
+@dataclass
+class AlgorithmSpec:
+    """One algorithm with build kwargs and a sweep of search params."""
+
+    index_type: str
+    build_kwargs: dict[str, Any] = field(default_factory=dict)
+    search_sweep: list[dict[str, Any]] = field(default_factory=lambda: [{}])
+    label: str | None = None
+
+    @property
+    def name(self) -> str:
+        return self.label or self.index_type
+
+
+def default_suite() -> list[AlgorithmSpec]:
+    """One representative per index family at a few operating points."""
+    return [
+        AlgorithmSpec("flat"),
+        AlgorithmSpec(
+            "lsh",
+            {"num_tables": 16, "hashes_per_table": 8},
+            [{}],
+        ),
+        AlgorithmSpec(
+            "ivf_flat",
+            {"nlist": 64},
+            [{"nprobe": p} for p in (1, 4, 16)],
+        ),
+        AlgorithmSpec(
+            "ivf_adc",
+            {"nlist": 64, "m": 8, "rerank": 50},
+            [{"nprobe": p} for p in (4, 16)],
+        ),
+        AlgorithmSpec(
+            "annoy",
+            {"num_trees": 8},
+            [{"search_k": s} for s in (16, 64, 256)],
+        ),
+        AlgorithmSpec(
+            "kdtree",
+            {},
+            [{"max_leaves": b} for b in (8, 64)],
+        ),
+        AlgorithmSpec(
+            "hnsw",
+            {"m": 16, "ef_construction": 100},
+            [{"ef_search": e} for e in (16, 64, 128)],
+        ),
+        AlgorithmSpec(
+            "ngt",
+            {"edge_size": 10},
+            [{"ef_search": e} for e in (16, 64)],
+        ),
+        AlgorithmSpec(
+            "nsg",
+            {"max_degree": 24, "candidate_pool": 96},
+            [{"ef_search": e} for e in (16, 64)],
+        ),
+        AlgorithmSpec(
+            "vamana",
+            {"max_degree": 24, "beam_width": 64},
+            [{"ef_search": e} for e in (16, 64)],
+        ),
+    ]
+
+
+def measure(
+    spec: AlgorithmSpec,
+    dataset: Dataset,
+    truth: np.ndarray,
+    k: int = 10,
+    score: str = "l2",
+) -> list[Measurement]:
+    """Build once, sweep the search parameters."""
+    index = make_index(spec.index_type, score=get_score(score), **spec.build_kwargs)
+    index.build(dataset.train)
+    out: list[Measurement] = []
+    for params in spec.search_sweep:
+        stats = SearchStats()
+        start = time.perf_counter()
+        results = [
+            index.search(q, k, stats=stats, **params) for q in dataset.queries
+        ]
+        elapsed = time.perf_counter() - start
+        nq = len(dataset.queries)
+        out.append(
+            Measurement(
+                algorithm=spec.name,
+                parameters=",".join(f"{k_}={v}" for k_, v in params.items()) or "-",
+                recall=mean_recall(results, truth),
+                qps=nq / elapsed if elapsed > 0 else float("inf"),
+                build_seconds=index.build_seconds,
+                memory_bytes=index.memory_bytes(),
+                mean_distance_computations=stats.distance_computations / nq,
+                mean_page_reads=stats.page_reads / nq,
+            )
+        )
+    return out
+
+
+def run_suite(
+    dataset: Dataset,
+    suite: list[AlgorithmSpec] | None = None,
+    k: int = 10,
+    score: str = "l2",
+) -> list[Measurement]:
+    suite = suite if suite is not None else default_suite()
+    truth = exact_ground_truth(
+        dataset.train, dataset.queries, k, get_score(score)
+    )
+    measurements: list[Measurement] = []
+    for spec in suite:
+        measurements.extend(measure(spec, dataset, truth, k=k, score=score))
+    return measurements
+
+
+def report(measurements: list[Measurement], title: str) -> str:
+    body = format_table([m.row() for m in measurements], title)
+    frontier = pareto_frontier(measurements)
+    front = format_table(
+        [m.row() for m in frontier], f"{title} — recall/QPS Pareto frontier"
+    )
+    return f"{body}\n\n{front}"
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description="ANN-benchmarks-style run")
+    parser.add_argument("--quick", action="store_true", help="small workload")
+    parser.add_argument("--n", type=int, default=None, help="collection size")
+    parser.add_argument("--dim", type=int, default=32)
+    parser.add_argument("--k", type=int, default=10)
+    args = parser.parse_args(argv)
+    n = args.n or (2000 if args.quick else 10_000)
+    dataset = gaussian_mixture(n=n, dim=args.dim, num_queries=50)
+    measurements = run_suite(dataset, k=args.k)
+    print(report(measurements, f"E13 master comparison on {dataset.name}"))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,77 @@
+"""Core of the VDBMS: collection, queries, planner, optimizer, executor."""
+
+from .batched import batched_graph_search
+from .collection import VectorCollection
+from .cost import CostModel, CostWeights, EmpiricalCostModel, WorkEstimate
+from .incremental import IncrementalSearcher, RestartIncrementalSearcher
+from .multivector import MultiVectorEntityCollection
+from .database import VectorDatabase
+from .errors import (
+    CollectionError,
+    DimensionMismatchError,
+    IndexNotBuiltError,
+    PlanningError,
+    PredicateError,
+    QueryError,
+    SqlError,
+    StorageError,
+    UnknownIndexError,
+    UnknownScoreError,
+    VdbmsError,
+)
+from .executor import QueryExecutor
+from .optimizer import (
+    CostBasedSelector,
+    FirstPlanSelector,
+    PlanSelector,
+    RuleBasedSelector,
+)
+from .planner import AutomaticPlanner, PredefinedPlanner, QueryPlan
+from .query import BatchQuery, MultiVectorQuery, RangeQuery, SearchQuery, satisfies_ck
+from .sql import ParsedQuery, execute_sql, parse_sql
+from .types import SearchHit, SearchResult, SearchStats
+from .updates import BufferedVectorIndex
+
+__all__ = [
+    "AutomaticPlanner",
+    "BatchQuery",
+    "BufferedVectorIndex",
+    "CollectionError",
+    "CostBasedSelector",
+    "CostModel",
+    "CostWeights",
+    "DimensionMismatchError",
+    "EmpiricalCostModel",
+    "FirstPlanSelector",
+    "IncrementalSearcher",
+    "IndexNotBuiltError",
+    "MultiVectorEntityCollection",
+    "RestartIncrementalSearcher",
+    "batched_graph_search",
+    "MultiVectorQuery",
+    "ParsedQuery",
+    "PlanSelector",
+    "PlanningError",
+    "PredefinedPlanner",
+    "PredicateError",
+    "QueryError",
+    "QueryExecutor",
+    "QueryPlan",
+    "RangeQuery",
+    "RuleBasedSelector",
+    "SearchHit",
+    "SearchQuery",
+    "SearchResult",
+    "SearchStats",
+    "SqlError",
+    "StorageError",
+    "UnknownIndexError",
+    "UnknownScoreError",
+    "VdbmsError",
+    "VectorCollection",
+    "VectorDatabase",
+    "WorkEstimate",
+    "execute_sql",
+    "parse_sql",
+    "satisfies_ck",
+]

@@ -1,0 +1,108 @@
+"""Batched graph search with shared traversal (§2.3 batched queries).
+
+"Several techniques have been proposed to exploit commonalities between
+the queries in order to speed up processing the batch" [50, 79].  For
+graph indexes the exploitable commonality is the *route*: similar
+queries descend through the same region, so the entry-finding work can
+be shared.
+
+:func:`batched_graph_search` clusters the batch (k-means over the query
+vectors), runs one full search per cluster centroid, and seeds each
+member query's bottom-layer beam search from the centroid's results —
+skipping the per-query descent/entry phase.  Dissimilar queries land in
+different clusters, so sharing never forces unrelated routes together.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..index._graph import beam_search
+from ..quantization.kmeans import kmeans
+from .types import SearchHit, SearchStats
+
+
+def _graph_surface(index):
+    """(neighbors_of, fallback_entries) for any graph index."""
+    from ..hybrid.visitfirst import graph_entry_and_adjacency
+
+    return graph_entry_and_adjacency(index)
+
+
+def batched_graph_search(
+    index,
+    queries: np.ndarray,
+    k: int,
+    ef_search: int | None = None,
+    group_size: int = 8,
+    stats: SearchStats | None = None,
+) -> list[list[SearchHit]]:
+    """Answer a query batch over a graph index with shared entries.
+
+    Parameters
+    ----------
+    group_size:
+        Target queries per shared route; the batch is k-means-clustered
+        into ``ceil(b / group_size)`` groups.
+
+    Returns per-query hit lists in batch order.
+    """
+    queries = np.atleast_2d(np.asarray(queries, dtype=np.float32))
+    b = queries.shape[0]
+    if b == 0:
+        return []
+    stats = stats if stats is not None else SearchStats()
+    ef = max(k, ef_search if ef_search is not None else getattr(index, "ef_search", 64))
+    neighbors_of, _ = _graph_surface(index)
+
+    num_groups = max(1, math.ceil(b / group_size))
+    if num_groups >= b:
+        assignments = np.arange(b)
+        centroids = queries.astype(np.float64)
+    else:
+        result = kmeans(queries.astype(np.float64), num_groups, seed=0)
+        assignments = result.assignments
+        centroids = result.centroids
+
+    # External id -> row position map, once per call.  Identity ids (the
+    # common case) skip the dict.
+    ids = index._ids
+    identity_ids = bool(
+        ids.shape[0] == 0 or np.array_equal(ids, np.arange(ids.shape[0]))
+    )
+    id_to_pos = None if identity_ids else {
+        int(e): p for p, e in enumerate(ids)
+    }
+
+    out: list[list[SearchHit] | None] = [None] * b
+    for group in range(centroids.shape[0]):
+        members = np.flatnonzero(assignments == group)
+        if members.size == 0:
+            continue
+        # One full search for the shared route.
+        centroid_hits = index.search(
+            centroids[group].astype(np.float32), k, ef_search=ef, stats=stats
+        )
+        entries = [
+            hit.id if id_to_pos is None else id_to_pos[hit.id]
+            for hit in centroid_hits
+        ]
+        if not entries:
+            entries = [_graph_surface(index)[1][0]]
+        for member in members:
+            pairs = beam_search(
+                queries[member],
+                index._vectors,
+                neighbors_of,
+                entries,
+                ef,
+                index.score,
+                stats=stats,
+            )
+            stats.candidates_examined += len(pairs)
+            out[member] = [
+                SearchHit(int(index._ids[p]), float(d)) for d, p in pairs[:k]
+            ]
+    return [hits if hits is not None else [] for hits in out]

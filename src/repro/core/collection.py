@@ -1,0 +1,189 @@
+"""The vector collection: vectors + structured attributes (§2.1).
+
+A :class:`VectorCollection` stores an (n, d) float32 matrix row-aligned
+with a columnar attribute store, assigning each item a dense integer id
+(its insertion order).  Dense ids are the contract the index layer
+builds on, and the columnar layout is what makes online bitmask
+blocking (§2.3) a vectorized operation.
+
+Deletes are tombstones (an ``alive`` mask) so ids stay stable — the
+same reason real VDBMSs do out-of-place deletion (§2.3); compaction is
+the collection-rebuild the tutorial attributes to bulk update
+application.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from ..hybrid.predicates import ColumnStore, Predicate
+from .errors import CollectionError
+from .types import VECTOR_DTYPE, as_matrix
+
+
+class VectorCollection:
+    """Row store of vectors with a columnar attribute side-table.
+
+    The attribute schema is inferred from the first insert and enforced
+    afterwards, keeping every column dense (no NULL handling — the
+    tutorial's systems likewise require declared attribute schemas).
+    """
+
+    def __init__(self, dim: int):
+        if dim <= 0:
+            raise CollectionError(f"dim must be positive, got {dim}")
+        self.dim = dim
+        self._vectors = np.empty((0, dim), dtype=VECTOR_DTYPE)
+        self._alive = np.empty(0, dtype=bool)
+        self._columns_raw: dict[str, list] = {}
+        self._schema: tuple[str, ...] | None = None
+        self._columns_cache: ColumnStore | None = None
+
+    # ----------------------------------------------------------------- writes
+
+    def insert(self, vector: np.ndarray, attributes: Mapping[str, Any] | None = None) -> int:
+        """Insert one item; returns its dense id."""
+        return self.insert_many([vector], [attributes] if attributes else None)[0]
+
+    def insert_many(
+        self,
+        vectors: np.ndarray | Sequence[np.ndarray],
+        attributes: Sequence[Mapping[str, Any]] | None = None,
+    ) -> list[int]:
+        """Insert a batch; returns assigned ids."""
+        matrix = as_matrix(vectors, self.dim)
+        count = matrix.shape[0]
+        if attributes is not None and len(attributes) != count:
+            raise CollectionError(
+                f"{count} vectors but {len(attributes)} attribute dicts"
+            )
+        schema = tuple(sorted(attributes[0])) if attributes else ()
+        if self._schema is None:
+            self._schema = schema
+            self._columns_raw = {name: [] for name in schema}
+        elif schema != self._schema:
+            raise CollectionError(
+                f"attribute schema mismatch: expected {self._schema}, got {schema}"
+            )
+        for row in range(count):
+            attrs = attributes[row] if attributes else {}
+            if tuple(sorted(attrs)) != self._schema:
+                raise CollectionError(
+                    f"attribute schema mismatch at row {row}: expected"
+                    f" {self._schema}, got {tuple(sorted(attrs))}"
+                )
+            for name in self._schema:
+                self._columns_raw[name].append(attrs[name])
+        start = self._vectors.shape[0]
+        self._vectors = np.vstack([self._vectors, matrix])
+        self._alive = np.concatenate([self._alive, np.ones(count, dtype=bool)])
+        self._columns_cache = None
+        return list(range(start, start + count))
+
+    def delete(self, item_id: int) -> None:
+        """Tombstone an item (id stays allocated)."""
+        self._check_id(item_id)
+        self._alive[item_id] = False
+
+    def update_vector(self, item_id: int, vector: np.ndarray) -> None:
+        """Replace an item's vector in place (indexes become stale)."""
+        self._check_id(item_id)
+        from .types import as_vector
+
+        self._vectors[item_id] = as_vector(vector, self.dim)
+
+    def compact(self) -> "VectorCollection":
+        """Return a new collection without tombstoned rows (ids re-dense)."""
+        fresh = VectorCollection(self.dim)
+        keep = np.flatnonzero(self._alive)
+        attrs = None
+        if self._schema:
+            attrs = [self.attributes(int(i)) for i in keep]
+        if keep.size:
+            fresh.insert_many(self._vectors[keep], attrs)
+        elif self._schema is not None:
+            fresh._schema = self._schema
+            fresh._columns_raw = {name: [] for name in self._schema}
+        return fresh
+
+    # ------------------------------------------------------------------ reads
+
+    def _check_id(self, item_id: int) -> None:
+        if not 0 <= item_id < self._vectors.shape[0]:
+            raise CollectionError(f"id {item_id} out of range")
+        if not self._alive[item_id]:
+            raise CollectionError(f"id {item_id} is deleted")
+
+    def vector(self, item_id: int) -> np.ndarray:
+        self._check_id(item_id)
+        return self._vectors[item_id].copy()
+
+    def attributes(self, item_id: int) -> dict[str, Any]:
+        self._check_id(item_id)
+        return {name: self._columns_raw[name][item_id] for name in self._schema or ()}
+
+    @property
+    def vectors(self) -> np.ndarray:
+        """The full row matrix (includes tombstoned rows; see ``alive``)."""
+        return self._vectors
+
+    @property
+    def alive(self) -> np.ndarray:
+        """Boolean liveness mask indexed by id."""
+        return self._alive
+
+    @property
+    def columns(self) -> ColumnStore:
+        """Columnar attribute arrays (cached; invalidated on insert)."""
+        if self._columns_cache is None:
+            self._columns_cache = {
+                name: np.asarray(values)
+                for name, values in self._columns_raw.items()
+            }
+        return self._columns_cache
+
+    @property
+    def attribute_names(self) -> tuple[str, ...]:
+        return self._schema or ()
+
+    def predicate_mask(self, predicate: Predicate | None) -> np.ndarray:
+        """Liveness-aware boolean mask for a predicate (online blocking).
+
+        This is the "bitmask constructed with traditional attribute
+        filtering techniques" of §2.3 block-first scan.
+        """
+        if predicate is None:
+            return self._alive.copy()
+        if not self.columns and predicate.attributes():
+            raise CollectionError("collection has no attributes to filter on")
+        return predicate.evaluate(self.columns) & self._alive
+
+    def selectivity(self, predicate: Predicate | None, sample_size: int | None = None) -> float:
+        """Fraction of live items passing the predicate."""
+        live = int(self._alive.sum())
+        if live == 0:
+            return 0.0
+        if predicate is None:
+            return 1.0
+        if sample_size is not None:
+            return predicate.selectivity(self.columns, sample_size=sample_size)
+        return float(self.predicate_mask(predicate).sum() / live)
+
+    def __len__(self) -> int:
+        return int(self._alive.sum())
+
+    @property
+    def capacity(self) -> int:
+        """Allocated rows including tombstones."""
+        return self._vectors.shape[0]
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(int(i) for i in np.flatnonzero(self._alive))
+
+    def __repr__(self) -> str:
+        return (
+            f"VectorCollection(dim={self.dim}, live={len(self)},"
+            f" capacity={self.capacity}, attributes={list(self.attribute_names)})"
+        )

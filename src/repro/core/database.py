@@ -1,0 +1,368 @@
+"""The VDBMS facade: Figure 1 end to end.
+
+:class:`VectorDatabase` wires the collection, score, indexes, planner,
+selector, and executor into the query pipeline of Figure 1:
+
+    query -> (embed) -> parser/validation -> plan enumeration ->
+    plan selection -> executor -> index/table scans -> top-k
+
+It exposes the "simple API" interface (§2.1 Query Interfaces); the SQL
+extension lives in :mod:`repro.core.sql` on top of the same object.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from ..embed.embedders import EmbeddingFunction
+from ..hybrid.partitioned import AttributePartitionedIndex
+from ..hybrid.predicates import Predicate
+from ..index.registry import make_index
+from ..scores import get_score
+from .collection import VectorCollection
+from .errors import PlanningError, QueryError
+from .executor import QueryExecutor
+from .optimizer import (
+    CostBasedSelector,
+    FirstPlanSelector,
+    PlanSelector,
+    RuleBasedSelector,
+)
+from .planner import AutomaticPlanner, PredefinedPlanner, QueryPlan
+from .query import BatchQuery, MultiVectorQuery, RangeQuery, SearchQuery
+from .types import SearchResult, SearchStats, as_vector
+
+
+def _make_selector(selector) -> PlanSelector:
+    if isinstance(selector, PlanSelector):
+        return selector
+    table = {
+        "cost": CostBasedSelector,
+        "rule": RuleBasedSelector,
+        "first": FirstPlanSelector,
+    }
+    try:
+        return table[selector]()
+    except KeyError:
+        raise PlanningError(
+            f"unknown selector {selector!r}; expected one of {sorted(table)}"
+        ) from None
+
+
+class VectorDatabase:
+    """A complete single-node VDBMS.
+
+    Parameters
+    ----------
+    dim:
+        Vector dimensionality (ignored when ``embedder`` provides one).
+    score:
+        Similarity score name or :class:`~repro.scores.basic.Score`.
+    planner:
+        ``"auto"`` (enumerate all plans) or a
+        :class:`~repro.core.planner.PredefinedPlanner`.
+    selector:
+        ``"cost"``, ``"rule"``, ``"first"`` or a
+        :class:`~repro.core.optimizer.PlanSelector`.
+    embedder:
+        Optional embedding function enabling indirect manipulation
+        (insert/search by entity instead of vector).
+    """
+
+    def __init__(
+        self,
+        dim: int | None = None,
+        score: str | Any = "l2",
+        planner: str | Any = "auto",
+        selector: str | PlanSelector = "cost",
+        embedder: EmbeddingFunction | None = None,
+    ):
+        if dim is None:
+            if embedder is None:
+                raise QueryError("either dim or an embedder is required")
+            dim = embedder.dim
+        self.score = get_score(score)
+        self.collection = VectorCollection(dim)
+        self.embedder = embedder
+        if planner == "auto":
+            self.planner = AutomaticPlanner()
+        elif isinstance(planner, (AutomaticPlanner, PredefinedPlanner)):
+            self.planner = planner
+        else:
+            raise PlanningError(f"unknown planner {planner!r}")
+        self.selector = _make_selector(selector)
+        self.indexes: dict[str, Any] = {}
+        self.partitioned: dict[str, AttributePartitionedIndex] = {}
+        self._executor = QueryExecutor(
+            self.collection, self.score, self.indexes, self.partitioned
+        )
+        self._stale = False
+
+    # ------------------------------------------------------------------- DML
+
+    @property
+    def dim(self) -> int:
+        return self.collection.dim
+
+    def _vectorize(self, vector=None, entity=None) -> np.ndarray:
+        if (vector is None) == (entity is None):
+            raise QueryError("provide exactly one of vector= or entity=")
+        if entity is not None:
+            if self.embedder is None:
+                raise QueryError("no embedder configured for entity input")
+            vector = self.embedder(entity)
+        return as_vector(vector, self.dim)
+
+    def insert(
+        self,
+        vector: np.ndarray | None = None,
+        attributes: Mapping[str, Any] | None = None,
+        entity: Any = None,
+    ) -> int:
+        """Insert one item by vector (direct) or entity (indirect)."""
+        item_id = self.collection.insert(
+            self._vectorize(vector, entity), attributes
+        )
+        self._stale = bool(self.indexes)
+        return item_id
+
+    def insert_many(
+        self,
+        vectors: np.ndarray | None = None,
+        attributes: Sequence[Mapping[str, Any]] | None = None,
+        entities: Sequence[Any] | None = None,
+    ) -> list[int]:
+        if entities is not None:
+            if self.embedder is None:
+                raise QueryError("no embedder configured for entity input")
+            vectors = np.vstack([self.embedder(e) for e in entities])
+        ids = self.collection.insert_many(vectors, attributes)
+        self._stale = bool(self.indexes)
+        return ids
+
+    def delete(self, item_id: int) -> None:
+        """Tombstone an item; masks keep it out of every plan's results."""
+        self.collection.delete(item_id)
+
+    def get(self, item_id: int) -> tuple[np.ndarray, dict[str, Any]]:
+        return self.collection.vector(item_id), self.collection.attributes(item_id)
+
+    def __len__(self) -> int:
+        return len(self.collection)
+
+    # ---------------------------------------------------------------- indexes
+
+    def create_index(self, name: str, index_type: str, **kwargs: Any) -> Any:
+        """Create and build an index over the current collection."""
+        if name in self.indexes:
+            raise PlanningError(f"index {name!r} already exists")
+        kwargs.setdefault("score", self.score)
+        index = make_index(index_type, **kwargs)
+        live = np.flatnonzero(self.collection.alive)
+        if live.size:
+            index.build(self.collection.vectors[live], ids=live.astype(np.int64))
+        self.indexes[name] = index
+        self._stale = False
+        return index
+
+    def create_partitioned_index(
+        self, name: str, index_type: str, attribute: str, **kwargs: Any
+    ) -> AttributePartitionedIndex:
+        """Offline blocking: one sub-index per value of ``attribute``."""
+        kwargs.setdefault("score", self.score)
+        part = AttributePartitionedIndex(
+            lambda: make_index(index_type, **kwargs), attribute
+        )
+        part.build(self.collection)
+        self.partitioned[name] = part
+        return part
+
+    def drop_index(self, name: str) -> None:
+        if self.indexes.pop(name, None) is None and self.partitioned.pop(name, None) is None:
+            raise PlanningError(f"no index named {name!r}")
+
+    def rebuild_indexes(self) -> None:
+        """Rebuild every index over the live collection (bulk update apply)."""
+        live = np.flatnonzero(self.collection.alive)
+        for index in self.indexes.values():
+            if live.size:
+                index.build(self.collection.vectors[live], ids=live.astype(np.int64))
+        for part in self.partitioned.values():
+            part.build(self.collection)
+        self._stale = False
+
+    @property
+    def has_stale_indexes(self) -> bool:
+        """True when inserts since the last (re)build are invisible to
+        index scans (brute-force plans always see everything)."""
+        return self._stale
+
+    # ----------------------------------------------------------------- plans
+
+    def plan(self, query: SearchQuery) -> tuple[QueryPlan, list[QueryPlan]]:
+        """Enumerate and select; returns (chosen, all candidates)."""
+        usable = {} if self._stale else self.indexes
+        plans = self.planner.enumerate(
+            query.is_hybrid, usable, self.partitioned, query.predicate
+        )
+        selectivity = self.collection.selectivity(query.predicate)
+        chosen = self.selector.select(
+            plans, usable, len(self.collection), query.k, selectivity
+        )
+        return chosen, plans
+
+    def explain(self, query: SearchQuery) -> str:
+        """Human-readable plan choice, like EXPLAIN."""
+        chosen, plans = self.plan(query)
+        lines = [f"chosen: {chosen.describe()}", "candidates:"]
+        lines.extend(f"  - {p.describe()}" for p in plans)
+        return "\n".join(lines)
+
+    # ---------------------------------------------------------------- queries
+
+    def search(
+        self,
+        vector: np.ndarray | None = None,
+        k: int = 10,
+        c: float = 0.0,
+        predicate: Predicate | None = None,
+        entity: Any = None,
+        plan: QueryPlan | None = None,
+        **params: Any,
+    ) -> SearchResult:
+        """(c, k)-search; the predicate makes it hybrid."""
+        query = SearchQuery(
+            self._vectorize(vector, entity), k, c=c, predicate=predicate,
+            params=params,
+        )
+        chosen = plan if plan is not None else self.plan(query)[0]
+        return self._executor.execute(query, chosen)
+
+    def range_search(
+        self,
+        vector: np.ndarray | None = None,
+        radius: float = 1.0,
+        predicate: Predicate | None = None,
+        entity: Any = None,
+        plan: QueryPlan | None = None,
+        **params: Any,
+    ) -> SearchResult:
+        query = RangeQuery(
+            self._vectorize(vector, entity), radius, predicate=predicate,
+            params=params,
+        )
+        if plan is None:
+            proxy = SearchQuery(query.vector, 1, predicate=predicate)
+            plan = self.plan(proxy)[0]
+        return self._executor.execute_range(query, plan)
+
+    def batch_search(
+        self,
+        vectors: np.ndarray,
+        k: int = 10,
+        predicate: Predicate | None = None,
+        plan: QueryPlan | None = None,
+        **params: Any,
+    ) -> list[SearchResult]:
+        batch = BatchQuery(vectors, k, predicate=predicate, params=params)
+        if plan is None:
+            proxy = SearchQuery(batch.vectors[0], k, predicate=predicate)
+            plan = self.plan(proxy)[0]
+        return self._executor.execute_batch(batch, plan)
+
+    def incremental_search(
+        self,
+        vector: np.ndarray | None = None,
+        predicate: Predicate | None = None,
+        entity: Any = None,
+        index: str | None = None,
+        **params: Any,
+    ):
+        """Open a resumable search cursor (§2.6(5)).
+
+        Requires a graph index; pass ``index`` to pick one, else the
+        first graph index is used.  Returns an
+        :class:`~repro.core.incremental.IncrementalSearcher` whose
+        ``next_batch(k)`` pages through results without re-traversal.
+        """
+        from .incremental import IncrementalSearcher
+
+        query = self._vectorize(vector, entity)
+        if index is not None:
+            chosen = self.indexes.get(index)
+            if chosen is None:
+                raise PlanningError(f"no index named {index!r}")
+        else:
+            chosen = next(
+                (idx for idx in self.indexes.values()
+                 if getattr(idx, "family", "") == "graph"),
+                None,
+            )
+            if chosen is None:
+                raise PlanningError(
+                    "incremental search needs a graph index; create one"
+                    " (e.g. create_index('g', 'hnsw'))"
+                )
+        return IncrementalSearcher(
+            chosen, query, predicate=predicate, collection=self.collection,
+            **params,
+        )
+
+    def multi_score_search(
+        self,
+        vector: np.ndarray | None = None,
+        k: int = 10,
+        scores: Sequence[str] | None = None,
+        entity: Any = None,
+        **params: Any,
+    ) -> dict[str, SearchResult]:
+        """Answer the same query under several scores at once (§2.6(1)).
+
+        EuclidesDB's pragmatic answer to the open score-selection
+        problem: return per-score result sets and let the caller decide.
+        Runs exact (brute-force) scans so the comparison reflects the
+        scores, not index artifacts.
+        """
+        from ..scores import available_scores, get_score
+        from .operators import TableScan
+
+        query = self._vectorize(vector, entity)
+        names = list(scores) if scores is not None else ["l2", "cosine", "ip"]
+        live = np.flatnonzero(self.collection.alive)
+        out: dict[str, SearchResult] = {}
+        for name in names:
+            score = get_score(name)
+            stats = SearchStats(plan_name=f"multi_score:{name}")
+            scan = TableScan(
+                self.collection.vectors[live], live.astype(np.int64), score
+            )
+            hits = scan.run(query, k, stats=stats)
+            out[name] = SearchResult(hits=hits, stats=stats)
+        return out
+
+    def multi_vector_search(
+        self,
+        vectors: np.ndarray,
+        k: int = 10,
+        aggregator: Any = "mean",
+        weights: np.ndarray | None = None,
+        predicate: Predicate | None = None,
+        plan: QueryPlan | None = None,
+        **params: Any,
+    ) -> SearchResult:
+        query = MultiVectorQuery(
+            vectors, k, aggregator=aggregator, weights=weights,
+            predicate=predicate, params=params,
+        )
+        if plan is None:
+            proxy = SearchQuery(query.vectors[0], k, predicate=predicate)
+            plan = self.plan(proxy)[0]
+        return self._executor.execute_multivector(query, plan)
+
+    def __repr__(self) -> str:
+        return (
+            f"VectorDatabase(dim={self.dim}, items={len(self)},"
+            f" score={self.score.name}, indexes={sorted(self.indexes)})"
+        )

@@ -1,0 +1,56 @@
+"""Exception hierarchy for the VDBMS.
+
+Every error raised by the library derives from :class:`VdbmsError`, so
+callers can catch a single base class at an API boundary.
+"""
+
+from __future__ import annotations
+
+
+class VdbmsError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class DimensionMismatchError(VdbmsError):
+    """A vector's dimensionality does not match the collection's."""
+
+    def __init__(self, expected: int, actual: int):
+        super().__init__(f"expected dimension {expected}, got {actual}")
+        self.expected = expected
+        self.actual = actual
+
+
+class UnknownScoreError(VdbmsError):
+    """A similarity score name was not found in the score registry."""
+
+
+class UnknownIndexError(VdbmsError):
+    """An index name was not found in the index registry."""
+
+
+class IndexNotBuiltError(VdbmsError):
+    """A search was attempted on an index that has not been built."""
+
+
+class CollectionError(VdbmsError):
+    """Invalid operation on a collection (missing id, bad attribute, ...)."""
+
+
+class QueryError(VdbmsError):
+    """Malformed query specification."""
+
+
+class PredicateError(VdbmsError):
+    """Malformed predicate expression or reference to a missing attribute."""
+
+
+class PlanningError(VdbmsError):
+    """No executable plan could be produced for a query."""
+
+
+class StorageError(VdbmsError):
+    """Error in the storage layer (bad page id, closed store, ...)."""
+
+
+class SqlError(VdbmsError):
+    """Error parsing or executing the SQL-like query language."""

@@ -1,0 +1,271 @@
+"""Query execution (§2.3): run a selected plan against the storage.
+
+The executor is the only component that touches indexes, the collection,
+and the hybrid operators together; everything above it (planner,
+selectors, the :class:`VectorDatabase` facade) deals in plan objects.
+
+Batched execution exploits the §2.3 observations: the predicate bitmask
+is computed once per batch, and the brute-force path uses one pairwise
+kernel for the whole batch (:func:`~repro.core.operators.batched_table_scan`).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+import numpy as np
+
+from ..hybrid.blockfirst import blocked_index_scan, prefilter_scan
+from ..hybrid.postfilter import adaptive_postfilter_scan, postfilter_scan
+from ..hybrid.visitfirst import visit_first_scan
+from ..scores import AggregateScore, Score
+from .collection import VectorCollection
+from .errors import PlanningError
+from .operators import TableScan, batched_table_scan
+from .planner import QueryPlan
+from .query import BatchQuery, MultiVectorQuery, RangeQuery, SearchQuery
+from .types import SearchHit, SearchResult, SearchStats, topk_from_arrays
+
+
+class QueryExecutor:
+    """Executes plans over one collection and its indexes."""
+
+    def __init__(
+        self,
+        collection: VectorCollection,
+        score: Score,
+        indexes: dict[str, Any],
+        partitioned: dict[str, Any] | None = None,
+    ):
+        self.collection = collection
+        self.score = score
+        self.indexes = indexes
+        # Keep the caller's dict object: the database registers partitioned
+        # indexes after constructing the executor.
+        self.partitioned = partitioned if partitioned is not None else {}
+
+    # -------------------------------------------------------------- plumbing
+
+    def _index_for(self, plan: QueryPlan):
+        if plan.index_name is None:
+            raise PlanningError(f"plan {plan.strategy!r} needs an index")
+        try:
+            return self.indexes[plan.index_name]
+        except KeyError:
+            raise PlanningError(
+                f"plan references unknown index {plan.index_name!r}"
+            ) from None
+
+    def _live_table_scan(self) -> TableScan:
+        live = np.flatnonzero(self.collection.alive)
+        return TableScan(
+            self.collection.vectors[live], live.astype(np.int64), self.score
+        )
+
+    # ------------------------------------------------------------- execution
+
+    def execute(self, query: SearchQuery, plan: QueryPlan) -> SearchResult:
+        """Run one (c,k)-search under the given plan."""
+        stats = SearchStats(plan_name=plan.describe())
+        start = time.perf_counter()
+        hits = self._dispatch(query, plan, stats)
+        stats.elapsed_seconds = time.perf_counter() - start
+        return SearchResult(hits=hits, stats=stats)
+
+    def _dispatch(
+        self, query: SearchQuery, plan: QueryPlan, stats: SearchStats
+    ) -> list[SearchHit]:
+        params = {**plan.params, **query.params}
+        strategy = plan.strategy
+        if strategy == "brute_force":
+            mask = None if query.predicate is None else self.collection.predicate_mask(
+                query.predicate
+            )
+            if mask is None:
+                mask = self.collection.alive
+            return self._live_table_scan().run(query.vector, query.k, mask=mask, stats=stats)
+        if strategy == "index_scan":
+            index = self._index_for(plan)
+            # Deleted rows must never surface even on a plain scan.
+            mask = self.collection.alive if not self.collection.alive.all() else None
+            return index.search(query.vector, query.k, allowed=mask, stats=stats, **params)
+        if strategy == "pre_filter":
+            return prefilter_scan(
+                self.collection, query.vector, query.k, query.predicate,
+                self.score, stats=stats,
+            )
+        if strategy == "block_first":
+            return blocked_index_scan(
+                self._index_for(plan), self.collection, query.vector, query.k,
+                query.predicate, stats=stats, **params,
+            )
+        if strategy == "post_filter":
+            if plan.oversample is None:
+                result = adaptive_postfilter_scan(
+                    self._index_for(plan), self.collection, query.vector, query.k,
+                    query.predicate, stats=stats, **params,
+                )
+                return result.hits
+            return postfilter_scan(
+                self._index_for(plan), self.collection, query.vector, query.k,
+                query.predicate, oversample=plan.oversample, stats=stats, **params,
+            )
+        if strategy == "visit_first":
+            return visit_first_scan(
+                self._index_for(plan), self.collection, query.vector, query.k,
+                query.predicate, stats=stats, **params,
+            )
+        if strategy == "partition":
+            part = self.partitioned.get(plan.index_name)
+            if part is None:
+                raise PlanningError(
+                    f"unknown partitioned index {plan.index_name!r}"
+                )
+            return part.search(
+                query.vector, query.k, query.predicate, stats=stats, **params
+            )
+        raise PlanningError(f"executor cannot run strategy {strategy!r}")
+
+    # ----------------------------------------------------------- range query
+
+    def execute_range(self, query: RangeQuery, plan: QueryPlan) -> SearchResult:
+        """Range queries run on the plan's index (or exactly, brute force)."""
+        stats = SearchStats(plan_name=f"range:{plan.describe()}")
+        start = time.perf_counter()
+        mask = self.collection.predicate_mask(query.predicate) if (
+            query.predicate is not None
+        ) else (None if self.collection.alive.all() else self.collection.alive)
+        if plan.strategy in ("brute_force", "pre_filter"):
+            from ..index.flat import FlatIndex
+
+            live = np.flatnonzero(self.collection.alive)
+            flat = FlatIndex(self.score)
+            flat.build(self.collection.vectors[live], ids=live.astype(np.int64))
+            hits = flat.range_search(query.vector, query.radius, allowed=mask, stats=stats)
+        else:
+            index = self._index_for(plan)
+            hits = index.range_search(
+                query.vector, query.radius, allowed=mask, stats=stats, **plan.params
+            )
+        stats.elapsed_seconds = time.perf_counter() - start
+        return SearchResult(hits=hits, stats=stats)
+
+    # ---------------------------------------------------------------- batch
+
+    def execute_batch(self, batch: BatchQuery, plan: QueryPlan) -> list[SearchResult]:
+        """Run a batch, sharing bitmask construction (and the distance
+        kernel on brute-force plans) across all member queries."""
+        stats_template = plan.describe()
+        if plan.strategy in ("brute_force", "pre_filter"):
+            shared = SearchStats(plan_name=f"batch:{stats_template}")
+            start = time.perf_counter()
+            mask = self.collection.predicate_mask(batch.predicate)
+            live = np.flatnonzero(mask)
+            per_query = batched_table_scan(
+                batch.vectors,
+                self.collection.vectors[live],
+                live.astype(np.int64),
+                self.score,
+                batch.k,
+                stats=shared,
+            )
+            shared.elapsed_seconds = time.perf_counter() - start
+            return [SearchResult(hits=h, stats=shared) for h in per_query]
+        # Index plans: share the bitmask, run member scans individually.
+        mask_cache: np.ndarray | None = None
+        results = []
+        for query in batch.queries():
+            stats = SearchStats(plan_name=f"batch:{stats_template}")
+            start = time.perf_counter()
+            if batch.predicate is not None and plan.strategy == "block_first":
+                if mask_cache is None:
+                    mask_cache = self.collection.predicate_mask(batch.predicate)
+                index = self._index_for(plan)
+                hits = index.search(
+                    query.vector, batch.k, allowed=mask_cache, stats=stats,
+                    **plan.params,
+                )
+            else:
+                hits = self._dispatch(query, plan, stats)
+            stats.elapsed_seconds = time.perf_counter() - start
+            results.append(SearchResult(hits=hits, stats=stats))
+        return results
+
+    # ----------------------------------------------------------- multivector
+
+    def execute_multivector(
+        self, query: MultiVectorQuery, plan: QueryPlan
+    ) -> SearchResult:
+        """Aggregate-score execution of a multi-vector query (§2.1).
+
+        Brute-force plans compute the exact aggregate over all entities;
+        index plans use the standard decomposition: per-query-vector
+        index scans gather a candidate union, which is re-ranked with
+        the exact aggregate score.
+        """
+        from ..scores.aggregate import WeightedSumAggregator
+
+        stats = SearchStats(plan_name=f"multivector:{plan.describe()}")
+        start = time.perf_counter()
+        aggregator = (
+            WeightedSumAggregator(query.weights)
+            if query.weights is not None
+            else query.aggregator
+        )
+        agg = AggregateScore(self.score, aggregator)
+        mask = self.collection.predicate_mask(query.predicate)
+
+        if plan.strategy in ("brute_force", "pre_filter") or plan.index_name is None:
+            candidates = np.flatnonzero(mask)
+        else:
+            index = self._index_for(plan)
+            fetch = max(query.k * 4, 32)
+            found: set[int] = set()
+            for vector in query.vectors:
+                for hit in index.search(
+                    vector, fetch, allowed=mask, stats=stats, **plan.params
+                ):
+                    found.add(hit.id)
+            candidates = np.fromiter(found, dtype=np.int64, count=len(found))
+        if candidates.size == 0:
+            stats.elapsed_seconds = time.perf_counter() - start
+            return SearchResult(hits=[], stats=stats)
+        block = self.score.pairwise(
+            query.vectors, self.collection.vectors[candidates]
+        )
+        stats.distance_computations += block.size
+        distances = self._aggregate_columns(agg, query, block)
+        hits = topk_from_arrays(candidates, distances, query.k)
+        stats.candidates_examined += candidates.size
+        stats.elapsed_seconds = time.perf_counter() - start
+        return SearchResult(hits=hits, stats=stats)
+
+    @staticmethod
+    def _aggregate_columns(agg: AggregateScore, query, block: np.ndarray) -> np.ndarray:
+        """Aggregate a (num_query_vectors, num_entities) distance block.
+
+        Single-vector entities make the standard aggregators pure axis-0
+        reductions, so vectorize those; arbitrary callables fall back to
+        the generic per-entity path.
+        """
+        from ..scores.aggregate import (
+            WeightedSumAggregator,
+            max_aggregator,
+            mean_aggregator,
+            min_aggregator,
+            sum_of_min_aggregator,
+        )
+
+        reducer = agg.aggregator
+        if isinstance(reducer, WeightedSumAggregator):
+            return reducer.weights @ block
+        vectorized = {
+            mean_aggregator: lambda b: b.mean(axis=0),
+            min_aggregator: lambda b: b.min(axis=0),
+            max_aggregator: lambda b: b.max(axis=0),
+            sum_of_min_aggregator: lambda b: b.sum(axis=0),
+        }.get(reducer)
+        if vectorized is not None:
+            return vectorized(block)
+        return np.array([reducer(block[:, [j]]) for j in range(block.shape[1])])

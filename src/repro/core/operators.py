@@ -1,0 +1,120 @@
+"""Basic physical operators (§2.1 "Basic Operators", Figure 1).
+
+Figure 1's query-executor boxes: similarity projection, sort/top-k,
+table scan, index scan, and hybrid scan.  These are deliberately plain
+functions/classes over numpy arrays — the executor composes them into
+plans, and the cost model charges them per the counters they report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from ..scores import Score
+from .types import SearchHit, SearchStats, topk_from_arrays
+
+
+def similarity_projection(
+    query: np.ndarray,
+    vectors: np.ndarray,
+    score: Score,
+    stats: SearchStats | None = None,
+) -> np.ndarray:
+    """Project each vector onto its distance to the query (§2.1(4))."""
+    distances = score.distances(query, vectors)
+    if stats is not None:
+        stats.distance_computations += vectors.shape[0]
+    return distances
+
+
+def top_k(
+    ids: np.ndarray, distances: np.ndarray, k: int
+) -> list[SearchHit]:
+    """Sort/Top-K operator over a projected candidate stream."""
+    return topk_from_arrays(ids, distances, k)
+
+
+@dataclass
+class TableScan:
+    """Full scan + similarity projection + top-k (the brute-force plan).
+
+    ``mask`` restricts the scan (pre-filtering); this is the operator a
+    relational system uses when no vector index applies (§2.4).
+    """
+
+    vectors: np.ndarray
+    ids: np.ndarray
+    score: Score
+
+    def run(
+        self,
+        query: np.ndarray,
+        k: int,
+        mask: np.ndarray | None = None,
+        stats: SearchStats | None = None,
+    ) -> list[SearchHit]:
+        stats = stats if stats is not None else SearchStats()
+        if mask is not None:
+            keep = mask[self.ids]
+            stats.predicate_evaluations += self.ids.shape[0]
+            stats.predicate_rejections += int(np.count_nonzero(~keep))
+            vectors = self.vectors[keep]
+            ids = self.ids[keep]
+        else:
+            vectors = self.vectors
+            ids = self.ids
+        if vectors.shape[0] == 0:
+            return []
+        distances = similarity_projection(query, vectors, self.score, stats)
+        stats.candidates_examined += vectors.shape[0]
+        return top_k(ids, distances, k)
+
+
+@dataclass
+class IndexScan:
+    """Vector index scan: delegates to a built index's search."""
+
+    index: Any  # VectorIndex; typed loosely to avoid an import cycle
+
+    def run(
+        self,
+        query: np.ndarray,
+        k: int,
+        mask: np.ndarray | None = None,
+        stats: SearchStats | None = None,
+        **params: Any,
+    ) -> list[SearchHit]:
+        return self.index.search(query, k, allowed=mask, stats=stats, **params)
+
+
+def batched_table_scan(
+    queries: np.ndarray,
+    vectors: np.ndarray,
+    ids: np.ndarray,
+    score: Score,
+    k: int,
+    mask: np.ndarray | None = None,
+    stats: SearchStats | None = None,
+) -> list[list[SearchHit]]:
+    """Answer a whole query batch with one pairwise-distance kernel.
+
+    This is the §2.3 batched-execution idea in its simplest form: the
+    (b, n) distance matrix amortizes memory traffic over the batch,
+    exactly how GPU/SIMD batch kernels win [50, 79].
+    """
+    stats = stats if stats is not None else SearchStats()
+    if mask is not None:
+        keep = mask[ids]
+        stats.predicate_evaluations += ids.shape[0] * queries.shape[0]
+        stats.predicate_rejections += int(np.count_nonzero(~keep)) * queries.shape[0]
+        vectors = vectors[keep]
+        ids = ids[keep]
+    if vectors.shape[0] == 0:
+        return [[] for _ in range(queries.shape[0])]
+    dmat = score.pairwise(queries, vectors)
+    stats.distance_computations += dmat.size
+    stats.candidates_examined += dmat.size
+    return [top_k(ids, row, k) for row in dmat]

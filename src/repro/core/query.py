@@ -1,0 +1,136 @@
+"""Vector query types (§2.1): (c,k)-search, range, hybrid, batched,
+multi-vector.
+
+The tutorial's taxonomy, made concrete:
+
+* :class:`SearchQuery` — the (c, k)-search query.  ``c = 0`` demands the
+  exact k-NN; ``c > 0`` tolerates results whose distance is within a
+  factor ``(1 + c)`` of the true k-th distance (the ANN relaxation).
+  An optional predicate makes it a hybrid query.
+* :class:`RangeQuery` — all vectors within a similarity threshold.
+* :class:`BatchQuery` — many searches issued at once, executed with
+  shared work (§2.3).
+* :class:`MultiVectorQuery` — several query vectors combined through an
+  aggregate score (§2.1 query variants).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..hybrid.predicates import Predicate
+from .errors import QueryError
+from .types import as_matrix, as_vector
+
+
+@dataclass
+class SearchQuery:
+    """A (c, k)-search query, optionally predicated (hybrid)."""
+
+    vector: np.ndarray
+    k: int
+    c: float = 0.0
+    predicate: Predicate | None = None
+    #: index-specific search knobs forwarded to the chosen index scan.
+    params: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self):
+        self.vector = as_vector(self.vector)
+        if self.k <= 0:
+            raise QueryError(f"k must be positive, got {self.k}")
+        if self.c < 0:
+            raise QueryError(f"c must be >= 0, got {self.c}")
+
+    @property
+    def is_hybrid(self) -> bool:
+        return self.predicate is not None
+
+    @property
+    def is_exact(self) -> bool:
+        """c == 0: the k-NN query (vs the c > 0 ANN relaxation)."""
+        return self.c == 0.0
+
+
+@dataclass
+class RangeQuery:
+    """All vectors with distance <= radius (optionally predicated)."""
+
+    vector: np.ndarray
+    radius: float
+    predicate: Predicate | None = None
+    params: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self):
+        self.vector = as_vector(self.vector)
+        if self.radius < 0:
+            raise QueryError(f"radius must be >= 0, got {self.radius}")
+
+
+@dataclass
+class BatchQuery:
+    """A batch of (c, k)-searches sharing k / predicate / params."""
+
+    vectors: np.ndarray
+    k: int
+    c: float = 0.0
+    predicate: Predicate | None = None
+    params: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self):
+        self.vectors = as_matrix(self.vectors)
+        if self.k <= 0:
+            raise QueryError(f"k must be positive, got {self.k}")
+
+    def __len__(self) -> int:
+        return self.vectors.shape[0]
+
+    def queries(self) -> list[SearchQuery]:
+        """Explode into independent single queries (the unshared plan)."""
+        return [
+            SearchQuery(v, self.k, c=self.c, predicate=self.predicate,
+                        params=dict(self.params))
+            for v in self.vectors
+        ]
+
+
+@dataclass
+class MultiVectorQuery:
+    """Several query vectors aggregated into one ranking (§2.1).
+
+    ``aggregator`` names an entry of
+    :data:`repro.scores.aggregate.AGGREGATORS` or is a callable block
+    reducer; ``weights`` selects the weighted-sum aggregator.
+    """
+
+    vectors: np.ndarray
+    k: int
+    aggregator: Any = "mean"
+    weights: np.ndarray | None = None
+    predicate: Predicate | None = None
+    params: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self):
+        self.vectors = as_matrix(self.vectors)
+        if self.vectors.shape[0] == 0:
+            raise QueryError("multi-vector query needs at least one vector")
+        if self.k <= 0:
+            raise QueryError(f"k must be positive, got {self.k}")
+        if self.weights is not None:
+            self.weights = np.asarray(self.weights, dtype=np.float64)
+            if self.weights.shape[0] != self.vectors.shape[0]:
+                raise QueryError("one weight per query vector is required")
+
+
+def satisfies_ck(
+    result_distances: list[float], true_kth_distance: float, c: float
+) -> bool:
+    """Check the (c, k)-guarantee: no returned distance exceeds
+    ``(1 + c)`` times the true k-th nearest distance."""
+    if not result_distances:
+        return False
+    limit = (1.0 + c) * true_kth_distance
+    # Tolerate fp rounding at the boundary.
+    return max(result_distances) <= limit * (1.0 + 1e-9) + 1e-12

@@ -1,0 +1,222 @@
+"""A small SQL extension for vector search (§2.1 Query Interfaces).
+
+Extended systems (pgvector, PASE, AnalyticDB-V) expose vector search by
+extending SQL with a distance operator used in ORDER BY.  We implement
+the same surface over :class:`~repro.core.database.VectorDatabase`:
+
+    SELECT * FROM items
+    WHERE price < 20 AND (category = 'shoes' OR category = 'boots')
+    ORDER BY DISTANCE(vec, [0.1, 0.2, 0.3])
+    LIMIT 10
+
+Supported grammar (case-insensitive keywords)::
+
+    query   := SELECT '*' FROM name [WHERE pred] ORDER BY
+               DISTANCE '(' name ',' vector ')' LIMIT int
+    pred    := term (OR term)*
+    term    := factor (AND factor)*
+    factor  := NOT factor | '(' pred ')' | comparison
+    comparison := name op literal | name BETWEEN lit AND lit
+                | name IN '(' lit (',' lit)* ')'
+    op      := '=' | '==' | '!=' | '<>' | '<' | '<=' | '>' | '>='
+    vector  := '[' number (',' number)* ']'
+    literal := number | 'single-quoted string'
+
+Parsing a statement yields a :class:`ParsedQuery`; :func:`execute_sql`
+runs it through the database's regular planner/optimizer — exactly the
+"underlying relational optimizer performs plan enumeration" design of
+§2.3(2).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..hybrid.predicates import Between, Comparison, In, Predicate
+from .errors import SqlError
+
+_TOKEN_RE = re.compile(
+    r"""
+    \s*(
+        '(?:[^']|'')*'            # single-quoted string
+      | [-+]?\d+\.\d*(?:[eE][-+]?\d+)? | [-+]?\.?\d+(?:[eE][-+]?\d+)?  # number
+      | <> | <= | >= | != | == | [=<>(),*\[\]]
+      | [A-Za-z_][A-Za-z_0-9]*
+    )
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {
+    "select", "from", "where", "order", "by", "limit", "and", "or", "not",
+    "between", "in", "distance",
+}
+
+
+def tokenize(text: str) -> list[str]:
+    tokens: list[str] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            if text[pos:].strip() == "":
+                break
+            raise SqlError(f"cannot tokenize near: {text[pos:pos + 20]!r}")
+        tokens.append(match.group(1))
+        pos = match.end()
+    return tokens
+
+
+@dataclass
+class ParsedQuery:
+    table: str
+    predicate: Predicate | None
+    distance_column: str
+    vector: np.ndarray
+    k: int
+
+
+class _Parser:
+    def __init__(self, tokens: list[str]):
+        self.tokens = tokens
+        self.pos = 0
+
+    def _peek(self) -> str | None:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def _next(self) -> str:
+        token = self._peek()
+        if token is None:
+            raise SqlError("unexpected end of statement")
+        self.pos += 1
+        return token
+
+    def _expect(self, *expected: str) -> str:
+        token = self._next()
+        if token.lower() not in expected:
+            raise SqlError(f"expected {'/'.join(expected)}, got {token!r}")
+        return token
+
+    def _is_keyword(self, token: str | None, word: str) -> bool:
+        return token is not None and token.lower() == word
+
+    # ----------------------------------------------------------- literals
+
+    def _literal(self):
+        token = self._next()
+        if token.startswith("'"):
+            return token[1:-1].replace("''", "'")
+        try:
+            return int(token)
+        except ValueError:
+            pass
+        try:
+            return float(token)
+        except ValueError:
+            raise SqlError(f"expected a literal, got {token!r}") from None
+
+    def _vector(self) -> np.ndarray:
+        self._expect("[")
+        values = [float(self._next())]
+        while self._is_keyword(self._peek(), ","):
+            self._next()
+            values.append(float(self._next()))
+        self._expect("]")
+        return np.asarray(values, dtype=np.float32)
+
+    # --------------------------------------------------------- predicates
+
+    def _comparison(self) -> Predicate:
+        name = self._next()
+        if name.lower() in _KEYWORDS:
+            raise SqlError(f"expected an attribute name, got keyword {name!r}")
+        op_token = self._next().lower()
+        if op_token == "between":
+            low = self._literal()
+            self._expect("and")
+            high = self._literal()
+            return Between(name, low, high)
+        if op_token == "in":
+            self._expect("(")
+            values = [self._literal()]
+            while self._is_keyword(self._peek(), ","):
+                self._next()
+                values.append(self._literal())
+            self._expect(")")
+            return In(name, values)
+        op_map = {"=": "==", "==": "==", "!=": "!=", "<>": "!=",
+                  "<": "<", "<=": "<=", ">": ">", ">=": ">="}
+        if op_token not in op_map:
+            raise SqlError(f"unknown comparison operator {op_token!r}")
+        return Comparison(name, op_map[op_token], self._literal())
+
+    def _factor(self) -> Predicate:
+        token = self._peek()
+        if self._is_keyword(token, "not"):
+            self._next()
+            return ~self._factor()
+        if token == "(":
+            self._next()
+            inner = self._pred()
+            self._expect(")")
+            return inner
+        return self._comparison()
+
+    def _term(self) -> Predicate:
+        left = self._factor()
+        while self._is_keyword(self._peek(), "and"):
+            self._next()
+            left = left & self._factor()
+        return left
+
+    def _pred(self) -> Predicate:
+        left = self._term()
+        while self._is_keyword(self._peek(), "or"):
+            self._next()
+            left = left | self._term()
+        return left
+
+    # ------------------------------------------------------------- query
+
+    def parse(self) -> ParsedQuery:
+        self._expect("select")
+        self._expect("*")
+        self._expect("from")
+        table = self._next()
+        predicate = None
+        if self._is_keyword(self._peek(), "where"):
+            self._next()
+            predicate = self._pred()
+        self._expect("order")
+        self._expect("by")
+        self._expect("distance")
+        self._expect("(")
+        column = self._next()
+        self._expect(",")
+        vector = self._vector()
+        self._expect(")")
+        self._expect("limit")
+        k = int(self._next())
+        if self._peek() is not None:
+            raise SqlError(f"unexpected trailing token {self._peek()!r}")
+        return ParsedQuery(table, predicate, column, vector, k)
+
+
+def parse_sql(statement: str) -> ParsedQuery:
+    """Parse one SELECT ... ORDER BY DISTANCE(...) LIMIT statement."""
+    tokens = tokenize(statement)
+    if not tokens:
+        raise SqlError("empty statement")
+    return _Parser(tokens).parse()
+
+
+def execute_sql(database, statement: str):
+    """Parse and run a statement on a VectorDatabase; returns its
+    :class:`~repro.core.types.SearchResult`."""
+    parsed = parse_sql(statement)
+    return database.search(
+        vector=parsed.vector, k=parsed.k, predicate=parsed.predicate
+    )

@@ -1,0 +1,150 @@
+"""Core value types shared across the VDBMS.
+
+The types here are deliberately small, immutable where practical, and free
+of behaviour beyond validation and convenience accessors, so that every
+layer (indexes, operators, executor, distributed nodes) can exchange them
+without import cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Sequence
+
+import numpy as np
+
+from .errors import DimensionMismatchError
+
+# Dtype used for all stored vectors.  float32 matches what real VDBMSs
+# (Faiss, Milvus, pgvector) store and halves memory vs float64.
+VECTOR_DTYPE = np.float32
+
+
+def as_matrix(vectors: Any, dim: int | None = None) -> np.ndarray:
+    """Coerce input into a contiguous (n, d) float32 matrix.
+
+    Accepts a single vector (returned as shape (1, d)), a sequence of
+    vectors, or an ndarray.  Raises :class:`DimensionMismatchError` when
+    ``dim`` is given and does not match.
+    """
+    arr = np.asarray(vectors, dtype=VECTOR_DTYPE)
+    if arr.ndim == 1:
+        arr = arr.reshape(1, -1)
+    if arr.ndim != 2:
+        raise ValueError(f"expected 1-D or 2-D input, got shape {arr.shape}")
+    if dim is not None and arr.shape[1] != dim:
+        raise DimensionMismatchError(dim, arr.shape[1])
+    return np.ascontiguousarray(arr)
+
+
+def as_vector(vector: Any, dim: int | None = None) -> np.ndarray:
+    """Coerce input into a contiguous (d,) float32 vector."""
+    arr = np.asarray(vector, dtype=VECTOR_DTYPE)
+    if arr.ndim == 2 and arr.shape[0] == 1:
+        arr = arr[0]
+    if arr.ndim != 1:
+        raise ValueError(f"expected a single vector, got shape {arr.shape}")
+    if dim is not None and arr.shape[0] != dim:
+        raise DimensionMismatchError(dim, arr.shape[0])
+    return np.ascontiguousarray(arr)
+
+
+@dataclass(frozen=True, slots=True)
+class SearchHit:
+    """A single search result: an item id and its distance to the query.
+
+    ``distance`` is always "smaller is better"; similarity scores such as
+    inner product are negated internally so that every layer sorts the
+    same way (see :mod:`repro.scores.basic`).
+    """
+
+    id: int
+    distance: float
+    attributes: dict[str, Any] | None = None
+
+    def __lt__(self, other: "SearchHit") -> bool:
+        return (self.distance, self.id) < (other.distance, other.id)
+
+
+@dataclass(slots=True)
+class SearchResult:
+    """An ordered result set for one query, plus execution statistics."""
+
+    hits: list[SearchHit]
+    stats: "SearchStats" = field(default_factory=lambda: SearchStats())
+
+    @property
+    def ids(self) -> list[int]:
+        return [h.id for h in self.hits]
+
+    @property
+    def distances(self) -> list[float]:
+        return [h.distance for h in self.hits]
+
+    def __len__(self) -> int:
+        return len(self.hits)
+
+    def __iter__(self) -> Iterator[SearchHit]:
+        return iter(self.hits)
+
+    def __getitem__(self, i: int) -> SearchHit:
+        return self.hits[i]
+
+    def __repr__(self) -> str:
+        preview = ", ".join(
+            f"{h.id}@{h.distance:.3g}" for h in self.hits[:5]
+        )
+        more = f", ... +{len(self.hits) - 5}" if len(self.hits) > 5 else ""
+        plan = f" plan={self.stats.plan_name!r}" if self.stats.plan_name else ""
+        return f"SearchResult([{preview}{more}]{plan})"
+
+
+@dataclass(slots=True)
+class SearchStats:
+    """Counters accumulated while executing one query.
+
+    These are the quantities the tutorial's cost models reason about:
+    the number of similarity computations, index nodes visited, disk page
+    reads, and candidates filtered by predicates.
+    """
+
+    distance_computations: int = 0
+    nodes_visited: int = 0
+    page_reads: int = 0
+    candidates_examined: int = 0
+    predicate_evaluations: int = 0
+    predicate_rejections: int = 0
+    plan_name: str = ""
+    elapsed_seconds: float = 0.0
+
+    def merge(self, other: "SearchStats") -> None:
+        """Accumulate another stats object into this one (for batches)."""
+        self.distance_computations += other.distance_computations
+        self.nodes_visited += other.nodes_visited
+        self.page_reads += other.page_reads
+        self.candidates_examined += other.candidates_examined
+        self.predicate_evaluations += other.predicate_evaluations
+        self.predicate_rejections += other.predicate_rejections
+        self.elapsed_seconds += other.elapsed_seconds
+
+
+def topk_from_arrays(
+    ids: Sequence[int] | np.ndarray,
+    distances: np.ndarray,
+    k: int,
+) -> list[SearchHit]:
+    """Build the k smallest-distance hits from parallel id/distance arrays.
+
+    Uses argpartition for O(n + k log k) instead of a full sort.
+    """
+    distances = np.asarray(distances)
+    n = distances.shape[0]
+    if n == 0 or k <= 0:
+        return []
+    ids_arr = np.asarray(ids)
+    if n > k:
+        part = np.argpartition(distances, k - 1)[:k]
+    else:
+        part = np.arange(n)
+    order = part[np.argsort(distances[part], kind="stable")]
+    return [SearchHit(int(ids_arr[i]), float(distances[i])) for i in order]

@@ -1,0 +1,15 @@
+"""Distributed search: sharding, replicas, scatter-gather (§2.3)."""
+
+from .cluster import DistributedQueryStats, DistributedSearchCluster
+from .node import NodeLatencyModel, SearchNode
+from .shard import IndexGuidedSharding, ShardingStrategy, UniformSharding
+
+__all__ = [
+    "DistributedQueryStats",
+    "DistributedSearchCluster",
+    "IndexGuidedSharding",
+    "NodeLatencyModel",
+    "SearchNode",
+    "ShardingStrategy",
+    "UniformSharding",
+]

@@ -1,0 +1,279 @@
+"""Scatter-gather search over sharded, replicated nodes (§2.3).
+
+:class:`DistributedSearchCluster` is the coordinator: it shards the
+collection per a :class:`~repro.distributed.shard.ShardingStrategy`,
+keeps ``replication_factor`` replicas of each shard, scatters a query
+to one live replica of each routed shard, and gathers/merges the
+per-shard top-k.
+
+The simulated wall clock follows the scatter-gather shape: contacted
+replicas work in parallel, so per-query latency is the *maximum* node
+latency plus a merge term — which is how adding shards buys throughput
+and tail latency shifts.  Node failures are injectable to exercise the
+replica failover path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.errors import VdbmsError
+from ..core.types import SearchHit, SearchResult, SearchStats
+from .node import NodeLatencyModel, SearchNode
+from .shard import ShardingStrategy, UniformSharding
+
+
+@dataclass
+class DistributedQueryStats:
+    """Coordinator-side accounting for one query."""
+
+    shards_contacted: int = 0
+    replicas_tried: int = 0
+    failovers: int = 0
+    simulated_latency_seconds: float = 0.0
+    total_distance_computations: int = 0
+
+
+class DistributedSearchCluster:
+    """Shards + replicas + scatter-gather coordinator.
+
+    Parameters
+    ----------
+    sharding:
+        Placement/routing strategy (uniform scatters everywhere).
+    replication_factor:
+        Replicas per shard (>= 1).
+    index_type / index_kwargs:
+        Local index each node builds over its shard.
+    """
+
+    def __init__(
+        self,
+        sharding: ShardingStrategy | None = None,
+        num_shards: int = 4,
+        replication_factor: int = 1,
+        index_type: str = "hnsw",
+        latency: NodeLatencyModel | None = None,
+        **index_kwargs,
+    ):
+        self.sharding = sharding or UniformSharding(num_shards)
+        self.num_shards = self.sharding.num_shards
+        if replication_factor < 1:
+            raise VdbmsError("replication_factor must be >= 1")
+        self.replication_factor = replication_factor
+        self.latency = latency or NodeLatencyModel()
+        self.nodes: list[list[SearchNode]] = [
+            [
+                SearchNode(
+                    f"shard{s}-replica{r}", index_type, self.latency, **index_kwargs
+                )
+                for r in range(replication_factor)
+            ]
+            for s in range(self.num_shards)
+        ]
+        self._rr = 0
+        self.loaded = False
+        self._index_type = index_type
+        self._index_kwargs = index_kwargs
+        # Retained for rebalancing (scale-out) and async replication.
+        self._vectors: np.ndarray | None = None
+        self._ids: np.ndarray | None = None
+        self._assignment: np.ndarray | None = None
+        # Per (shard, replica): queued-but-unapplied inserts (async
+        # replica apply, §2.3 out-of-place updates).
+        self._pending: dict[tuple[int, int], list[tuple[int, np.ndarray]]] = {}
+        self.vectors_moved = 0
+
+    # ------------------------------------------------------------------ load
+
+    def load(self, vectors: np.ndarray, ids: np.ndarray | None = None) -> None:
+        """Shard the collection and build every replica's index."""
+        vectors = np.asarray(vectors, dtype=np.float32)
+        if ids is None:
+            ids = np.arange(vectors.shape[0], dtype=np.int64)
+        assignment = self.sharding.assign(vectors)
+        for shard in range(self.num_shards):
+            member = assignment == shard
+            for replica in self.nodes[shard]:
+                replica.load(vectors[member], ids[member])
+        self._vectors = vectors
+        self._ids = np.asarray(ids, dtype=np.int64)
+        self._assignment = np.asarray(assignment, dtype=np.int64)
+        self._pending = {}
+        self.loaded = True
+
+    def shard_sizes(self) -> list[int]:
+        return [len(replicas[0]) for replicas in self.nodes]
+
+    # --------------------------------------------------------------- writes
+
+    def insert(self, vector: np.ndarray, item_id: int) -> int:
+        """Insert with asynchronous replica apply (§2.3).
+
+        The owning shard's *primary* replica applies the write
+        immediately; the other replicas only queue it, so their reads
+        are stale until :meth:`sync_replicas` drains the queues — the
+        eventual-consistency tradeoff [10, 13, 84] make.
+
+        Returns the owning shard id.
+        """
+        if not self.loaded:
+            raise VdbmsError("cluster has no data loaded")
+        vector = np.asarray(vector, dtype=np.float32).reshape(1, -1)
+        if isinstance(self.sharding, UniformSharding):
+            # Round-robin continues from the loaded data's position count.
+            shard = int(self._vectors.shape[0] % self.num_shards)
+        else:
+            shard = int(self.sharding.assign(vector)[0])
+        primary = self.nodes[shard][0]
+        if primary.index is not None and getattr(
+            primary.index, "supports_updates", False
+        ):
+            primary.index.add(vector, np.asarray([item_id], dtype=np.int64))
+        else:
+            # Rebuild the primary over its shard + the new row.
+            member = self._assignment == shard
+            merged = np.vstack([self._vectors[member], vector])
+            merged_ids = np.concatenate([
+                self._ids[member], np.asarray([item_id], dtype=np.int64)
+            ])
+            primary.load(merged, merged_ids)
+        for r in range(1, self.replication_factor):
+            self._pending.setdefault((shard, r), []).append((item_id, vector[0]))
+        # Track membership for future rebalancing.
+        self._vectors = np.vstack([self._vectors, vector])
+        self._ids = np.append(self._ids, item_id)
+        self._assignment = np.append(self._assignment, shard)
+        return shard
+
+    def pending_replication(self) -> int:
+        """Writes applied on primaries but not yet on all replicas."""
+        return sum(len(queue) for queue in self._pending.values())
+
+    def sync_replicas(self) -> int:
+        """Drain the async-replication queues; returns writes applied."""
+        applied = 0
+        for (shard, r), queue in list(self._pending.items()):
+            node = self.nodes[shard][r]
+            updatable = node.index is not None and getattr(
+                node.index, "supports_updates", False
+            )
+            if updatable:
+                for item_id, vector in queue:
+                    node.index.add(
+                        vector[None, :], np.asarray([item_id], dtype=np.int64)
+                    )
+            else:
+                # Non-updatable local index: reload the whole shard once.
+                member = self._assignment == shard
+                node.load(self._vectors[member], self._ids[member])
+            applied += len(queue)
+            del self._pending[(shard, r)]
+        return applied
+
+    # ------------------------------------------------------------- elasticity
+
+    def scale_out(self, new_num_shards: int) -> int:
+        """Re-shard onto more nodes (disaggregated/cloud elasticity, §2.3).
+
+        Uniform sharding only (index-guided placement would retrain its
+        clustering instead).  Returns the number of vectors that moved.
+        """
+        if not isinstance(self.sharding, UniformSharding):
+            raise VdbmsError("scale_out currently supports UniformSharding")
+        if new_num_shards <= self.num_shards:
+            raise VdbmsError("scale_out requires more shards than before")
+        if not self.loaded:
+            raise VdbmsError("cluster has no data loaded")
+        if self._pending:
+            self.sync_replicas()
+        old_assignment = self._assignment
+        self.sharding = UniformSharding(new_num_shards)
+        self.num_shards = new_num_shards
+        new_assignment = np.arange(self._vectors.shape[0]) % new_num_shards
+        moved = int(np.count_nonzero(new_assignment != old_assignment))
+        self.vectors_moved += moved
+        self.nodes = [
+            [
+                SearchNode(
+                    f"shard{s}-replica{r}", self._index_type, self.latency,
+                    **self._index_kwargs,
+                )
+                for r in range(self.replication_factor)
+            ]
+            for s in range(new_num_shards)
+        ]
+        for shard in range(new_num_shards):
+            member = new_assignment == shard
+            for replica in self.nodes[shard]:
+                replica.load(self._vectors[member], self._ids[member])
+        self._assignment = new_assignment
+        return moved
+
+    # --------------------------------------------------------------- failure
+
+    def fail_node(self, shard: int, replica: int = 0) -> None:
+        self.nodes[shard][replica].is_up = False
+
+    def recover_node(self, shard: int, replica: int = 0) -> None:
+        self.nodes[shard][replica].is_up = True
+
+    # ---------------------------------------------------------------- search
+
+    def _pick_replica(self, shard: int) -> list[SearchNode]:
+        """Replicas of a shard in round-robin-rotated order."""
+        replicas = self.nodes[shard]
+        start = self._rr % len(replicas)
+        return replicas[start:] + replicas[:start]
+
+    def search(
+        self,
+        query: np.ndarray,
+        k: int,
+        route_nprobe: int = 4,
+        **params,
+    ) -> tuple[SearchResult, DistributedQueryStats]:
+        """Scatter to routed shards, gather and merge the top-k."""
+        if not self.loaded:
+            raise VdbmsError("cluster has no data loaded")
+        self._rr += 1
+        dstats = DistributedQueryStats()
+        shard_latencies: list[float] = []
+        merged: list[SearchHit] = []
+        gather_stats = SearchStats(plan_name="scatter_gather")
+        for shard in self.sharding.route(np.asarray(query), route_nprobe):
+            dstats.shards_contacted += 1
+            hits: list[SearchHit] | None = None
+            for node in self._pick_replica(shard):
+                dstats.replicas_tried += 1
+                try:
+                    hits, latency, stats = node.search(query, k, **params)
+                except ConnectionError:
+                    dstats.failovers += 1
+                    continue
+                shard_latencies.append(latency)
+                gather_stats.merge(stats)
+                dstats.total_distance_computations += stats.distance_computations
+                break
+            if hits is None:
+                raise VdbmsError(f"all replicas of shard {shard} are down")
+            merged.extend(hits)
+        merged.sort()
+        merged = merged[:k]
+        # Parallel fan-out: latency = slowest contacted node + merge cost.
+        merge_seconds = 1e-6 * max(1, len(merged))
+        dstats.simulated_latency_seconds = (
+            (max(shard_latencies) if shard_latencies else 0.0) + merge_seconds
+        )
+        gather_stats.elapsed_seconds = dstats.simulated_latency_seconds
+        return SearchResult(hits=merged, stats=gather_stats), dstats
+
+    def throughput_estimate(self, per_query: DistributedQueryStats) -> float:
+        """Aggregate QPS bound: each query busies only contacted shards,
+        so the cluster sustains ~num_shards/contacted parallel queries."""
+        if per_query.simulated_latency_seconds <= 0:
+            return float("inf")
+        concurrency = self.num_shards / max(1, per_query.shards_contacted)
+        return concurrency / per_query.simulated_latency_seconds

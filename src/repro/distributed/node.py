@@ -1,0 +1,73 @@
+"""A simulated search node: one shard's data, index, and latency model.
+
+Real distributed VDBMSs pay a per-request network cost plus the node's
+local search cost; the simulated clock models both so scatter-gather
+wall-clock estimates behave like the real thing (queries fan out in
+parallel, so elapsed time is the *max* over contacted nodes — the
+cluster computes that).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..core.types import SearchHit, SearchStats
+from ..index.registry import make_index
+
+
+@dataclass
+class NodeLatencyModel:
+    """Synthetic per-request latency: network RTT + per-distance compute."""
+
+    network_seconds: float = 0.0005
+    per_distance_seconds: float = 1e-7
+
+    def request_latency(self, stats: SearchStats) -> float:
+        return (
+            self.network_seconds
+            + stats.distance_computations * self.per_distance_seconds
+        )
+
+
+class SearchNode:
+    """One shard replica: a subset of vectors with its own index."""
+
+    def __init__(
+        self,
+        node_id: str,
+        index_type: str = "hnsw",
+        latency: NodeLatencyModel | None = None,
+        **index_kwargs: Any,
+    ):
+        self.node_id = node_id
+        self.index_type = index_type
+        self.index_kwargs = index_kwargs
+        self.latency = latency or NodeLatencyModel()
+        self.index = None
+        self.queries_served = 0
+        self.is_up = True
+
+    def load(self, vectors: np.ndarray, ids: np.ndarray) -> None:
+        """Build this node's local index over its shard of the data."""
+        self.index = make_index(self.index_type, **self.index_kwargs)
+        if vectors.shape[0]:
+            self.index.build(vectors, ids=ids)
+
+    def __len__(self) -> int:
+        return 0 if self.index is None else len(self.index)
+
+    def search(
+        self, query: np.ndarray, k: int, **params: Any
+    ) -> tuple[list[SearchHit], float, SearchStats]:
+        """Local search; returns (hits, simulated latency, stats)."""
+        if not self.is_up:
+            raise ConnectionError(f"node {self.node_id} is down")
+        self.queries_served += 1
+        stats = SearchStats()
+        if self.index is None or len(self.index) == 0:
+            return [], self.latency.network_seconds, stats
+        hits = self.index.search(query, k, stats=stats, **params)
+        return hits, self.latency.request_latency(stats), stats

@@ -1,0 +1,26 @@
+"""Embedding integration (§2.1 "Data Manipulation").
+
+Under *indirect manipulation* the VDBMS owns the embedding model: users
+insert entities (text, records) and the system derives the vectors.
+Since no neural model ships offline, we provide deterministic
+embedders whose outputs behave like embeddings for testing and
+examples: nearby inputs map to nearby vectors.
+"""
+
+from .embedders import (
+    EmbeddingFunction,
+    HashingTextEmbedder,
+    NumericFeatureEmbedder,
+    available_embedders,
+    get_embedder,
+    register_embedder,
+)
+
+__all__ = [
+    "EmbeddingFunction",
+    "HashingTextEmbedder",
+    "NumericFeatureEmbedder",
+    "available_embedders",
+    "get_embedder",
+    "register_embedder",
+]

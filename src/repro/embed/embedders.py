@@ -1,0 +1,109 @@
+"""Deterministic embedding functions for indirect data manipulation.
+
+These stand in for the embedding models a production VDBMS would host
+(§2.1): they are deterministic, dependency-free, and similarity-
+preserving in the weak sense retrieval tests need — inputs sharing
+n-grams / nearby feature values land near each other.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Callable, Protocol, Sequence
+
+import numpy as np
+
+from ..core.types import VECTOR_DTYPE
+from ..scores.basic import normalize_rows
+
+
+class EmbeddingFunction(Protocol):
+    """Anything mapping an entity to a fixed-dimension vector."""
+
+    dim: int
+
+    def __call__(self, entity) -> np.ndarray: ...
+
+
+class HashingTextEmbedder:
+    """Character n-gram hashing embedder (a TF feature hasher).
+
+    Each n-gram is hashed to a dimension and a sign; the vector is the
+    normalized signed n-gram count histogram.  Texts sharing vocabulary
+    overlap in many dimensions, so cosine similarity tracks lexical
+    similarity — adequate for retrieval examples without a model.
+    """
+
+    def __init__(self, dim: int = 64, ngram: int = 3):
+        if dim <= 0 or ngram <= 0:
+            raise ValueError("dim and ngram must be positive")
+        self.dim = dim
+        self.ngram = ngram
+
+    def _hash(self, gram: str) -> tuple[int, float]:
+        digest = hashlib.blake2b(gram.encode("utf-8"), digest_size=8).digest()
+        value = int.from_bytes(digest, "little")
+        return value % self.dim, 1.0 if (value >> 32) & 1 else -1.0
+
+    def __call__(self, entity: str) -> np.ndarray:
+        text = f" {str(entity).lower()} "
+        out = np.zeros(self.dim, dtype=np.float64)
+        grams = max(1, len(text) - self.ngram + 1)
+        for i in range(grams):
+            slot, sign = self._hash(text[i : i + self.ngram])
+            out[slot] += sign
+        return normalize_rows(out[None, :])[0]
+
+    def batch(self, entities: Sequence[str]) -> np.ndarray:
+        return np.vstack([self(e) for e in entities]).astype(VECTOR_DTYPE)
+
+
+class NumericFeatureEmbedder:
+    """Random-projection embedder for numeric feature records.
+
+    Projects a fixed-length numeric feature list through a seeded
+    Gaussian matrix (a Johnson-Lindenstrauss map), so Euclidean
+    geometry of the features is approximately preserved.
+    """
+
+    def __init__(self, num_features: int, dim: int = 32, seed: int = 0):
+        if num_features <= 0 or dim <= 0:
+            raise ValueError("num_features and dim must be positive")
+        self.num_features = num_features
+        self.dim = dim
+        rng = np.random.default_rng(seed)
+        self._projection = rng.standard_normal((num_features, dim)) / np.sqrt(dim)
+
+    def __call__(self, entity: Sequence[float]) -> np.ndarray:
+        features = np.asarray(entity, dtype=np.float64)
+        if features.shape != (self.num_features,):
+            raise ValueError(
+                f"expected {self.num_features} features, got shape {features.shape}"
+            )
+        return (features @ self._projection).astype(VECTOR_DTYPE)
+
+    def batch(self, entities: Sequence[Sequence[float]]) -> np.ndarray:
+        return np.vstack([self(e) for e in entities]).astype(VECTOR_DTYPE)
+
+
+_EMBEDDERS: dict[str, Callable[..., EmbeddingFunction]] = {
+    "hashing_text": HashingTextEmbedder,
+    "numeric": NumericFeatureEmbedder,
+}
+
+
+def register_embedder(name: str, factory: Callable[..., EmbeddingFunction]) -> None:
+    _EMBEDDERS[name.lower()] = factory
+
+
+def available_embedders() -> list[str]:
+    return sorted(_EMBEDDERS)
+
+
+def get_embedder(name: str, **kwargs) -> EmbeddingFunction:
+    try:
+        return _EMBEDDERS[name.lower()](**kwargs)
+    except KeyError:
+        raise ValueError(
+            f"unknown embedder {name!r}; available: {', '.join(available_embedders())}"
+        ) from None

@@ -1,0 +1,102 @@
+"""Offline blocking: attribute-partitioned indexes (§2.3).
+
+Milvus [6, 79] pre-partitions the collection along frequently filtered
+attributes so an equality-predicated query searches only the matching
+partition — blocking is free at query time.  The cost: one sub-index
+per distinct value, and predicates outside the partitioning attribute
+fall back to online blocking.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+
+from ..core.errors import PlanningError
+from ..core.types import SearchHit, SearchStats
+from ..hybrid.predicates import Comparison, In, Predicate
+
+
+class AttributePartitionedIndex:
+    """One sub-index per distinct value of a partitioning attribute.
+
+    Parameters
+    ----------
+    index_factory:
+        Zero-arg callable producing an unbuilt :class:`VectorIndex` for
+        each partition.
+    attribute:
+        The partitioning attribute; must be low-cardinality.
+    """
+
+    def __init__(self, index_factory: Callable[[], Any], attribute: str):
+        self.index_factory = index_factory
+        self.attribute = attribute
+        self._partitions: dict[Any, Any] = {}
+        self._built = False
+
+    def build(self, collection) -> "AttributePartitionedIndex":
+        values = collection.columns.get(self.attribute)
+        if values is None:
+            raise PlanningError(
+                f"collection has no attribute {self.attribute!r} to partition on"
+            )
+        self._partitions = {}
+        for value in np.unique(values):
+            positions = np.flatnonzero((values == value) & collection.alive)
+            index = self.index_factory()
+            index.build(collection.vectors[positions], ids=positions.astype(np.int64))
+            self._partitions[value if not isinstance(value, np.generic) else value.item()] = index
+        self._built = True
+        return self
+
+    @property
+    def partition_values(self) -> list:
+        return sorted(self._partitions, key=repr)
+
+    def covers(self, predicate: Predicate | None) -> bool:
+        """Whether offline blocking fully answers this predicate."""
+        if predicate is None:
+            return False
+        if isinstance(predicate, Comparison):
+            return predicate.attribute == self.attribute and predicate.op == "=="
+        if isinstance(predicate, In):
+            return predicate.attribute == self.attribute
+        return False
+
+    def _target_values(self, predicate: Predicate) -> list:
+        if isinstance(predicate, Comparison):
+            return [predicate.value]
+        if isinstance(predicate, In):
+            return list(predicate.values)
+        raise PlanningError("predicate not covered by this partitioning")
+
+    def search(
+        self,
+        query: np.ndarray,
+        k: int,
+        predicate: Predicate,
+        stats: SearchStats | None = None,
+        **params: Any,
+    ) -> list[SearchHit]:
+        """Search only the partitions the predicate selects."""
+        if not self._built:
+            raise PlanningError("AttributePartitionedIndex has not been built")
+        if not self.covers(predicate):
+            raise PlanningError(
+                f"predicate {predicate!r} is not an equality/IN over"
+                f" {self.attribute!r}; use online blocking instead"
+            )
+        stats = stats if stats is not None else SearchStats()
+        hits: list[SearchHit] = []
+        for value in self._target_values(predicate):
+            index = self._partitions.get(value)
+            if index is None:
+                continue
+            hits.extend(index.search(query, k, stats=stats, **params))
+        hits.sort()
+        return hits[:k]
+
+    def partition_sizes(self) -> dict[Any, int]:
+        return {value: len(idx) for value, idx in self._partitions.items()}

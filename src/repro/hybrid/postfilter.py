@@ -1,0 +1,97 @@
+"""Post-filtering with a·k oversampling (§2.3, §2.6(3)).
+
+Post-filtering runs an unrestricted index scan and applies the
+predicate to the result set.  Its known hazard — the tutorial lists it
+as an open problem — is returning fewer than k results: at selectivity
+``s`` an unmodified top-k keeps only ~``s*k``.  The standard mitigation
+retrieves ``a*k`` results before filtering.  "How to tune a remains
+unclear" [79, 84], so we provide:
+
+* :func:`postfilter_scan` — fixed ``a``.
+* :func:`adaptive_postfilter_scan` — start from ``a = 1/s_hat`` (the
+  expectation-matching choice) and double until k results survive or
+  the whole collection has been ranked; reports the attempts so bench
+  E8 can chart the retry cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.types import SearchHit, SearchStats
+from ..hybrid.predicates import Predicate
+
+
+def _filter_hits(
+    hits: list[SearchHit], mask: np.ndarray, stats: SearchStats
+) -> list[SearchHit]:
+    kept = []
+    for hit in hits:
+        stats.predicate_evaluations += 1
+        if mask[hit.id]:
+            kept.append(hit)
+        else:
+            stats.predicate_rejections += 1
+    return kept
+
+
+def postfilter_scan(
+    index,
+    collection,
+    query: np.ndarray,
+    k: int,
+    predicate: Predicate | None,
+    oversample: float = 1.0,
+    stats: SearchStats | None = None,
+    **params,
+) -> list[SearchHit]:
+    """Unrestricted index scan of ceil(a*k), then filter.
+
+    May return fewer than k hits — by design; that is the behavior the
+    tutorial highlights (acceptable for e-commerce per Vearch [12, 54]).
+    """
+    stats = stats if stats is not None else SearchStats()
+    fetch = int(np.ceil(max(1.0, oversample) * k))
+    hits = index.search(query, fetch, stats=stats, **params)
+    mask = collection.predicate_mask(predicate)
+    return _filter_hits(hits, mask, stats)[:k]
+
+
+@dataclass
+class AdaptiveResult:
+    hits: list[SearchHit]
+    attempts: int
+    final_oversample: float
+
+
+def adaptive_postfilter_scan(
+    index,
+    collection,
+    query: np.ndarray,
+    k: int,
+    predicate: Predicate | None,
+    selectivity_hint: float | None = None,
+    max_attempts: int = 6,
+    stats: SearchStats | None = None,
+    **params,
+) -> AdaptiveResult:
+    """Retry with doubling a until k results survive the filter."""
+    stats = stats if stats is not None else SearchStats()
+    n = len(collection)
+    mask = collection.predicate_mask(predicate)
+    if selectivity_hint is None:
+        selectivity_hint = max(float(mask.sum()) / max(1, n), 1e-6)
+    oversample = max(1.0, 1.0 / selectivity_hint)
+    attempts = 0
+    hits: list[SearchHit] = []
+    while attempts < max_attempts:
+        attempts += 1
+        fetch = min(n, int(np.ceil(oversample * k)))
+        raw = index.search(query, fetch, stats=stats, **params)
+        hits = _filter_hits(raw, mask, stats)
+        if len(hits) >= k or fetch >= n:
+            break
+        oversample *= 2.0
+    return AdaptiveResult(hits[:k], attempts, oversample)

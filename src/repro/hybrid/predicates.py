@@ -1,0 +1,221 @@
+"""Boolean predicate AST over structured attributes (§2.1, §2.3).
+
+Hybrid queries attach boolean predicates over entity attributes to a
+vector search.  Predicates here are a small composable AST evaluated
+*vectorized* against a column store (``dict[attr, np.ndarray]``), which
+is what makes online bitmask blocking cheap (§2.3 block-first scan).
+
+Selectivity estimation — the input to rule-based and cost-based plan
+selection — is provided both exactly (evaluate and count) and from a
+sample, mirroring how real optimizers trade accuracy for speed.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+import numpy as np
+
+from ..core.errors import PredicateError
+
+ColumnStore = dict[str, np.ndarray]
+
+
+def _column(columns: ColumnStore, attribute: str) -> np.ndarray:
+    try:
+        return columns[attribute]
+    except KeyError:
+        known = ", ".join(sorted(columns)) or "(none)"
+        raise PredicateError(
+            f"unknown attribute {attribute!r}; known attributes: {known}"
+        ) from None
+
+
+class Predicate(abc.ABC):
+    """A boolean condition over attribute columns."""
+
+    @abc.abstractmethod
+    def evaluate(self, columns: ColumnStore) -> np.ndarray:
+        """Boolean mask, one entry per row of every column."""
+
+    @abc.abstractmethod
+    def attributes(self) -> set[str]:
+        """Attribute names this predicate references."""
+
+    # Composition sugar: (p1 & p2) | ~p3
+    def __and__(self, other: "Predicate") -> "Predicate":
+        return And(self, other)
+
+    def __or__(self, other: "Predicate") -> "Predicate":
+        return Or(self, other)
+
+    def __invert__(self) -> "Predicate":
+        return Not(self)
+
+    def selectivity(self, columns: ColumnStore, sample_size: int | None = None,
+                    seed: int = 0) -> float:
+        """Fraction of rows passing; exact, or estimated from a sample."""
+        names = self.attributes()
+        if not names:
+            return 1.0
+        n = len(_column(columns, next(iter(names))))
+        if n == 0:
+            return 0.0
+        if sample_size is None or sample_size >= n:
+            return float(self.evaluate(columns).mean())
+        rng = np.random.default_rng(seed)
+        rows = rng.choice(n, size=sample_size, replace=False)
+        sampled = {name: columns[name][rows] for name in columns}
+        return float(self.evaluate(sampled).mean())
+
+
+@dataclass(frozen=True)
+class Comparison(Predicate):
+    """attribute <op> value, with op in ==, !=, <, <=, >, >=."""
+
+    attribute: str
+    op: str
+    value: Any
+
+    _OPS = {
+        "==": np.equal,
+        "!=": np.not_equal,
+        "<": np.less,
+        "<=": np.less_equal,
+        ">": np.greater,
+        ">=": np.greater_equal,
+    }
+
+    def __post_init__(self):
+        if self.op not in self._OPS:
+            raise PredicateError(
+                f"unknown operator {self.op!r}; expected one of {sorted(self._OPS)}"
+            )
+
+    def evaluate(self, columns: ColumnStore) -> np.ndarray:
+        col = _column(columns, self.attribute)
+        return self._OPS[self.op](col, self.value)
+
+    def attributes(self) -> set[str]:
+        return {self.attribute}
+
+
+@dataclass(frozen=True)
+class In(Predicate):
+    """attribute IN (v1, v2, ...)."""
+
+    attribute: str
+    values: tuple
+
+    def __init__(self, attribute: str, values: Sequence[Any]):
+        object.__setattr__(self, "attribute", attribute)
+        object.__setattr__(self, "values", tuple(values))
+
+    def evaluate(self, columns: ColumnStore) -> np.ndarray:
+        col = _column(columns, self.attribute)
+        return np.isin(col, np.asarray(self.values))
+
+    def attributes(self) -> set[str]:
+        return {self.attribute}
+
+
+@dataclass(frozen=True)
+class Between(Predicate):
+    """low <= attribute <= high (inclusive range)."""
+
+    attribute: str
+    low: Any
+    high: Any
+
+    def evaluate(self, columns: ColumnStore) -> np.ndarray:
+        col = _column(columns, self.attribute)
+        return (col >= self.low) & (col <= self.high)
+
+    def attributes(self) -> set[str]:
+        return {self.attribute}
+
+
+@dataclass(frozen=True)
+class And(Predicate):
+    left: Predicate
+    right: Predicate
+
+    def evaluate(self, columns: ColumnStore) -> np.ndarray:
+        return self.left.evaluate(columns) & self.right.evaluate(columns)
+
+    def attributes(self) -> set[str]:
+        return self.left.attributes() | self.right.attributes()
+
+
+@dataclass(frozen=True)
+class Or(Predicate):
+    left: Predicate
+    right: Predicate
+
+    def evaluate(self, columns: ColumnStore) -> np.ndarray:
+        return self.left.evaluate(columns) | self.right.evaluate(columns)
+
+    def attributes(self) -> set[str]:
+        return self.left.attributes() | self.right.attributes()
+
+
+@dataclass(frozen=True)
+class Not(Predicate):
+    inner: Predicate
+
+    def evaluate(self, columns: ColumnStore) -> np.ndarray:
+        return ~self.inner.evaluate(columns)
+
+    def attributes(self) -> set[str]:
+        return self.inner.attributes()
+
+
+@dataclass(frozen=True)
+class TruePredicate(Predicate):
+    """Matches everything (identity for And; default WHERE clause)."""
+
+    def evaluate(self, columns: ColumnStore) -> np.ndarray:
+        if not columns:
+            raise PredicateError("cannot evaluate TruePredicate without columns")
+        n = len(next(iter(columns.values())))
+        return np.ones(n, dtype=bool)
+
+    def attributes(self) -> set[str]:
+        return set()
+
+
+# Convenience constructors matching a fluent field("x") == 3 style.
+class Field:
+    """Fluent predicate builder: ``Field("price") < 20`` etc."""
+
+    def __init__(self, attribute: str):
+        self.attribute = attribute
+
+    def __eq__(self, value) -> Comparison:  # type: ignore[override]
+        return Comparison(self.attribute, "==", value)
+
+    def __ne__(self, value) -> Comparison:  # type: ignore[override]
+        return Comparison(self.attribute, "!=", value)
+
+    def __lt__(self, value) -> Comparison:
+        return Comparison(self.attribute, "<", value)
+
+    def __le__(self, value) -> Comparison:
+        return Comparison(self.attribute, "<=", value)
+
+    def __gt__(self, value) -> Comparison:
+        return Comparison(self.attribute, ">", value)
+
+    def __ge__(self, value) -> Comparison:
+        return Comparison(self.attribute, ">=", value)
+
+    def isin(self, values: Sequence[Any]) -> In:
+        return In(self.attribute, values)
+
+    def between(self, low, high) -> Between:
+        return Between(self.attribute, low, high)
+
+    def __hash__(self):
+        return hash(("Field", self.attribute))

@@ -1,0 +1,163 @@
+"""Visit-first scan (§2.3): predicate-aware graph traversal.
+
+Where block-first scan masks the index and searches as usual,
+visit-first scan changes the *scan operator itself*: the best-first
+traversal considers attribute values on visited nodes.  Following HQANN
+[87] and Filtered-DiskANN-style operators [43]:
+
+* the result set only admits predicate-passing nodes (single-stage
+  filtering — no post-pass);
+* blocked nodes remain traversable (preserving connectivity), but their
+  frontier priority is *inflated* by ``penalty`` so expansion prefers
+  passing nodes — the "scan prefers nodes that satisfy the predicate"
+  bias that avoids backtracking at high selectivity;
+* termination requires k passing results or frontier exhaustion within
+  a node budget, so highly selective predicates degrade gracefully
+  instead of looping.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from ..core.types import SearchHit, SearchStats
+from ..hybrid.predicates import Predicate
+from ..scores import Score
+
+
+def visit_first_search(
+    vectors: np.ndarray,
+    neighbors_of,
+    entry_points: list[int],
+    ids: np.ndarray,
+    mask: np.ndarray,
+    query: np.ndarray,
+    k: int,
+    score: Score,
+    ef: int = 64,
+    penalty: float = 1.5,
+    max_visits: int | None = None,
+    stats: SearchStats | None = None,
+) -> list[SearchHit]:
+    """Predicate-biased best-first search over a graph.
+
+    Parameters
+    ----------
+    neighbors_of:
+        Callable position -> neighbor positions (any graph index's
+        adjacency).
+    mask:
+        Boolean allowed-mask over external ids.
+    penalty:
+        Multiplier applied to blocked nodes' frontier priority (> 1
+        de-prioritizes them without disconnecting the search).
+    max_visits:
+        Expansion budget; defaults to ``8 * ef``.
+    """
+    stats = stats if stats is not None else SearchStats()
+    if not entry_points:
+        return []
+    ef = max(ef, k)
+    budget = max_visits if max_visits is not None else 8 * ef
+
+    def passes(pos: int) -> bool:
+        stats.predicate_evaluations += 1
+        ok = bool(mask[int(ids[pos])])
+        if not ok:
+            stats.predicate_rejections += 1
+        return ok
+
+    entry = list(dict.fromkeys(int(e) for e in entry_points))
+    dists = score.distances(query, vectors[np.asarray(entry)])
+    stats.distance_computations += len(entry)
+
+    visited = set(entry)
+    frontier: list[tuple[float, int]] = []  # (priority, position)
+    results: list[tuple[float, int]] = []  # max-heap of passing nodes
+    for d, pos in zip(dists, entry):
+        d = float(d)
+        ok = passes(pos)
+        heapq.heappush(frontier, (d if ok else d * penalty, pos))
+        if ok:
+            heapq.heappush(results, (-d, pos))
+    while len(results) > ef:
+        heapq.heappop(results)
+
+    visits = 0
+    while frontier and visits < budget:
+        priority, pos = heapq.heappop(frontier)
+        worst = -results[0][0] if len(results) >= ef else np.inf
+        if priority > worst * penalty and len(results) >= k:
+            break
+        visits += 1
+        stats.nodes_visited += 1
+        fresh = [int(nb) for nb in neighbors_of(pos) if int(nb) not in visited]
+        if not fresh:
+            continue
+        visited.update(fresh)
+        nd = score.distances(query, vectors[np.asarray(fresh)])
+        stats.distance_computations += len(fresh)
+        for d, nb in zip(nd, fresh):
+            d = float(d)
+            ok = passes(nb)
+            worst = -results[0][0] if len(results) >= ef else np.inf
+            if d < worst or len(results) < ef or (not ok and d * penalty < worst):
+                heapq.heappush(frontier, (d if ok else d * penalty, nb))
+                if ok:
+                    heapq.heappush(results, (-d, nb))
+                    if len(results) > ef:
+                        heapq.heappop(results)
+
+    ordered = sorted((-d, pos) for d, pos in results)
+    stats.candidates_examined += len(ordered)
+    return [SearchHit(int(ids[pos]), float(d)) for d, pos in ordered[:k]]
+
+
+def graph_entry_and_adjacency(index):
+    """Extract (neighbors_of, entry_points) from any graph index.
+
+    Works for :class:`~repro.index.graph_base.GraphIndex` subclasses and
+    :class:`~repro.index.hnsw.HnswIndex` (bottom layer).
+    """
+    from ..index.graph_base import GraphIndex
+    from ..index.hnsw import HnswIndex
+
+    if isinstance(index, HnswIndex):
+        return index.bottom_layer, [index.entry_point]
+    if isinstance(index, GraphIndex):
+        adjacency = index.adjacency
+        return adjacency.__getitem__, [index.entry_point]
+    raise TypeError(
+        f"visit-first scan requires a graph index, got {type(index).__name__}"
+    )
+
+
+def visit_first_scan(
+    index,
+    collection,
+    query: np.ndarray,
+    k: int,
+    predicate: Predicate | None,
+    ef: int = 64,
+    penalty: float = 1.5,
+    stats: SearchStats | None = None,
+) -> list[SearchHit]:
+    """Single-stage filtered search on a graph index."""
+    stats = stats if stats is not None else SearchStats()
+    neighbors_of, entries = graph_entry_and_adjacency(index)
+    mask = collection.predicate_mask(predicate)
+    return visit_first_search(
+        index._vectors,
+        neighbors_of,
+        entries,
+        index._ids,
+        mask,
+        query,
+        k,
+        index.score,
+        ef=ef,
+        penalty=penalty,
+        stats=stats,
+    )

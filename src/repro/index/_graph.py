@@ -1,0 +1,244 @@
+"""Shared traversal machinery for graph-based indexes (§2.2, graph-based).
+
+Every graph index — KNNG, NSW, HNSW, NSG, Vamana/DiskANN, FANNG — pairs
+an adjacency structure with the same *best-first (beam) search*: keep a
+frontier of the closest unexpanded nodes and a result set of the ``ef``
+closest seen, expand the closest frontier node, stop when the frontier
+can no longer improve the results.
+
+The ``allowed`` mask implements bitmask block-first scan on graphs
+(§2.3): blocked nodes are traversed *through* (else the induced subgraph
+may disconnect, as [3, 43, 87] observe) but never enter the result set.
+Visit-first scan, which biases expansion itself, lives in
+:mod:`repro.hybrid.visitfirst` on top of the same adjacency.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from ..core.types import SearchStats
+from ..scores import Score
+
+#: Adjacency representation shared by all graph indexes: one int64 array
+#: of neighbor positions per node position.
+Adjacency = list[np.ndarray]
+
+
+def beam_search(
+    query: np.ndarray,
+    vectors: np.ndarray,
+    adjacency,  # Adjacency, or a callable position -> neighbor array
+    entry_points: np.ndarray | list[int],
+    ef: int,
+    score: Score,
+    stats: SearchStats | None = None,
+    allowed: np.ndarray | None = None,
+    ids: np.ndarray | None = None,
+) -> list[tuple[float, int]]:
+    """Best-first search; returns up to ``ef`` (distance, position) pairs.
+
+    Parameters
+    ----------
+    entry_points:
+        Node positions to seed the frontier with.
+    ef:
+        Result-set width; bigger explores more (recall knob).
+    allowed:
+        Optional boolean mask over *external ids*; nodes whose id is
+        masked out are expanded but excluded from results.
+    ids:
+        Position -> external id mapping used with ``allowed`` (defaults
+        to identity).
+    """
+    if ef <= 0:
+        return []
+    neighbors_of = adjacency if callable(adjacency) else adjacency.__getitem__
+    entry = np.asarray(list(dict.fromkeys(int(e) for e in entry_points)), dtype=np.int64)
+    if entry.size == 0:
+        return []
+    dists = score.distances(query, vectors[entry])
+    if stats is not None:
+        stats.distance_computations += entry.size
+
+    def id_ok(position: int) -> bool:
+        if allowed is None:
+            return True
+        ext = position if ids is None else int(ids[position])
+        return bool(allowed[ext])
+
+    visited: set[int] = set(int(e) for e in entry)
+    # Frontier: min-heap by distance.  Results: max-heap of size ef.
+    frontier: list[tuple[float, int]] = []
+    results: list[tuple[float, int]] = []
+    for d, e in zip(dists, entry):
+        heapq.heappush(frontier, (float(d), int(e)))
+        if id_ok(int(e)):
+            heapq.heappush(results, (-float(d), int(e)))
+    while len(results) > ef:
+        heapq.heappop(results)
+
+    while frontier:
+        d_cand, cand = heapq.heappop(frontier)
+        worst = -results[0][0] if len(results) >= ef else np.inf
+        if d_cand > worst:
+            break
+        if stats is not None:
+            stats.nodes_visited += 1
+        neighbors = [n for n in neighbors_of(cand) if int(n) not in visited]
+        if not neighbors:
+            continue
+        neighbors_arr = np.asarray(neighbors, dtype=np.int64)
+        visited.update(int(n) for n in neighbors_arr)
+        nd = score.distances(query, vectors[neighbors_arr])
+        if stats is not None:
+            stats.distance_computations += neighbors_arr.size
+        worst = -results[0][0] if len(results) >= ef else np.inf
+        for dist, node in zip(nd, neighbors_arr):
+            dist = float(dist)
+            node = int(node)
+            if dist < worst or len(results) < ef:
+                heapq.heappush(frontier, (dist, node))
+                if id_ok(node):
+                    heapq.heappush(results, (-dist, node))
+                    if len(results) > ef:
+                        heapq.heappop(results)
+                    worst = -results[0][0] if len(results) >= ef else np.inf
+
+    out = [(-d, n) for d, n in results]
+    out.sort()
+    return out
+
+
+def greedy_walk(
+    query: np.ndarray,
+    vectors: np.ndarray,
+    adjacency,  # Adjacency, or a callable position -> neighbor array
+    start: int,
+    score: Score,
+    stats: SearchStats | None = None,
+) -> tuple[int, float, list[int]]:
+    """Pure greedy descent (beam width 1); returns (node, distance, path).
+
+    Used by MSN construction (search trials) and as the upper-layer
+    routing step of HNSW.
+    """
+    neighbors_of = adjacency if callable(adjacency) else adjacency.__getitem__
+    current = int(start)
+    current_dist = float(score.distances(query, vectors[current : current + 1])[0])
+    if stats is not None:
+        stats.distance_computations += 1
+    path = [current]
+    improved = True
+    while improved:
+        improved = False
+        neighbors = neighbors_of(current)
+        if len(neighbors) == 0:
+            break
+        nd = score.distances(query, vectors[neighbors])
+        if stats is not None:
+            stats.distance_computations += len(neighbors)
+            stats.nodes_visited += 1
+        best = int(nd.argmin())
+        if float(nd[best]) < current_dist:
+            current = int(neighbors[best])
+            current_dist = float(nd[best])
+            path.append(current)
+            improved = True
+    return current, current_dist, path
+
+
+def medoid(vectors: np.ndarray) -> int:
+    """Position of the vector closest to the dataset mean (cheap medoid)."""
+    center = vectors.mean(axis=0)
+    diff = vectors - center
+    return int(np.einsum("ij,ij->i", diff, diff).argmin())
+
+
+def robust_prune(
+    candidate_positions: np.ndarray,
+    candidate_distances: np.ndarray,
+    vectors: np.ndarray,
+    max_degree: int,
+    score: Score,
+    alpha: float = 1.0,
+) -> np.ndarray:
+    """Vamana's RobustPrune / the MRNG-style occlusion rule.
+
+    Scan candidates by ascending distance; keep one if no already-kept
+    neighbor "occludes" it, i.e. ``alpha * d(kept, cand) < d(query_node,
+    cand)``.  ``alpha > 1`` keeps longer-range edges (DiskANN's knob);
+    ``alpha == 1`` is the classic monotonic (RNG) rule used by NSG.
+    """
+    order = np.argsort(candidate_distances, kind="stable")
+    kept: list[int] = []
+    kept_vecs: list[np.ndarray] = []
+    for idx in order:
+        cand = int(candidate_positions[idx])
+        d_cand = float(candidate_distances[idx])
+        occluded = False
+        if kept:
+            kd = score.distances(vectors[cand], np.asarray(kept_vecs))
+            occluded = bool((alpha * kd < d_cand).any())
+        if not occluded:
+            kept.append(cand)
+            kept_vecs.append(vectors[cand])
+            if len(kept) >= max_degree:
+                break
+    return np.asarray(kept, dtype=np.int64)
+
+
+def ensure_connected(
+    adjacency: Adjacency,
+    vectors: np.ndarray,
+    root: int,
+    score: Score,
+    max_degree: int,
+) -> int:
+    """Attach unreachable components to their nearest reachable node.
+
+    NSG runs exactly this spanning step after pruning.  Returns the
+    number of edges added.
+    """
+    n = len(adjacency)
+    seen = np.zeros(n, dtype=bool)
+    stack = [root]
+    seen[root] = True
+    while stack:
+        node = stack.pop()
+        for nb in adjacency[node]:
+            nb = int(nb)
+            if not seen[nb]:
+                seen[nb] = True
+                stack.append(nb)
+    added = 0
+    while not seen.all():
+        orphan = int(np.flatnonzero(~seen)[0])
+        reachable = np.flatnonzero(seen)
+        d = score.distances(vectors[orphan], vectors[reachable])
+        anchor = int(reachable[d.argmin()])
+        adjacency[anchor] = np.append(adjacency[anchor], orphan)[-max(max_degree, len(adjacency[anchor]) + 1):]
+        added += 1
+        # Flood from the orphan (its whole component becomes reachable).
+        stack = [orphan]
+        seen[orphan] = True
+        while stack:
+            node = stack.pop()
+            for nb in adjacency[node]:
+                nb = int(nb)
+                if not seen[nb]:
+                    seen[nb] = True
+                    stack.append(nb)
+    return added
+
+
+def graph_degree_stats(adjacency: Adjacency) -> dict[str, float]:
+    degrees = np.array([len(a) for a in adjacency], dtype=np.float64)
+    return {
+        "mean_degree": float(degrees.mean()) if degrees.size else 0.0,
+        "max_degree": float(degrees.max()) if degrees.size else 0.0,
+        "min_degree": float(degrees.min()) if degrees.size else 0.0,
+        "num_edges": float(degrees.sum()),
+    }

@@ -1,0 +1,194 @@
+"""The search-index interface every index in §2.2 implements.
+
+Conventions shared by all indexes:
+
+* Indexes are built over **dense integer ids** ``0..n-1`` paired row-wise
+  with an (n, d) float32 matrix.  The collection layer owns the mapping
+  from user-facing keys to these dense ids, so indexes never deal with
+  arbitrary keys, deletions, or attributes directly.
+* ``search`` may receive an ``allowed`` boolean mask indexed by id; an
+  index must never return a hit whose mask entry is False.  This is the
+  hook block-first scans use (§2.3): the optimizer computes the bitmask
+  with attribute filtering and hands it to the index scan.
+* ``stats`` (when given) is mutated in place with the counters defined in
+  :class:`~repro.core.types.SearchStats`, which the cost model calibrates
+  against.
+* Distances follow the library-wide "smaller is better" convention of
+  :mod:`repro.scores.basic`.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from typing import Any
+
+import numpy as np
+
+from ..core.errors import IndexNotBuiltError
+from ..core.types import SearchHit, SearchStats, as_matrix, as_vector, topk_from_arrays
+from ..scores import Score, get_score
+
+
+class VectorIndex(abc.ABC):
+    """Abstract base class for vector search indexes."""
+
+    #: registry name; subclasses override.
+    name: str = "abstract"
+    #: structural family per the tutorial's taxonomy: table | tree | graph | flat
+    family: str = "abstract"
+    #: whether incremental :meth:`add` is supported after :meth:`build`.
+    supports_updates: bool = False
+
+    def __init__(self, score: Score | str = "l2"):
+        self.score = get_score(score)
+        self._ids: np.ndarray | None = None
+        self._vectors: np.ndarray | None = None
+        self.build_seconds: float = 0.0
+
+    # ------------------------------------------------------------- lifecycle
+
+    @property
+    def is_built(self) -> bool:
+        return self._vectors is not None
+
+    def _require_built(self) -> None:
+        if not self.is_built:
+            raise IndexNotBuiltError(f"{type(self).__name__} has not been built")
+
+    def build(self, vectors: np.ndarray, ids: np.ndarray | None = None) -> "VectorIndex":
+        """Build the index over ``vectors`` (ids default to 0..n-1)."""
+        matrix = as_matrix(vectors)
+        if ids is None:
+            ids = np.arange(matrix.shape[0], dtype=np.int64)
+        else:
+            ids = np.asarray(ids, dtype=np.int64)
+            if ids.shape[0] != matrix.shape[0]:
+                raise ValueError("ids and vectors length mismatch")
+        self._ids = ids
+        self._vectors = matrix
+        start = time.perf_counter()
+        self._build()
+        self.build_seconds = time.perf_counter() - start
+        return self
+
+    @abc.abstractmethod
+    def _build(self) -> None:
+        """Construct internal structures from ``self._vectors``/``self._ids``."""
+
+    def add(self, vectors: np.ndarray, ids: np.ndarray) -> None:
+        """Incrementally insert vectors (only if ``supports_updates``)."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support incremental updates;"
+            " rebuild instead (or wrap the collection with an LSM buffer)"
+        )
+
+    # ---------------------------------------------------------------- search
+
+    def search(
+        self,
+        query: np.ndarray,
+        k: int,
+        allowed: np.ndarray | None = None,
+        stats: SearchStats | None = None,
+        **params: Any,
+    ) -> list[SearchHit]:
+        """Return up to k nearest hits (ascending distance).
+
+        ``params`` are index-specific search-time knobs (``nprobe``,
+        ``ef_search``, ``beam_width``, ...); unknown ones raise TypeError
+        inside the concrete ``_search`` so typos fail loudly.
+        """
+        self._require_built()
+        if k <= 0:
+            return []
+        query = as_vector(query, self._vectors.shape[1])
+        if allowed is not None:
+            allowed = np.asarray(allowed, dtype=bool)
+        stats = stats if stats is not None else SearchStats()
+        return self._search(query, k, allowed, stats, **params)
+
+    @abc.abstractmethod
+    def _search(
+        self,
+        query: np.ndarray,
+        k: int,
+        allowed: np.ndarray | None,
+        stats: SearchStats,
+        **params: Any,
+    ) -> list[SearchHit]:
+        """Concrete search; inputs are validated by :meth:`search`."""
+
+    def range_search(
+        self,
+        query: np.ndarray,
+        radius: float,
+        allowed: np.ndarray | None = None,
+        stats: SearchStats | None = None,
+        **params: Any,
+    ) -> list[SearchHit]:
+        """All hits with distance <= radius (default: oversampled k-NN).
+
+        Indexes with a natural range traversal override this; the generic
+        fallback repeatedly doubles k until the farthest hit exceeds the
+        radius or the whole collection has been ranked.
+        """
+        self._require_built()
+        n = self._vectors.shape[0]
+        k = 64
+        while True:
+            hits = self.search(query, min(k, n), allowed=allowed, stats=stats, **params)
+            if len(hits) < min(k, n) or (hits and hits[-1].distance > radius) or k >= n:
+                return [h for h in hits if h.distance <= radius]
+            k *= 2
+
+    # ------------------------------------------------------------- utilities
+
+    def _mask_for(self, ids: np.ndarray, allowed: np.ndarray | None) -> np.ndarray:
+        """Boolean keep-mask for an id array under an ``allowed`` mask."""
+        if allowed is None:
+            return np.ones(ids.shape[0], dtype=bool)
+        return allowed[ids]
+
+    def _brute_force(
+        self,
+        query: np.ndarray,
+        k: int,
+        candidate_positions: np.ndarray,
+        allowed: np.ndarray | None,
+        stats: SearchStats,
+    ) -> list[SearchHit]:
+        """Exact scoring of a candidate subset (by row position)."""
+        if candidate_positions.shape[0] == 0:
+            return []
+        ids = self._ids[candidate_positions]
+        keep = self._mask_for(ids, allowed)
+        stats.predicate_evaluations += int(
+            0 if allowed is None else candidate_positions.shape[0]
+        )
+        stats.predicate_rejections += int(
+            0 if allowed is None else np.count_nonzero(~keep)
+        )
+        positions = candidate_positions[keep]
+        if positions.shape[0] == 0:
+            return []
+        dists = self.score.distances(query, self._vectors[positions])
+        stats.distance_computations += positions.shape[0]
+        stats.candidates_examined += positions.shape[0]
+        return topk_from_arrays(self._ids[positions], dists, k)
+
+    def memory_bytes(self) -> int:
+        """Approximate resident size of the structure (vectors excluded)."""
+        return 0
+
+    def __len__(self) -> int:
+        return 0 if self._vectors is None else self._vectors.shape[0]
+
+    @property
+    def dim(self) -> int:
+        self._require_built()
+        return self._vectors.shape[1]
+
+    def __repr__(self) -> str:
+        state = f"n={len(self)}" if self.is_built else "unbuilt"
+        return f"{type(self).__name__}({state}, score={self.score.name})"

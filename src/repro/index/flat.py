@@ -1,0 +1,68 @@
+"""Flat (brute-force) index: exact search by full similarity projection.
+
+The tutorial notes a relational system "can already answer vector queries
+via brute-force scan" (SingleStore, §2.4).  Flat search is also the
+ground-truth oracle every approximate index is measured against, and the
+executor's fallback plan when no index fits a query.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from ..core.types import SearchHit, SearchStats
+from .base import VectorIndex
+
+
+class FlatIndex(VectorIndex):
+    """Exact nearest-neighbor search via a full scan."""
+
+    name = "flat"
+    family = "flat"
+    supports_updates = True
+
+    def _build(self) -> None:
+        # Nothing to construct: the matrix itself is the "index".
+        return
+
+    def add(self, vectors: np.ndarray, ids: np.ndarray) -> None:
+        self._require_built()
+        from ..core.types import as_matrix
+
+        matrix = as_matrix(vectors, self._vectors.shape[1])
+        ids = np.asarray(ids, dtype=np.int64)
+        self._vectors = np.vstack([self._vectors, matrix])
+        self._ids = np.concatenate([self._ids, ids])
+
+    def _search(
+        self,
+        query: np.ndarray,
+        k: int,
+        allowed: np.ndarray | None,
+        stats: SearchStats,
+        **params: Any,
+    ) -> list[SearchHit]:
+        if params:
+            raise TypeError(f"FlatIndex.search got unknown params {sorted(params)}")
+        positions = np.arange(self._vectors.shape[0])
+        return self._brute_force(query, k, positions, allowed, stats)
+
+    def range_search(self, query, radius, allowed=None, stats=None, **params):
+        """Exact range query: one scan, threshold filter."""
+        self._require_built()
+        stats = stats if stats is not None else SearchStats()
+        from ..core.types import as_vector
+
+        query = as_vector(query, self._vectors.shape[1])
+        dists = self.score.distances(query, self._vectors)
+        stats.distance_computations += self._vectors.shape[0]
+        within = dists <= radius
+        if allowed is not None:
+            allowed = np.asarray(allowed, dtype=bool)
+            within &= allowed[self._ids]
+        order = np.argsort(dists[within], kind="stable")
+        ids = self._ids[within][order]
+        d = dists[within][order]
+        return [SearchHit(int(i), float(x)) for i, x in zip(ids, d)]

@@ -1,0 +1,100 @@
+"""Base class shared by all single-layer graph indexes."""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from ..core.types import SearchHit, SearchStats
+from ..scores import Score
+from .base import VectorIndex
+from ._graph import Adjacency, beam_search, graph_degree_stats, medoid
+
+
+class GraphIndex(VectorIndex):
+    """A :class:`VectorIndex` over an adjacency list + beam search.
+
+    Subclasses implement :meth:`_build_graph` returning the adjacency;
+    search, entry-point selection, masking, and stats are shared here.
+    Hybrid visit-first scans reach the raw graph via :attr:`adjacency`.
+    """
+
+    family = "graph"
+
+    def __init__(self, score: Score | str = "l2", ef_search: int = 64, seed: int = 0):
+        super().__init__(score)
+        self.ef_search = ef_search
+        self.seed = seed
+        self._adjacency: Adjacency = []
+        self._entry_point: int = 0
+
+    def _build(self) -> None:
+        self._adjacency = self._build_graph()
+        if len(self._adjacency) != self._vectors.shape[0]:
+            raise AssertionError("adjacency length must equal collection size")
+        self._entry_point = self._default_entry_point()
+
+    def _build_graph(self) -> Adjacency:
+        raise NotImplementedError
+
+    def _default_entry_point(self) -> int:
+        """Entry node for searches; medoid by default (NSG/Vamana style)."""
+        if self._vectors.shape[0] == 0:
+            return 0
+        return medoid(self._vectors.astype(np.float64))
+
+    @property
+    def adjacency(self) -> Adjacency:
+        self._require_built()
+        return self._adjacency
+
+    @property
+    def entry_point(self) -> int:
+        self._require_built()
+        return self._entry_point
+
+    def _entry_points(self, query: np.ndarray) -> list[int]:
+        """Seed nodes for a search; subclasses may randomize/multi-seed."""
+        return [self._entry_point]
+
+    def _search(
+        self,
+        query: np.ndarray,
+        k: int,
+        allowed: np.ndarray | None,
+        stats: SearchStats,
+        ef_search: int | None = None,
+        **params: Any,
+    ) -> list[SearchHit]:
+        if params:
+            raise TypeError(
+                f"{type(self).__name__}.search got unknown params {sorted(params)}"
+            )
+        if self._vectors.shape[0] == 0:
+            return []
+        ef = max(k, ef_search if ef_search is not None else self.ef_search)
+        pairs = beam_search(
+            query,
+            self._vectors,
+            self._adjacency,
+            self._entry_points(query),
+            ef,
+            self.score,
+            stats=stats,
+            allowed=allowed,
+            ids=self._ids,
+        )
+        if allowed is not None:
+            stats.predicate_evaluations += stats.nodes_visited
+        stats.candidates_examined += len(pairs)
+        return [
+            SearchHit(int(self._ids[pos]), float(d)) for d, pos in pairs[:k]
+        ]
+
+    def degree_stats(self) -> dict[str, float]:
+        self._require_built()
+        return graph_degree_stats(self._adjacency)
+
+    def memory_bytes(self) -> int:
+        return sum(a.nbytes for a in self._adjacency)

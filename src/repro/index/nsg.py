@@ -1,0 +1,117 @@
+"""Navigating spreading-out graph (NSG) [40] (§2.2, MSN family).
+
+NSG approximates a monotonic search network cheaply: instead of FANNG's
+many random-pair search trials, it designates one "navigating node" (the
+medoid) as the source of *all* trials.  For every node, a best-first
+search from the navigating node collects a candidate pool, edges are
+selected with the MRNG occlusion rule (our ``robust_prune`` with
+alpha=1), and a final spanning pass reattaches any node the pruning
+disconnected.  Queries always start at the navigating node.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..scores import Score
+from ._graph import Adjacency, beam_search, ensure_connected, robust_prune
+from .graph_base import GraphIndex
+from .nndescent import nn_descent
+
+
+class NsgIndex(GraphIndex):
+    """NSG built on an NN-Descent initial graph.
+
+    Parameters
+    ----------
+    max_degree:
+        R — out-degree cap after pruning.
+    candidate_pool:
+        Beam width of the per-node construction search (C in the paper).
+    knng_k:
+        Width of the NN-Descent graph used for initialization.
+    """
+
+    name = "nsg"
+
+    def __init__(
+        self,
+        score: Score | str = "l2",
+        max_degree: int = 16,
+        candidate_pool: int = 64,
+        knng_k: int = 16,
+        ef_search: int = 64,
+        seed: int = 0,
+    ):
+        super().__init__(score, ef_search=ef_search, seed=seed)
+        self.max_degree = max_degree
+        self.candidate_pool = candidate_pool
+        self.knng_k = knng_k
+        self.edges_added_for_connectivity = 0
+
+    def _build_graph(self) -> Adjacency:
+        n = self._vectors.shape[0]
+        if n <= 1:
+            return [np.empty(0, dtype=np.int64) for _ in range(n)]
+        knng = nn_descent(
+            self._vectors,
+            min(self.knng_k, n - 1),
+            self.score,
+            seed=self.seed,
+        ).to_adjacency()
+        nav = self._default_entry_point()
+
+        adjacency: Adjacency = [np.empty(0, dtype=np.int64) for _ in range(n)]
+        for v in range(n):
+            pairs = beam_search(
+                self._vectors[v],
+                self._vectors,
+                knng,
+                [nav],
+                self.candidate_pool,
+                self.score,
+            )
+            pool = {p: d for d, p in pairs if p != v}
+            # The paper unions in the KNNG neighbors of v.
+            for nb in knng[v]:
+                nb = int(nb)
+                if nb != v and nb not in pool:
+                    pool[nb] = float(
+                        self.score.distances(self._vectors[v], self._vectors[nb : nb + 1])[0]
+                    )
+            if not pool:
+                continue
+            positions = np.fromiter(pool.keys(), dtype=np.int64, count=len(pool))
+            dists = np.fromiter(pool.values(), dtype=np.float64, count=len(pool))
+            adjacency[v] = robust_prune(
+                positions, dists, self._vectors, self.max_degree, self.score, alpha=1.0
+            )
+
+        # Reverse edges, re-pruning overflowing nodes.
+        for v in range(n):
+            for nb in adjacency[v]:
+                nb = int(nb)
+                if v not in adjacency[nb]:
+                    merged = np.append(adjacency[nb], v)
+                    if merged.shape[0] > self.max_degree:
+                        d = self.score.distances(
+                            self._vectors[nb], self._vectors[merged]
+                        )
+                        merged = robust_prune(
+                            merged, d, self._vectors, self.max_degree, self.score, 1.0
+                        )
+                    adjacency[nb] = merged
+
+        self.edges_added_for_connectivity = ensure_connected(
+            adjacency, self._vectors, nav, self.score, self.max_degree
+        )
+        self._entry_point = nav
+        return adjacency
+
+    def _default_entry_point(self) -> int:
+        from ._graph import medoid
+
+        return medoid(self._vectors.astype(np.float64)) if len(self) else 0
+
+    def _entry_points(self, query: np.ndarray) -> list[int]:
+        return [self._entry_point]  # all searches start at the navigating node

@@ -1,0 +1,153 @@
+"""Flat quantized indexes: PQ, OPQ, and SQ over the whole collection (§2.2).
+
+These are the non-inverted counterparts of the IVF variants: every code
+is scanned per query, so recall loss comes purely from quantization error
+— which makes them the clean ablation for bench E4 (compression ratio
+vs recall).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from ..core.types import SearchHit, SearchStats, topk_from_arrays
+from ..quantization.opq import OptimizedProductQuantizer
+from ..quantization.pq import ProductQuantizer
+from ..quantization.scalar import ScalarQuantizer
+from ..scores import Score
+from .base import VectorIndex
+
+
+class PqIndex(VectorIndex):
+    """Whole-collection PQ (or OPQ) codes scanned with ADC per query."""
+
+    name = "pq"
+    family = "table"
+
+    def __init__(
+        self,
+        score: Score | str = "l2",
+        m: int = 8,
+        ks: int = 256,
+        optimized: bool = False,
+        opq_iterations: int = 10,
+        rerank: int = 0,
+        seed: int = 0,
+    ):
+        super().__init__(score)
+        if optimized:
+            self.quantizer: ProductQuantizer | OptimizedProductQuantizer = (
+                OptimizedProductQuantizer(
+                    m=m, ks=ks, opq_iterations=opq_iterations, seed=seed
+                )
+            )
+            self.name = "opq"
+        else:
+            self.quantizer = ProductQuantizer(m=m, ks=ks, seed=seed)
+        self.rerank = rerank
+        self._codes: np.ndarray | None = None
+
+    def _build(self) -> None:
+        data = self._vectors.astype(np.float64)
+        if hasattr(self.quantizer, "pq"):
+            self.quantizer.pq.ks = min(self.quantizer.pq.ks, data.shape[0])
+        else:
+            self.quantizer.ks = min(self.quantizer.ks, data.shape[0])
+        self.quantizer.train(data)
+        self._codes = self.quantizer.encode(data)
+
+    def _search(
+        self,
+        query: np.ndarray,
+        k: int,
+        allowed: np.ndarray | None,
+        stats: SearchStats,
+        rerank: int | None = None,
+        **params: Any,
+    ) -> list[SearchHit]:
+        if params:
+            raise TypeError(f"PqIndex.search got unknown params {sorted(params)}")
+        rerank = rerank if rerank is not None else self.rerank
+        keep = self._mask_for(self._ids, allowed)
+        if allowed is not None:
+            stats.predicate_evaluations += self._ids.shape[0]
+            stats.predicate_rejections += int(np.count_nonzero(~keep))
+        positions = np.flatnonzero(keep)
+        if positions.shape[0] == 0:
+            return []
+        dists = self.quantizer.adc_distances(
+            query.astype(np.float64), self._codes[positions]
+        )
+        stats.distance_computations += positions.shape[0]
+        stats.candidates_examined += positions.shape[0]
+        if rerank:
+            fetch = min(max(k, rerank), positions.shape[0])
+            part = np.argpartition(dists, fetch - 1)[:fetch] if positions.shape[
+                0
+            ] > fetch else np.arange(positions.shape[0])
+            take = positions[part]
+            exact = self.score.distances(query, self._vectors[take])
+            stats.distance_computations += take.shape[0]
+            return topk_from_arrays(self._ids[take], exact, k)
+        return topk_from_arrays(self._ids[positions], dists, k)
+
+    def memory_bytes(self) -> int:
+        return 0 if self._codes is None else self._codes.nbytes
+
+
+class SqIndex(VectorIndex):
+    """Whole-collection scalar-quantized codes (the tutorial's SQ index)."""
+
+    name = "sq"
+    family = "table"
+
+    def __init__(self, score: Score | str = "l2", bits: int = 8, rerank: int = 0):
+        super().__init__(score)
+        self.sq = ScalarQuantizer(bits=bits)
+        self.rerank = rerank
+        self._codes: np.ndarray | None = None
+
+    def _build(self) -> None:
+        data = self._vectors.astype(np.float64)
+        self.sq.train(data)
+        self._codes = self.sq.encode(data)
+
+    def _search(
+        self,
+        query: np.ndarray,
+        k: int,
+        allowed: np.ndarray | None,
+        stats: SearchStats,
+        rerank: int | None = None,
+        **params: Any,
+    ) -> list[SearchHit]:
+        if params:
+            raise TypeError(f"SqIndex.search got unknown params {sorted(params)}")
+        rerank = rerank if rerank is not None else self.rerank
+        keep = self._mask_for(self._ids, allowed)
+        if allowed is not None:
+            stats.predicate_evaluations += self._ids.shape[0]
+            stats.predicate_rejections += int(np.count_nonzero(~keep))
+        positions = np.flatnonzero(keep)
+        if positions.shape[0] == 0:
+            return []
+        dists = self.sq.squared_distances(
+            query.astype(np.float64), self._codes[positions]
+        )
+        stats.distance_computations += positions.shape[0]
+        stats.candidates_examined += positions.shape[0]
+        if rerank:
+            fetch = min(max(k, rerank), positions.shape[0])
+            part = np.argpartition(dists, fetch - 1)[:fetch] if positions.shape[
+                0
+            ] > fetch else np.arange(positions.shape[0])
+            take = positions[part]
+            exact = self.score.distances(query, self._vectors[take])
+            stats.distance_computations += take.shape[0]
+            return topk_from_arrays(self._ids[take], exact, k)
+        return topk_from_arrays(self._ids[positions], dists, k)
+
+    def memory_bytes(self) -> int:
+        return 0 if self._codes is None else self._codes.nbytes

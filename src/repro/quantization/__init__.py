@@ -1,0 +1,40 @@
+"""Vector compression: k-means, SQ, PQ, OPQ, IVFADC, blocked ADC scans."""
+
+from .fastscan import (
+    FastScanPQ,
+    QuantizedTable,
+    blocked_adc_scan,
+    naive_adc_scan,
+    quantize_table,
+    table_quantization_error,
+    transpose_codes,
+)
+from .anisotropic import AnisotropicQuantizer
+from .ivfadc import IvfAdc, IvfAdcSearchStats
+from .kmeans import KMeansResult, assign, assign_topn, kmeans, kmeans_pp_init
+from .opq import OptimizedProductQuantizer
+from .pq import ProductQuantizer
+from .residual import ResidualQuantizer
+from .scalar import ScalarQuantizer
+
+__all__ = [
+    "AnisotropicQuantizer",
+    "FastScanPQ",
+    "ResidualQuantizer",
+    "IvfAdc",
+    "IvfAdcSearchStats",
+    "KMeansResult",
+    "OptimizedProductQuantizer",
+    "ProductQuantizer",
+    "QuantizedTable",
+    "ScalarQuantizer",
+    "assign",
+    "assign_topn",
+    "blocked_adc_scan",
+    "kmeans",
+    "kmeans_pp_init",
+    "naive_adc_scan",
+    "quantize_table",
+    "table_quantization_error",
+    "transpose_codes",
+]

@@ -1,0 +1,140 @@
+"""IVFADC [49]: inverted file + asymmetric distance computation (§2.2).
+
+The collection is coarsely partitioned by k-means into ``nlist`` cells;
+within a cell, each vector is stored as the PQ code of its *residual*
+(vector minus cell centroid).  A query probes the ``nprobe`` nearest
+cells and scores candidates with one ADC table per probed cell (built on
+the query residual), never touching full vectors.
+
+This module exposes the quantizer-level object; the searchable index
+wrapper lives in :mod:`repro.index.ivf`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.errors import IndexNotBuiltError
+from .kmeans import assign_topn, kmeans
+from .pq import ProductQuantizer
+
+
+@dataclass
+class IvfAdcSearchStats:
+    cells_probed: int = 0
+    codes_scanned: int = 0
+
+
+class IvfAdc:
+    """Coarse quantizer + PQ-on-residuals storage and ADC search.
+
+    Parameters
+    ----------
+    nlist:
+        Number of coarse k-means cells.
+    m, ks:
+        Product quantizer shape for the residual codes.
+    """
+
+    def __init__(self, nlist: int = 64, m: int = 8, ks: int = 256, seed: int = 0):
+        if nlist <= 0:
+            raise ValueError("nlist must be positive")
+        self.nlist = nlist
+        self.pq = ProductQuantizer(m=m, ks=ks, seed=seed)
+        self.seed = seed
+        self.centroids: np.ndarray | None = None
+        self._cell_ids: list[np.ndarray] = []  # external ids per cell
+        self._cell_codes: list[np.ndarray] = []  # (n_i, m) uint8 per cell
+        self.dim: int | None = None
+
+    @property
+    def is_trained(self) -> bool:
+        return self.centroids is not None
+
+    def _require_trained(self) -> None:
+        if not self.is_trained:
+            raise IndexNotBuiltError("IvfAdc.train() has not been called")
+
+    def train(self, data: np.ndarray) -> "IvfAdc":
+        """Learn the coarse centroids and the residual PQ codebooks."""
+        data = np.asarray(data, dtype=np.float64)
+        if data.ndim != 2 or data.shape[0] < self.nlist:
+            raise ValueError(
+                f"need >= nlist={self.nlist} training vectors, got {data.shape}"
+            )
+        self.dim = data.shape[1]
+        coarse = kmeans(data, self.nlist, seed=self.seed)
+        self.centroids = coarse.centroids
+        residuals = data - self.centroids[coarse.assignments]
+        self.pq.train(residuals)
+        self._cell_ids = [np.empty(0, dtype=np.int64) for _ in range(self.nlist)]
+        self._cell_codes = [
+            np.empty((0, self.pq.m), dtype=np.uint8) for _ in range(self.nlist)
+        ]
+        return self
+
+    def add(self, ids: np.ndarray, vectors: np.ndarray) -> None:
+        """Encode vectors into their cells' posting lists."""
+        self._require_trained()
+        vectors = np.atleast_2d(np.asarray(vectors, dtype=np.float64))
+        ids = np.asarray(ids, dtype=np.int64)
+        if ids.shape[0] != vectors.shape[0]:
+            raise ValueError("ids and vectors length mismatch")
+        cells = assign_topn(vectors, self.centroids, 1)[:, 0]
+        residuals = vectors - self.centroids[cells]
+        codes = self.pq.encode(residuals)
+        for cell in np.unique(cells):
+            mask = cells == cell
+            self._cell_ids[cell] = np.concatenate([self._cell_ids[cell], ids[mask]])
+            self._cell_codes[cell] = np.vstack(
+                [self._cell_codes[cell], codes[mask]]
+            )
+
+    def search(
+        self, query: np.ndarray, k: int, nprobe: int = 8
+    ) -> tuple[np.ndarray, np.ndarray, IvfAdcSearchStats]:
+        """Return (ids, squared_distances, stats) of the ADC top-k."""
+        self._require_trained()
+        query = np.asarray(query, dtype=np.float64).reshape(-1)
+        nprobe = max(1, min(nprobe, self.nlist))
+        probe_cells = assign_topn(query[None, :], self.centroids, nprobe)[0]
+        stats = IvfAdcSearchStats()
+
+        all_ids: list[np.ndarray] = []
+        all_dists: list[np.ndarray] = []
+        for cell in probe_cells:
+            codes = self._cell_codes[cell]
+            if codes.shape[0] == 0:
+                continue
+            stats.cells_probed += 1
+            stats.codes_scanned += codes.shape[0]
+            table = self.pq.adc_table(query - self.centroids[cell])
+            all_ids.append(self._cell_ids[cell])
+            all_dists.append(self.pq.lookup(table, codes))
+        if not all_ids:
+            return (
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.float64),
+                stats,
+            )
+        ids = np.concatenate(all_ids)
+        dists = np.concatenate(all_dists)
+        k = min(k, ids.shape[0])
+        part = np.argpartition(dists, k - 1)[:k] if ids.shape[0] > k else np.arange(
+            ids.shape[0]
+        )
+        order = part[np.argsort(dists[part], kind="stable")]
+        return ids[order], dists[order], stats
+
+    def memory_bytes(self) -> int:
+        """Approximate resident size: centroids + codes + id lists."""
+        self._require_trained()
+        centroid_bytes = self.centroids.nbytes
+        code_bytes = sum(c.nbytes for c in self._cell_codes)
+        id_bytes = sum(i.nbytes for i in self._cell_ids)
+        return centroid_bytes + code_bytes + id_bytes
+
+    def __len__(self) -> int:
+        return sum(len(ids) for ids in self._cell_ids)

@@ -1,0 +1,124 @@
+"""Residual (hierarchical) quantization [89] (§2.2).
+
+Where PQ splits the *dimensions*, a residual quantizer stacks
+codebooks: level 0 quantizes the vector, level 1 quantizes the
+remaining residual, and so on.  Reconstruction is the sum of one
+codeword per level, so error decreases with depth while the code stays
+``levels`` bytes.
+
+ADC uses the expansion  d^2(q, x_hat) = ||q||^2 - 2 q.x_hat + ||x_hat||^2:
+``q . x_hat`` is a sum of per-level inner-product table lookups, and
+``||x_hat||^2`` is precomputed per database code at encode time —
+so queries never reconstruct vectors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.errors import IndexNotBuiltError
+from ..core.types import VECTOR_DTYPE
+from .kmeans import kmeans
+
+
+class ResidualQuantizer:
+    """A stack of ``levels`` k-means codebooks over successive residuals.
+
+    Parameters
+    ----------
+    levels:
+        Codebooks in the cascade (bytes per code).
+    ks:
+        Centroids per level (<= 256).
+    """
+
+    def __init__(self, levels: int = 4, ks: int = 256, seed: int = 0):
+        if levels <= 0:
+            raise ValueError("levels must be positive")
+        if not 2 <= ks <= 256:
+            raise ValueError("ks must be in [2, 256]")
+        self.levels = levels
+        self.ks = ks
+        self.seed = seed
+        self.dim: int | None = None
+        self._codebooks: np.ndarray | None = None  # (levels, ks, d)
+
+    @property
+    def is_trained(self) -> bool:
+        return self._codebooks is not None
+
+    def _require_trained(self) -> None:
+        if not self.is_trained:
+            raise IndexNotBuiltError("ResidualQuantizer.train() has not been called")
+
+    def train(self, data: np.ndarray) -> "ResidualQuantizer":
+        data = np.asarray(data, dtype=np.float64)
+        if data.ndim != 2 or data.shape[0] < self.ks:
+            raise ValueError(f"need >= ks={self.ks} training rows, got {data.shape}")
+        self.dim = data.shape[1]
+        codebooks = np.empty((self.levels, self.ks, self.dim))
+        residual = data.copy()
+        for level in range(self.levels):
+            result = kmeans(residual, self.ks, seed=self.seed + level)
+            codebooks[level] = result.centroids
+            residual = residual - result.centroids[result.assignments]
+        self._codebooks = codebooks
+        return self
+
+    def encode(self, vectors: np.ndarray) -> np.ndarray:
+        """(n, levels) uint8 codes (greedy per-level assignment)."""
+        self._require_trained()
+        vectors = np.atleast_2d(np.asarray(vectors, dtype=np.float64))
+        if vectors.shape[1] != self.dim:
+            raise ValueError(f"expected dim {self.dim}, got {vectors.shape[1]}")
+        codes = np.empty((vectors.shape[0], self.levels), dtype=np.uint8)
+        residual = vectors.copy()
+        for level in range(self.levels):
+            cb = self._codebooks[level]
+            sq = (
+                np.einsum("ij,ij->i", residual, residual)[:, None]
+                + np.einsum("ij,ij->i", cb, cb)[None, :]
+                - 2.0 * residual @ cb.T
+            )
+            chosen = sq.argmin(axis=1)
+            codes[:, level] = chosen
+            residual -= cb[chosen]
+        return codes
+
+    def decode(self, codes: np.ndarray) -> np.ndarray:
+        self._require_trained()
+        codes = np.atleast_2d(codes)
+        out = np.zeros((codes.shape[0], self.dim))
+        for level in range(self.levels):
+            out += self._codebooks[level][codes[:, level]]
+        return out.astype(VECTOR_DTYPE)
+
+    def reconstruction_norms_sq(self, codes: np.ndarray) -> np.ndarray:
+        """||x_hat||^2 per code — stored alongside codes for ADC."""
+        decoded = self.decode(codes).astype(np.float64)
+        return np.einsum("ij,ij->i", decoded, decoded)
+
+    def adc_distances(
+        self, query: np.ndarray, codes: np.ndarray,
+        norms_sq: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Squared L2 from a float query to coded vectors, table-based."""
+        self._require_trained()
+        query = np.asarray(query, dtype=np.float64).reshape(-1)
+        codes = np.atleast_2d(codes)
+        if norms_sq is None:
+            norms_sq = self.reconstruction_norms_sq(codes)
+        # q . x_hat = sum over levels of q . codeword[level]
+        ip = np.zeros(codes.shape[0])
+        for level in range(self.levels):
+            table = self._codebooks[level] @ query  # (ks,)
+            ip += table[codes[:, level]]
+        return float(query @ query) - 2.0 * ip + norms_sq
+
+    def quantization_error(self, data: np.ndarray) -> float:
+        data = np.atleast_2d(np.asarray(data, dtype=np.float64))
+        recon = self.decode(self.encode(data)).astype(np.float64)
+        return float(np.mean(np.sum((data - recon) ** 2, axis=1)))
+
+    def code_size_bytes(self) -> int:
+        return self.levels

@@ -1,0 +1,46 @@
+"""Similarity scores: basic, aggregate, and learned (§2.1 of the paper)."""
+
+from .aggregate import AGGREGATORS, AggregateScore, WeightedSumAggregator
+from .basic import (
+    CosineScore,
+    EuclideanScore,
+    HammingScore,
+    InnerProductScore,
+    MahalanobisScore,
+    MinkowskiScore,
+    Score,
+    SquaredEuclideanScore,
+    normalize_rows,
+)
+from .learned import MetricLearningResult, learn_mahalanobis
+from .registry import available_scores, get_score, register_score
+from .selection import (
+    ScoreRecommendation,
+    concentration_ratio,
+    recommend_score,
+    relative_contrast,
+)
+
+__all__ = [
+    "AGGREGATORS",
+    "AggregateScore",
+    "CosineScore",
+    "EuclideanScore",
+    "HammingScore",
+    "InnerProductScore",
+    "MahalanobisScore",
+    "MetricLearningResult",
+    "MinkowskiScore",
+    "Score",
+    "ScoreRecommendation",
+    "SquaredEuclideanScore",
+    "WeightedSumAggregator",
+    "available_scores",
+    "concentration_ratio",
+    "get_score",
+    "learn_mahalanobis",
+    "normalize_rows",
+    "recommend_score",
+    "register_score",
+    "relative_contrast",
+]

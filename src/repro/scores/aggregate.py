@@ -1,0 +1,125 @@
+"""Aggregate scores for multi-vector queries and entities (§2.1).
+
+When an entity (or a query) is represented by several feature vectors, the
+per-vector scores must be combined into one scalar so results can be
+ranked.  The tutorial lists mean and weighted-sum aggregation [79]; we add
+min and max, which correspond to "best single facet matches" and
+"all facets must match" semantics respectively.
+
+An :class:`AggregateScore` wraps a base :class:`~repro.scores.basic.Score`
+and scores *groups* of vectors against *groups* of query vectors.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .basic import Score
+
+# An aggregator reduces an (n_query_vectors, n_entity_vectors) distance
+# matrix to one scalar distance for the entity.
+Aggregator = Callable[[np.ndarray], float]
+
+
+def mean_aggregator(block: np.ndarray) -> float:
+    return float(block.mean())
+
+
+def min_aggregator(block: np.ndarray) -> float:
+    """Closest pair wins: good for "any facet matches" retrieval."""
+    return float(block.min())
+
+
+def max_aggregator(block: np.ndarray) -> float:
+    """Worst pair decides: all query facets must be close."""
+    return float(block.max())
+
+
+def sum_of_min_aggregator(block: np.ndarray) -> float:
+    """ColBERT-style late interaction: each query vector takes its best
+    match among the entity's vectors, then the per-query-vector distances
+    are summed."""
+    return float(block.min(axis=1).sum())
+
+
+class WeightedSumAggregator:
+    """Weighted sum over query vectors (weights sum need not be 1).
+
+    Each query vector's best distance to the entity is weighted; this is
+    the "weighted sum" aggregate of [79] generalized to multi-vector
+    entities.
+    """
+
+    def __init__(self, weights: Sequence[float]):
+        self.weights = np.asarray(weights, dtype=np.float64)
+        if self.weights.ndim != 1:
+            raise ValueError("weights must be one-dimensional")
+
+    def __call__(self, block: np.ndarray) -> float:
+        if block.shape[0] != self.weights.shape[0]:
+            raise ValueError(
+                f"{block.shape[0]} query vectors but {self.weights.shape[0]} weights"
+            )
+        return float(self.weights @ block.min(axis=1))
+
+
+AGGREGATORS: dict[str, Aggregator] = {
+    "mean": mean_aggregator,
+    "min": min_aggregator,
+    "max": max_aggregator,
+    "sum_of_min": sum_of_min_aggregator,
+}
+
+
+class AggregateScore:
+    """Scores multi-vector entities against multi-vector queries.
+
+    Parameters
+    ----------
+    base:
+        The per-vector score used for each (query vector, entity vector)
+        pair.
+    aggregator:
+        Name from :data:`AGGREGATORS` or any callable reducing a distance
+        block to a scalar.
+    """
+
+    def __init__(self, base: Score, aggregator: str | Aggregator = "mean"):
+        self.base = base
+        if isinstance(aggregator, str):
+            try:
+                self.aggregator: Aggregator = AGGREGATORS[aggregator]
+            except KeyError:
+                known = ", ".join(sorted(AGGREGATORS))
+                raise ValueError(
+                    f"unknown aggregator {aggregator!r}; known: {known}"
+                ) from None
+        else:
+            self.aggregator = aggregator
+
+    def entity_distance(
+        self, query_vectors: np.ndarray, entity_vectors: np.ndarray
+    ) -> float:
+        """Aggregate distance between one query group and one entity group."""
+        block = self.base.pairwise(
+            np.atleast_2d(query_vectors), np.atleast_2d(entity_vectors)
+        )
+        return self.aggregator(block)
+
+    def distances(
+        self,
+        query_vectors: np.ndarray,
+        entities: Sequence[np.ndarray],
+    ) -> np.ndarray:
+        """Aggregate distance from the query group to each entity group."""
+        query_vectors = np.atleast_2d(query_vectors)
+        return np.array(
+            [self.entity_distance(query_vectors, ev) for ev in entities],
+            dtype=np.float64,
+        )
+
+    def __repr__(self) -> str:
+        agg = getattr(self.aggregator, "__name__", repr(self.aggregator))
+        return f"AggregateScore(base={self.base!r}, aggregator={agg})"

@@ -1,0 +1,274 @@
+"""Basic similarity scores (§2.1 "Score Design").
+
+The tutorial classifies scores into *basic*, *aggregate*, and *learned*.
+This module implements the basic scores it lists: Hamming distance, inner
+product, cosine angle, Minkowski distance (including fractional norms),
+and Mahalanobis distance.
+
+Every score is exposed through the :class:`Score` interface, which maps
+similarity onto a **distance** (smaller is better).  Similarity scores
+(inner product, cosine) are negated or inverted so that indexes, top-k
+operators, and the executor can all sort in one direction.  The raw
+similarity is recoverable via :meth:`Score.similarity`.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from ..core.types import VECTOR_DTYPE
+
+
+class Score(abc.ABC):
+    """A similarity score expressed as a distance (smaller is better)."""
+
+    #: registry name; subclasses override.
+    name: str = "abstract"
+    #: True when the underlying measure is a proper metric (triangle
+    #: inequality holds), which some indexes (k-d tree pruning) rely on.
+    is_metric: bool = False
+
+    @abc.abstractmethod
+    def distances(self, query: np.ndarray, vectors: np.ndarray) -> np.ndarray:
+        """Distances from one query (d,) to each row of ``vectors`` (n, d)."""
+
+    def pairwise(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """(len(a), len(b)) distance matrix.  Generic row-by-row fallback."""
+        a = np.atleast_2d(a)
+        b = np.atleast_2d(b)
+        out = np.empty((a.shape[0], b.shape[0]), dtype=np.float64)
+        for i, row in enumerate(a):
+            out[i] = self.distances(row, b)
+        return out
+
+    def similarity(self, distance: np.ndarray | float):
+        """Map a distance back to the natural similarity orientation.
+
+        For true distances this is the identity negated is meaningless, so
+        the default returns ``-distance`` (bigger similarity = closer).
+        """
+        return -np.asarray(distance, dtype=np.float64)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class EuclideanScore(Score):
+    """L2 distance, the default score of most VDBMSs."""
+
+    name = "l2"
+    is_metric = True
+
+    def distances(self, query: np.ndarray, vectors: np.ndarray) -> np.ndarray:
+        diff = vectors - query
+        return np.sqrt(np.einsum("ij,ij->i", diff, diff))
+
+    def pairwise(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        a = np.atleast_2d(np.asarray(a, dtype=np.float64))
+        b = np.atleast_2d(np.asarray(b, dtype=np.float64))
+        # ||a-b||^2 = ||a||^2 + ||b||^2 - 2 a.b, clipped for fp error.
+        sq = (
+            np.sum(a * a, axis=1)[:, None]
+            + np.sum(b * b, axis=1)[None, :]
+            - 2.0 * (a @ b.T)
+        )
+        return np.sqrt(np.clip(sq, 0.0, None))
+
+
+class SquaredEuclideanScore(Score):
+    """Squared L2: same ordering as L2 but cheaper (no sqrt).
+
+    Not a metric (triangle inequality fails), so tree pruning bounds must
+    not assume it; ordering-only consumers (top-k) may use it freely.
+    """
+
+    name = "sqeuclidean"
+    is_metric = False
+
+    def distances(self, query: np.ndarray, vectors: np.ndarray) -> np.ndarray:
+        diff = vectors - query
+        return np.einsum("ij,ij->i", diff, diff)
+
+    def pairwise(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return EuclideanScore().pairwise(a, b) ** 2
+
+
+class InnerProductScore(Score):
+    """Negative inner product (maximum inner product search, MIPS)."""
+
+    name = "ip"
+    is_metric = False
+
+    def distances(self, query: np.ndarray, vectors: np.ndarray) -> np.ndarray:
+        return -(vectors @ query)
+
+    def pairwise(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        a = np.atleast_2d(a)
+        b = np.atleast_2d(b)
+        return -(a @ b.T)
+
+    def similarity(self, distance):
+        return -np.asarray(distance, dtype=np.float64)
+
+
+class CosineScore(Score):
+    """Cosine distance ``1 - cos(a, b)``.
+
+    Zero vectors are treated as orthogonal to everything (distance 1),
+    matching the convention of pgvector.
+    """
+
+    name = "cosine"
+    is_metric = False
+
+    def distances(self, query: np.ndarray, vectors: np.ndarray) -> np.ndarray:
+        # Upcast so norms of tiny (subnormal float32) rows do not underflow
+        # to zero and disagree with pairwise().
+        query = np.asarray(query, dtype=np.float64)
+        vectors = np.asarray(vectors, dtype=np.float64)
+        qn = np.linalg.norm(query)
+        vn = np.linalg.norm(vectors, axis=1)
+        denom = qn * vn
+        with np.errstate(divide="ignore", invalid="ignore"):
+            cos = np.where(denom > 0, (vectors @ query) / denom, 0.0)
+        return 1.0 - np.clip(cos, -1.0, 1.0)
+
+    def pairwise(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        a = np.atleast_2d(np.asarray(a, dtype=np.float64))
+        b = np.atleast_2d(np.asarray(b, dtype=np.float64))
+        an = np.linalg.norm(a, axis=1)[:, None]
+        bn = np.linalg.norm(b, axis=1)[None, :]
+        denom = an * bn
+        with np.errstate(divide="ignore", invalid="ignore"):
+            cos = np.where(denom > 0, (a @ b.T) / denom, 0.0)
+        return 1.0 - np.clip(cos, -1.0, 1.0)
+
+    def similarity(self, distance):
+        return 1.0 - np.asarray(distance, dtype=np.float64)
+
+
+class MinkowskiScore(Score):
+    """Minkowski (L_p) distance for any p > 0, plus L-infinity.
+
+    Fractional p < 1 gives a quasinorm; the tutorial cites its use (and
+    limits) as a curse-of-dimensionality mitigation [22, 61].
+    """
+
+    name = "minkowski"
+
+    def __init__(self, p: float = 2.0):
+        if p != np.inf and p <= 0:
+            raise ValueError(f"p must be positive or inf, got {p}")
+        self.p = float(p)
+        self.is_metric = p >= 1.0
+        if p == 1.0:
+            self.name = "l1"
+        elif p == 2.0:
+            self.name = "l2"
+        elif p == np.inf:
+            self.name = "linf"
+        else:
+            self.name = f"minkowski_p{p:g}"
+
+    def distances(self, query: np.ndarray, vectors: np.ndarray) -> np.ndarray:
+        diff = np.abs(vectors - query)
+        if self.p == np.inf:
+            return diff.max(axis=1)
+        if self.p == 1.0:
+            return diff.sum(axis=1)
+        return np.power(np.power(diff, self.p).sum(axis=1), 1.0 / self.p)
+
+    def __repr__(self) -> str:
+        return f"MinkowskiScore(p={self.p!r})"
+
+
+class HammingScore(Score):
+    """Hamming distance over binary or integer-coded vectors.
+
+    Vectors are compared element-wise; the distance is the number of
+    positions that differ.  Float inputs are binarized at 0.5 so that the
+    score also works on {0,1}-valued float32 collections.
+    """
+
+    name = "hamming"
+    is_metric = True
+
+    @staticmethod
+    def _binarize(x: np.ndarray) -> np.ndarray:
+        if np.issubdtype(x.dtype, np.floating):
+            return x >= 0.5
+        return x.astype(bool) if x.dtype != bool else x
+
+    def distances(self, query: np.ndarray, vectors: np.ndarray) -> np.ndarray:
+        q = self._binarize(np.asarray(query))
+        v = self._binarize(np.asarray(vectors))
+        return (v != q).sum(axis=1).astype(np.float64)
+
+    def pairwise(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        a = self._binarize(np.atleast_2d(np.asarray(a)))
+        b = self._binarize(np.atleast_2d(np.asarray(b)))
+        # XOR via broadcasting in blocks to bound memory.
+        out = np.empty((a.shape[0], b.shape[0]), dtype=np.float64)
+        for i, row in enumerate(a):
+            out[i] = (b != row).sum(axis=1)
+        return out
+
+
+class MahalanobisScore(Score):
+    """Mahalanobis distance under a positive-definite matrix ``M``.
+
+    ``d(x, y) = sqrt((x-y)^T M (x-y))``.  With ``M`` the inverse data
+    covariance this whitens correlated dimensions; with a learned ``M``
+    (see :mod:`repro.scores.learned`) it is a learned score.
+    """
+
+    name = "mahalanobis"
+    is_metric = True
+
+    def __init__(self, matrix: np.ndarray):
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+            raise ValueError("matrix must be square")
+        # Cholesky both validates positive-definiteness and gives a linear
+        # map L so that d_M(x,y) = ||L^T (x-y)||_2.
+        self._chol = np.linalg.cholesky(matrix)
+        self.matrix = matrix
+
+    @classmethod
+    def from_data(cls, data: np.ndarray, regularization: float = 1e-6):
+        """Whitening Mahalanobis: M = (cov(data) + eps I)^-1."""
+        data = np.asarray(data, dtype=np.float64)
+        cov = np.cov(data, rowvar=False)
+        cov = np.atleast_2d(cov)
+        cov += regularization * np.eye(cov.shape[0])
+        return cls(np.linalg.inv(cov))
+
+    def _transform(self, x: np.ndarray) -> np.ndarray:
+        return np.asarray(x, dtype=np.float64) @ self._chol
+
+    def distances(self, query: np.ndarray, vectors: np.ndarray) -> np.ndarray:
+        diff = self._transform(vectors) - self._transform(query)
+        return np.sqrt(np.einsum("ij,ij->i", np.atleast_2d(diff), np.atleast_2d(diff)))
+
+    def pairwise(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return EuclideanScore().pairwise(
+            self._transform(np.atleast_2d(a)), self._transform(np.atleast_2d(b))
+        )
+
+    def __repr__(self) -> str:
+        return f"MahalanobisScore(dim={self.matrix.shape[0]})"
+
+
+def normalize_rows(vectors: np.ndarray) -> np.ndarray:
+    """Unit-normalize rows; zero rows stay zero.
+
+    Cosine search over normalized vectors reduces to inner product, the
+    standard trick real systems use to reuse an IP or L2 index for cosine.
+    """
+    vectors = np.asarray(vectors, dtype=VECTOR_DTYPE)
+    norms = np.linalg.norm(vectors, axis=-1, keepdims=True)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        out = np.where(norms > 0, vectors / norms, vectors)
+    return out.astype(VECTOR_DTYPE)

@@ -1,0 +1,57 @@
+"""Score registry: resolve score names to :class:`Score` instances."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..core.errors import UnknownScoreError
+from .basic import (
+    CosineScore,
+    EuclideanScore,
+    HammingScore,
+    InnerProductScore,
+    MinkowskiScore,
+    Score,
+    SquaredEuclideanScore,
+)
+
+_FACTORIES: dict[str, Callable[[], Score]] = {
+    "l2": EuclideanScore,
+    "euclidean": EuclideanScore,
+    "sqeuclidean": SquaredEuclideanScore,
+    "ip": InnerProductScore,
+    "inner_product": InnerProductScore,
+    "dot": InnerProductScore,
+    "cosine": CosineScore,
+    "hamming": HammingScore,
+    "l1": lambda: MinkowskiScore(1.0),
+    "manhattan": lambda: MinkowskiScore(1.0),
+    "linf": lambda: MinkowskiScore(np.inf),
+    "chebyshev": lambda: MinkowskiScore(np.inf),
+}
+
+
+def register_score(name: str, factory: Callable[[], Score]) -> None:
+    """Register a custom score factory under ``name``."""
+    _FACTORIES[name.lower()] = factory
+
+
+def available_scores() -> list[str]:
+    return sorted(_FACTORIES)
+
+
+def get_score(name_or_score: str | Score) -> Score:
+    """Resolve a score name (or pass a Score through unchanged)."""
+    if isinstance(name_or_score, Score):
+        return name_or_score
+    key = str(name_or_score).lower()
+    if key.startswith("minkowski:"):
+        return MinkowskiScore(float(key.split(":", 1)[1]))
+    try:
+        return _FACTORIES[key]()
+    except KeyError:
+        raise UnknownScoreError(
+            f"unknown score {name_or_score!r}; available: {', '.join(available_scores())}"
+        ) from None

@@ -1,0 +1,145 @@
+"""Score selection and curse-of-dimensionality diagnostics (§2.1).
+
+The tutorial calls automatic score selection an open problem but surveys
+the ingredients: distance concentration makes some scores meaningless in
+high dimension [22, 30, 61], and the right score depends on data geometry
+(normalized vs unnormalized embeddings, binary codes, correlated axes).
+
+We implement the measurable part:
+
+* :func:`relative_contrast` — the classic meaningfulness diagnostic from
+  Beyer et al. [30]: the ratio of farthest to nearest neighbor distance.
+  As it approaches 1, nearest-neighbor search stops being informative.
+* :func:`concentration_ratio` — std/mean of pairwise distances, another
+  concentration measure.
+* :func:`recommend_score` — a transparent rule-based recommender using
+  those diagnostics plus simple data properties, in the spirit of
+  EuclidesDB's "query many scores, let the caller pick" compromise [14].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .basic import (
+    CosineScore,
+    EuclideanScore,
+    HammingScore,
+    InnerProductScore,
+    Score,
+)
+
+
+def _sample_rows(data: np.ndarray, n: int, rng: np.random.Generator) -> np.ndarray:
+    if data.shape[0] <= n:
+        return data
+    return data[rng.choice(data.shape[0], size=n, replace=False)]
+
+
+def relative_contrast(
+    data: np.ndarray,
+    score: Score | None = None,
+    n_queries: int = 32,
+    seed: int = 0,
+) -> float:
+    """Mean ratio D_max / D_min over sampled queries (Beyer et al.).
+
+    Values near 1 indicate distance concentration: the nearest and the
+    farthest points are almost equally far, so the score carries little
+    information.  Higher is better.
+    """
+    data = np.asarray(data, dtype=np.float64)
+    score = score or EuclideanScore()
+    rng = np.random.default_rng(seed)
+    queries = _sample_rows(data, n_queries, rng)
+    ratios = []
+    for q in queries:
+        d = score.distances(q, data)
+        d = d[d > 0]  # exclude the query itself if present
+        if d.size == 0:
+            continue
+        dmin = d.min()
+        if dmin <= 0:
+            continue
+        ratios.append(d.max() / dmin)
+    return float(np.mean(ratios)) if ratios else 1.0
+
+
+def concentration_ratio(
+    data: np.ndarray,
+    score: Score | None = None,
+    n_samples: int = 256,
+    seed: int = 0,
+) -> float:
+    """std/mean of sampled pairwise distances; lower = more concentrated."""
+    data = np.asarray(data, dtype=np.float64)
+    score = score or EuclideanScore()
+    rng = np.random.default_rng(seed)
+    sample = _sample_rows(data, n_samples, rng)
+    dmat = score.pairwise(sample, sample)
+    upper = dmat[np.triu_indices(dmat.shape[0], k=1)]
+    mean = upper.mean()
+    if mean == 0:
+        return 0.0
+    return float(upper.std() / mean)
+
+
+@dataclass
+class ScoreRecommendation:
+    """A recommended score plus the evidence behind the recommendation."""
+
+    score: Score
+    reason: str
+    diagnostics: dict[str, float]
+
+
+def recommend_score(data: np.ndarray, seed: int = 0) -> ScoreRecommendation:
+    """Pick a sensible score for a dataset from measurable properties.
+
+    Rules, in priority order:
+
+    1. Binary-valued data -> Hamming.
+    2. (Near-)unit-norm rows -> inner product (equivalent to cosine on the
+       sphere, and cheaper).
+    3. Widely varying norms -> cosine, to stop magnitude from dominating.
+    4. Otherwise -> Euclidean; if its relative contrast is very low the
+       recommendation notes the concentration risk.
+    """
+    data = np.asarray(data, dtype=np.float64)
+    diagnostics: dict[str, float] = {}
+
+    unique_vals = np.unique(data[: min(len(data), 64)])
+    if unique_vals.size <= 2 and np.all(np.isin(unique_vals, (0.0, 1.0))):
+        return ScoreRecommendation(
+            HammingScore(), "binary-valued vectors", {"unique_values": float(unique_vals.size)}
+        )
+
+    norms = np.linalg.norm(data, axis=1)
+    diagnostics["norm_mean"] = float(norms.mean())
+    diagnostics["norm_cv"] = float(norms.std() / norms.mean()) if norms.mean() else 0.0
+
+    if abs(diagnostics["norm_mean"] - 1.0) < 0.05 and diagnostics["norm_cv"] < 0.05:
+        return ScoreRecommendation(
+            InnerProductScore(),
+            "rows are (near-)unit-norm: inner product == cosine and is cheapest",
+            diagnostics,
+        )
+
+    if diagnostics["norm_cv"] > 0.5:
+        return ScoreRecommendation(
+            CosineScore(),
+            "row norms vary widely; cosine removes magnitude effects",
+            diagnostics,
+        )
+
+    contrast = relative_contrast(data, EuclideanScore(), seed=seed)
+    diagnostics["relative_contrast"] = contrast
+    reason = "general-purpose Euclidean distance"
+    if contrast < 1.5:
+        reason += (
+            f" (warning: relative contrast {contrast:.2f} is low; distances are"
+            " concentrated and nearest-neighbor results may be unstable)"
+        )
+    return ScoreRecommendation(EuclideanScore(), reason, diagnostics)

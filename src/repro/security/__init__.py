@@ -1,0 +1,5 @@
+"""Secure vector search (§2.6(4) — open problem, prototyped here)."""
+
+from .dcpe import DcpeKey, SecureKnnClient, SecureSearchServer
+
+__all__ = ["DcpeKey", "SecureKnnClient", "SecureSearchServer"]

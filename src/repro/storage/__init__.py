@@ -1,0 +1,25 @@
+"""Storage substrate: simulated disk, paged vector store, LSM tree."""
+
+from .disk import DiskStats, SimulatedDisk
+from .lsm import LsmStats, LsmVectorStore, SortedRun
+from .pager import BufferPool, PagedVectorStore
+from .persist import (
+    load_collection,
+    load_database,
+    save_collection,
+    save_database,
+)
+
+__all__ = [
+    "BufferPool",
+    "DiskStats",
+    "LsmStats",
+    "LsmVectorStore",
+    "PagedVectorStore",
+    "SimulatedDisk",
+    "SortedRun",
+    "load_collection",
+    "load_database",
+    "save_collection",
+    "save_database",
+]

@@ -1,0 +1,202 @@
+"""Log-structured merge (LSM) storage for out-of-place updates (§2.3).
+
+Vector indexes are data-dependent and expensive to update in place, so
+several VDBMSs (Milvus [6, 79], Manu [45]) buffer writes in an LSM tree:
+inserts and deletes land in a memtable, immutable sorted runs are flushed
+when the memtable fills, and size-tiered compaction merges runs in the
+background.  Searches consult the memtable plus every run (newest wins).
+
+Keys are integer item ids; values are float32 vectors plus an optional
+attribute dict.  Deletes are tombstones until compaction drops them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+import numpy as np
+
+from ..core.errors import StorageError
+from ..core.types import VECTOR_DTYPE, as_vector
+
+
+@dataclass(frozen=True, slots=True)
+class _Record:
+    """One versioned entry.  ``vector is None`` marks a tombstone."""
+
+    key: int
+    vector: np.ndarray | None
+    attributes: dict[str, Any] | None = None
+
+    @property
+    def is_tombstone(self) -> bool:
+        return self.vector is None
+
+
+class SortedRun:
+    """An immutable run of records sorted by key, binary-searchable."""
+
+    def __init__(self, records: list[_Record]):
+        records = sorted(records, key=lambda r: r.key)
+        keys = [r.key for r in records]
+        if len(set(keys)) != len(keys):
+            raise StorageError("duplicate keys within one run")
+        self._records = records
+        self._keys = np.asarray(keys, dtype=np.int64)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def get(self, key: int) -> _Record | None:
+        i = int(np.searchsorted(self._keys, key))
+        if i < len(self._records) and self._records[i].key == key:
+            return self._records[i]
+        return None
+
+    def __iter__(self) -> Iterator[_Record]:
+        return iter(self._records)
+
+    @property
+    def key_range(self) -> tuple[int, int]:
+        if not self._records:
+            return (0, -1)
+        return (int(self._keys[0]), int(self._keys[-1]))
+
+
+@dataclass
+class LsmStats:
+    flushes: int = 0
+    compactions: int = 0
+    records_written: int = 0
+    records_compacted: int = 0
+
+
+class LsmVectorStore:
+    """An LSM tree over (id -> vector, attributes) entries.
+
+    Parameters
+    ----------
+    dim:
+        Vector dimensionality.
+    memtable_capacity:
+        Number of entries buffered before an automatic flush.
+    max_runs:
+        Size-tiered trigger: when the number of runs exceeds this, all
+        runs are merged into one (full compaction), dropping tombstones
+        and shadowed versions.
+    """
+
+    def __init__(self, dim: int, memtable_capacity: int = 1024, max_runs: int = 4):
+        if memtable_capacity <= 0:
+            raise ValueError("memtable_capacity must be positive")
+        self.dim = dim
+        self.memtable_capacity = memtable_capacity
+        self.max_runs = max_runs
+        self._memtable: dict[int, _Record] = {}
+        self._runs: list[SortedRun] = []  # newest first
+        self.stats = LsmStats()
+
+    # ------------------------------------------------------------------ writes
+
+    def put(
+        self, key: int, vector: np.ndarray, attributes: dict[str, Any] | None = None
+    ) -> None:
+        vec = as_vector(vector, self.dim).astype(VECTOR_DTYPE)
+        self._memtable[int(key)] = _Record(int(key), vec, attributes)
+        self.stats.records_written += 1
+        if len(self._memtable) >= self.memtable_capacity:
+            self.flush()
+
+    def delete(self, key: int) -> None:
+        self._memtable[int(key)] = _Record(int(key), None)
+        self.stats.records_written += 1
+        if len(self._memtable) >= self.memtable_capacity:
+            self.flush()
+
+    def flush(self) -> None:
+        """Freeze the memtable into a new sorted run."""
+        if not self._memtable:
+            return
+        self._runs.insert(0, SortedRun(list(self._memtable.values())))
+        self._memtable = {}
+        self.stats.flushes += 1
+        if len(self._runs) > self.max_runs:
+            self.compact()
+
+    def compact(self) -> None:
+        """Merge all runs into one, dropping tombstones and old versions.
+
+        Also rewrites a single run when it carries tombstones: with no
+        older runs left to shadow, dropping them is always safe.
+        """
+        if not self._runs:
+            return
+        if len(self._runs) == 1 and not any(
+            r.is_tombstone for r in self._runs[0]
+        ):
+            return
+        live: dict[int, _Record] = {}
+        # Oldest first so newer versions overwrite older ones.
+        for run in reversed(self._runs):
+            for record in run:
+                live[record.key] = record
+                self.stats.records_compacted += 1
+        survivors = [r for r in live.values() if not r.is_tombstone]
+        self._runs = [SortedRun(survivors)] if survivors else []
+        self.stats.compactions += 1
+
+    # ------------------------------------------------------------------- reads
+
+    def get(self, key: int) -> tuple[np.ndarray, dict[str, Any] | None] | None:
+        """Point lookup: memtable first, then runs newest-to-oldest."""
+        key = int(key)
+        record = self._memtable.get(key)
+        if record is None:
+            for run in self._runs:
+                lo, hi = run.key_range
+                if lo <= key <= hi:
+                    record = run.get(key)
+                    if record is not None:
+                        break
+        if record is None or record.is_tombstone:
+            return None
+        return record.vector, record.attributes
+
+    def __contains__(self, key: int) -> bool:
+        return self.get(key) is not None
+
+    def live_items(self) -> Iterator[tuple[int, np.ndarray, dict[str, Any] | None]]:
+        """Iterate the current (post-shadowing) live records, any order."""
+        seen: set[int] = set()
+        for record in self._memtable.values():
+            seen.add(record.key)
+            if not record.is_tombstone:
+                yield record.key, record.vector, record.attributes
+        for run in self._runs:
+            for record in run:
+                if record.key in seen:
+                    continue
+                seen.add(record.key)
+                if not record.is_tombstone:
+                    yield record.key, record.vector, record.attributes
+
+    def live_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """All live records as (ids, matrix) for brute-force search."""
+        items = list(self.live_items())
+        if not items:
+            return np.empty(0, dtype=np.int64), np.empty((0, self.dim), VECTOR_DTYPE)
+        ids = np.array([k for k, _, _ in items], dtype=np.int64)
+        matrix = np.vstack([v for _, v, _ in items]).astype(VECTOR_DTYPE)
+        return ids, matrix
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.live_items())
+
+    @property
+    def num_runs(self) -> int:
+        return len(self._runs)
+
+    @property
+    def memtable_size(self) -> int:
+        return len(self._memtable)

@@ -1,0 +1,149 @@
+"""Snapshot persistence for collections and databases.
+
+Saves a collection's vectors + attributes (npz + JSON sidecar) and a
+database's configuration (score, index definitions with their
+constructor arguments).  Loading restores the data exactly and rebuilds
+the indexes deterministically — every index here takes an explicit
+``seed``, so a reloaded database answers queries identically.
+
+Layout of a snapshot directory::
+
+    snapshot/
+      collection.npz       # vectors, alive mask
+      attributes.json      # columnar attribute values
+      manifest.json        # dim, score, index definitions, versions
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any
+
+import numpy as np
+
+from ..core.errors import StorageError
+
+MANIFEST_VERSION = 1
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, np.generic):
+        return value.item()
+    return value
+
+
+def save_collection(collection, directory) -> pathlib.Path:
+    """Write a collection snapshot; returns the directory path."""
+    path = pathlib.Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(
+        path / "collection.npz",
+        vectors=collection.vectors,
+        alive=collection.alive,
+    )
+    attributes = {
+        name: [_jsonable(v) for v in collection._columns_raw[name]]
+        for name in collection.attribute_names
+    }
+    (path / "attributes.json").write_text(json.dumps({
+        "schema": list(collection.attribute_names),
+        "columns": attributes,
+    }))
+    return path
+
+
+def load_collection(directory):
+    """Restore a collection snapshot (ids, tombstones, attributes exact)."""
+    # Imported here: storage must not import core at module load time
+    # (core.database itself imports the storage package).
+    from ..core.collection import VectorCollection
+
+    path = pathlib.Path(directory)
+    npz_path = path / "collection.npz"
+    if not npz_path.exists():
+        raise StorageError(f"no collection snapshot at {path}")
+    data = np.load(npz_path)
+    vectors = data["vectors"]
+    alive = data["alive"]
+    meta = json.loads((path / "attributes.json").read_text())
+    schema = tuple(meta["schema"])
+    columns = meta["columns"]
+
+    collection = VectorCollection(vectors.shape[1] if vectors.size else 1)
+    if vectors.shape[0]:
+        collection._vectors = np.ascontiguousarray(vectors)
+        collection._alive = np.ones(vectors.shape[0], dtype=bool)
+        collection._schema = schema
+        collection._columns_raw = {name: list(columns[name]) for name in schema}
+        # Restore tombstones after rows exist.
+        collection._alive = alive.astype(bool)
+        collection._columns_cache = None
+    elif schema:
+        collection._schema = schema
+        collection._columns_raw = {name: [] for name in schema}
+    return collection
+
+
+def save_database(db, directory) -> pathlib.Path:
+    """Snapshot a database: collection + score + index definitions.
+
+    Index constructor kwargs are recorded from the instances' public
+    attributes; anything non-JSON (e.g. a shared SimulatedDisk) must be
+    re-supplied at load time, and such indexes are recorded by type only.
+    Build-time side inputs that are not constructor kwargs (e.g. the
+    labels of a FilteredHnswIndex) are not captured — re-apply them
+    after loading.
+    """
+    path = save_collection(db.collection, directory)
+    indexes = {}
+    for name, index in db.indexes.items():
+        kwargs = {}
+        for attr in ("m", "ef_construction", "ef_search", "nlist", "nprobe",
+                     "num_tables", "hashes_per_table", "hash_family",
+                     "bucket_width", "num_trees", "leaf_size", "search_k",
+                     "max_degree", "beam_width", "alpha", "graph_k",
+                     "connections", "num_postings", "closure_epsilon",
+                     "max_replicas", "nbits", "rerank", "max_leaves",
+                     "num_trials", "init_knng_k", "knng_k", "candidate_pool",
+                     "label_k", "jitter", "top_axes", "num_axes", "rotate",
+                     "seed"):
+            if hasattr(index, attr):
+                value = getattr(index, attr)
+                if isinstance(value, (int, float, str, bool)) or value is None:
+                    kwargs[attr] = value
+        indexes[name] = {"type": index.name, "kwargs": kwargs}
+    manifest = {
+        "version": MANIFEST_VERSION,
+        "dim": db.dim,
+        "score": db.score.name,
+        "indexes": indexes,
+    }
+    (path / "manifest.json").write_text(json.dumps(manifest, indent=2))
+    return path
+
+
+def load_database(directory, selector: str = "cost"):
+    """Restore a database snapshot; indexes are rebuilt deterministically."""
+    from ..core.database import VectorDatabase
+
+    path = pathlib.Path(directory)
+    manifest_path = path / "manifest.json"
+    if not manifest_path.exists():
+        raise StorageError(f"no database manifest at {path}")
+    manifest = json.loads(manifest_path.read_text())
+    if manifest.get("version") != MANIFEST_VERSION:
+        raise StorageError(
+            f"unsupported snapshot version {manifest.get('version')!r}"
+        )
+    collection = load_collection(path)
+    db = VectorDatabase(dim=manifest["dim"], score=manifest["score"],
+                        selector=selector)
+    db.collection = collection
+    # Rewire the executor onto the restored collection.
+    db._executor.collection = collection
+    for name, spec in manifest["indexes"].items():
+        db.create_index(name, spec["type"], **{
+            k: v for k, v in spec["kwargs"].items() if k != "score"
+        })
+    return db

@@ -1,0 +1,17 @@
+"""System presets mirroring the survey's categories (§2.4)."""
+
+from .presets import (
+    SYSTEM_PRESETS,
+    build_preset_index,
+    mostly_mixed,
+    mostly_vector,
+    relational,
+)
+
+__all__ = [
+    "SYSTEM_PRESETS",
+    "build_preset_index",
+    "mostly_mixed",
+    "mostly_vector",
+    "relational",
+]

@@ -1,0 +1,85 @@
+"""VDBMS design-point presets (§2.4 Existing Systems).
+
+The tutorial's system survey is a comparison of *design choices*, not
+codebases — mostly-vector natives keep one index and a predefined plan,
+mostly-mixed natives add optimizers and multiple plans, extended
+relational systems reuse an automatic planner with brute-force
+fallback.  Each preset instantiates :class:`VectorDatabase` in one of
+those quadrants, so the categories are directly comparable on the same
+data (and bench E1 runs all three).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..core.database import VectorDatabase
+from ..core.planner import PredefinedPlanner, QueryPlan
+
+
+def mostly_vector(
+    dim: int,
+    score: str | Any = "l2",
+    index_type: str = "hnsw",
+    **index_kwargs: Any,
+) -> VectorDatabase:
+    """Mostly-vector native (Vearch/Pinecone/Chroma-like):
+
+    one search index, no optimizer, every predicated query runs the
+    same predefined post-filtering plan (§2.3 "Predefined").
+    """
+    db = VectorDatabase(
+        dim,
+        score=score,
+        planner=PredefinedPlanner(
+            plain_plan=QueryPlan("index_scan", "*"),
+            hybrid_plan=QueryPlan("post_filter", "*"),
+        ),
+        selector="first",
+    )
+    db._pending_index = (index_type, index_kwargs)
+    return db
+
+
+def mostly_mixed(
+    dim: int,
+    score: str | Any = "l2",
+    index_type: str = "hnsw",
+    **index_kwargs: Any,
+) -> VectorDatabase:
+    """Mostly-mixed native (Milvus/Qdrant/Manu-like):
+
+    automatic plan enumeration with a cost-based optimizer over the
+    full hybrid-operator repertoire.
+    """
+    db = VectorDatabase(dim, score=score, planner="auto", selector="cost")
+    db._pending_index = (index_type, index_kwargs)
+    return db
+
+
+def relational(dim: int, score: str | Any = "l2") -> VectorDatabase:
+    """Extended relational (pgvector/PASE/SingleStore-like):
+
+    the relational optimizer enumerates plans automatically; with no
+    vector index created yet, every query falls back to the brute-force
+    scan SingleStore demonstrates suffices (§2.4).  ``CREATE INDEX``
+    (:meth:`VectorDatabase.create_index`) upgrades it in place, and the
+    SQL surface in :mod:`repro.core.sql` applies.
+    """
+    return VectorDatabase(dim, score=score, planner="auto", selector="rule")
+
+
+def build_preset_index(db: VectorDatabase, name: str = "primary") -> VectorDatabase:
+    """Build the preset's deferred index once data is loaded."""
+    pending = getattr(db, "_pending_index", None)
+    if pending is not None and name not in db.indexes:
+        index_type, kwargs = pending
+        db.create_index(name, index_type, **kwargs)
+    return db
+
+
+SYSTEM_PRESETS = {
+    "mostly_vector": mostly_vector,
+    "mostly_mixed": mostly_mixed,
+    "relational": relational,
+}

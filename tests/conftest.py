@@ -1,0 +1,72 @@
+"""Shared fixtures: small deterministic workloads for fast tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.datasets import gaussian_mixture, hybrid_workload
+from repro.index.flat import FlatIndex
+from repro.scores import EuclideanScore
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    """300 x 12 clustered vectors + 10 queries."""
+    return gaussian_mixture(n=300, dim=12, num_clusters=6, num_queries=10, seed=7)
+
+
+@pytest.fixture(scope="session")
+def small_data(small_dataset):
+    return small_dataset.train
+
+
+@pytest.fixture(scope="session")
+def small_queries(small_dataset):
+    return small_dataset.queries
+
+
+@pytest.fixture(scope="session")
+def ground_truth_10(small_dataset):
+    """(q, 10) exact neighbor positions for the small dataset under L2."""
+    from repro.bench.metrics import exact_ground_truth
+
+    return exact_ground_truth(
+        small_dataset.train, small_dataset.queries, 10, EuclideanScore()
+    )
+
+
+@pytest.fixture(scope="session")
+def hybrid_dataset():
+    """400 x 12 clustered vectors with category/price/rating attributes."""
+    return hybrid_workload(n=400, dim=12, num_queries=8, num_categories=5, seed=3)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(0)
+
+
+@pytest.fixture(scope="session")
+def flat_oracle(small_data):
+    return FlatIndex(EuclideanScore()).build(small_data)
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--runslow", action="store_true", default=False,
+        help="run tests marked slow",
+    )
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers", "slow: long-running test")
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--runslow"):
+        return
+    skip = pytest.mark.skip(reason="needs --runslow")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip)

@@ -1,0 +1,97 @@
+"""Data-dependence caveats (§2.2): learned structures degrade
+out-of-distribution; random ones don't care.
+
+The tutorial's recurring warning — learned partitionings "are data
+dependent and cannot easily handle out-of-distribution updates" —
+made measurable: train on distribution A, evaluate on shifted
+distribution B, and compare against the data-*independent* baseline
+(LSH / random trees), which by construction cannot degrade.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.datasets import gaussian_mixture
+from repro.bench.metrics import exact_ground_truth, recall_at_k
+from repro.index import ItqHashIndex, LshIndex, SpectralHashIndex
+from repro.quantization import ProductQuantizer, ScalarQuantizer
+from repro.scores import EuclideanScore
+
+
+@pytest.fixture(scope="module")
+def shifted_distributions():
+    in_dist = gaussian_mixture(n=400, dim=16, num_clusters=6, seed=11).train
+    # Same generator family, translated far outside the training support.
+    out_dist = gaussian_mixture(n=400, dim=16, num_clusters=6, seed=12).train + 25.0
+    return in_dist, out_dist
+
+
+class TestQuantizerDataDependence:
+    def test_sq_error_explodes_out_of_distribution(self, shifted_distributions):
+        in_dist, out_dist = shifted_distributions
+        sq = ScalarQuantizer(bits=8).train(in_dist)
+        in_err = float(np.abs(sq.decode(sq.encode(in_dist)) - in_dist).mean())
+        out_err = float(np.abs(sq.decode(sq.encode(out_dist)) - out_dist).mean())
+        # Out-of-range values clip to the trained min/max.
+        assert out_err > 10 * in_err
+
+    def test_pq_error_grows_out_of_distribution(self, shifted_distributions):
+        in_dist, out_dist = shifted_distributions
+        pq = ProductQuantizer(m=4, ks=32, seed=0).train(in_dist)
+        assert pq.quantization_error(out_dist) > 3 * pq.quantization_error(in_dist)
+
+
+class TestHashDataDependence:
+    @staticmethod
+    def _stale_hash_recall(index_cls, train, serve, **kwargs):
+        """Recall on ``serve`` data using a hash *fit on* ``train``.
+
+        We fit the learned components on ``train`` (first build), then
+        graft the stale hash onto a ``serve`` collection by re-encoding
+        serve rows with it — exactly what happens when a system keeps
+        ingesting after the distribution drifted.
+        """
+        fitted = index_cls(**kwargs).build(train)
+        stale = index_cls(**kwargs)
+        # Clone the learned parameters, then attach the new collection.
+        for attr in ("_mean", "_axes", "_modes", "_lo", "_span", "_rotation"):
+            if hasattr(fitted, attr):
+                setattr(stale, attr, getattr(fitted, attr))
+        stale._ids = np.arange(serve.shape[0], dtype=np.int64)
+        stale._vectors = serve
+        from repro.index.l2h import pack_bits
+
+        stale._codes = pack_bits(stale._bits(serve.astype(np.float64)))
+
+        queries = serve[:15] + 0.05
+        truth = exact_ground_truth(serve, queries, 10, EuclideanScore())
+        recalls = [
+            recall_at_k([h.id for h in stale.search(q, 10, rerank=40)], truth[i])
+            for i, q in enumerate(queries)
+        ]
+        return float(np.mean(recalls))
+
+    @pytest.mark.parametrize("cls", [SpectralHashIndex, ItqHashIndex])
+    def test_stale_learned_hash_degrades(self, cls, shifted_distributions):
+        in_dist, out_dist = shifted_distributions
+        fresh = self._stale_hash_recall(cls, in_dist, in_dist, nbits=24)
+        stale = self._stale_hash_recall(cls, in_dist, out_dist, nbits=24)
+        assert stale <= fresh + 0.05  # drifted data: no better, usually worse
+
+    def test_lsh_is_distribution_free(self, shifted_distributions):
+        """Random hyperplanes through a shifted cloud still separate it:
+        LSH recall in-distribution ~= out-of-distribution."""
+        in_dist, out_dist = shifted_distributions
+
+        def recall(data):
+            index = LshIndex(num_tables=12, hashes_per_table=6, seed=0).build(data)
+            queries = data[:15] + 0.05
+            truth = exact_ground_truth(data, queries, 10, EuclideanScore())
+            return float(np.mean([
+                recall_at_k([h.id for h in index.search(q, 10)], truth[i])
+                for i, q in enumerate(queries)
+            ]))
+
+        in_recall = recall(in_dist)
+        out_recall = recall(out_dist)
+        assert abs(in_recall - out_recall) < 0.25

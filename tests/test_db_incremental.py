@@ -1,0 +1,56 @@
+"""Tests for the database incremental-search facade."""
+
+import numpy as np
+import pytest
+
+from repro.core.database import VectorDatabase
+from repro.core.errors import PlanningError
+from repro.hybrid.predicates import Field
+
+
+@pytest.fixture
+def db(hybrid_dataset):
+    db = VectorDatabase(dim=hybrid_dataset.dim)
+    db.insert_many(hybrid_dataset.train, hybrid_dataset.attributes)
+    db.create_index("g", "hnsw", m=8, ef_construction=48, seed=0)
+    return db
+
+
+class TestDbIncremental:
+    def test_pages_continue_ranking(self, db, hybrid_dataset):
+        q = hybrid_dataset.queries[0]
+        cursor = db.incremental_search(q)
+        first = cursor.next_batch(5)
+        second = cursor.next_batch(5)
+        one_shot = db.search(q, k=10)
+        paged_ids = [h.id for h in first + second]
+        assert len(set(paged_ids) & set(one_shot.ids)) >= 8
+
+    def test_with_predicate(self, db, hybrid_dataset):
+        cursor = db.incremental_search(
+            hybrid_dataset.queries[1], predicate=Field("rating") >= 3
+        )
+        page = cursor.next_batch(8)
+        ratings = db.collection.columns["rating"]
+        assert all(ratings[h.id] >= 3 for h in page)
+
+    def test_named_index(self, db, hybrid_dataset):
+        cursor = db.incremental_search(hybrid_dataset.queries[0], index="g")
+        assert len(cursor.next_batch(3)) == 3
+
+    def test_unknown_index(self, db, hybrid_dataset):
+        with pytest.raises(PlanningError, match="no index named"):
+            db.incremental_search(hybrid_dataset.queries[0], index="nope")
+
+    def test_requires_graph_index(self, hybrid_dataset):
+        db = VectorDatabase(dim=hybrid_dataset.dim)
+        db.insert_many(hybrid_dataset.train[:50], hybrid_dataset.attributes[:50])
+        db.create_index("ivf", "ivf_flat", nlist=4)
+        with pytest.raises(PlanningError, match="graph index"):
+            db.incremental_search(hybrid_dataset.queries[0])
+
+    def test_result_repr(self, db, hybrid_dataset):
+        result = db.search(hybrid_dataset.queries[0], k=8)
+        text = repr(result)
+        assert "SearchResult" in text
+        assert "+3" in text  # 8 hits, 5 previewed

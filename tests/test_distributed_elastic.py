@@ -1,0 +1,109 @@
+"""Tests for async replica writes and elastic scale-out (§2.3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import VdbmsError
+from repro.distributed import (
+    DistributedSearchCluster,
+    IndexGuidedSharding,
+    UniformSharding,
+)
+
+
+@pytest.fixture
+def cluster(small_data):
+    cluster = DistributedSearchCluster(
+        sharding=UniformSharding(4), replication_factor=2, index_type="flat"
+    )
+    cluster.load(small_data)
+    return cluster
+
+
+class TestAsyncReplication:
+    def test_primary_sees_write_immediately(self, cluster, rng):
+        new_vec = rng.standard_normal(12).astype(np.float32)
+        shard = cluster.insert(new_vec, item_id=1000)
+        primary = cluster.nodes[shard][0]
+        hits, _, _ = primary.search(new_vec, 1)
+        assert hits[0].id == 1000
+
+    def test_replica_stale_until_sync(self, cluster, rng):
+        new_vec = 100 + rng.standard_normal(12).astype(np.float32)
+        shard = cluster.insert(new_vec, item_id=1000)
+        assert cluster.pending_replication() == 1
+        replica = cluster.nodes[shard][1]
+        hits, _, _ = replica.search(new_vec, 1)
+        assert hits[0].id != 1000  # not yet applied
+        applied = cluster.sync_replicas()
+        assert applied >= 1
+        assert cluster.pending_replication() == 0
+        hits, _, _ = replica.search(new_vec, 1)
+        assert hits[0].id == 1000
+
+    def test_search_finds_write_after_sync_regardless_of_replica(
+        self, cluster, rng
+    ):
+        new_vec = 50 + rng.standard_normal(12).astype(np.float32)
+        cluster.insert(new_vec, item_id=2000)
+        cluster.sync_replicas()
+        for _ in range(4):  # cycles through replicas round-robin
+            result, _ = cluster.search(new_vec, 1)
+            assert result.ids == [2000]
+
+    def test_insert_requires_load(self):
+        cluster = DistributedSearchCluster(num_shards=2, index_type="flat")
+        with pytest.raises(VdbmsError):
+            cluster.insert(np.zeros(4, np.float32), 1)
+
+    def test_index_guided_insert_routes_by_geometry(self, small_data, rng):
+        sharding = IndexGuidedSharding(4, cells_per_shard=2, seed=0)
+        cluster = DistributedSearchCluster(sharding=sharding, index_type="flat")
+        cluster.load(small_data)
+        # Insert a copy of an existing vector: must land on its shard.
+        probe = small_data[0]
+        expected = int(sharding.assign(probe[None, :])[0])
+        got = cluster.insert(probe, item_id=5000)
+        assert got == expected
+
+
+class TestScaleOut:
+    def test_results_identical_after_scale_out(self, cluster, small_data,
+                                               small_queries):
+        before, _ = cluster.search(small_queries[0], 10)
+        moved = cluster.scale_out(8)
+        after, dstats = cluster.search(small_queries[0], 10)
+        assert after.ids == before.ids
+        assert moved > 0
+        assert dstats.shards_contacted == 8
+
+    def test_shards_balanced_after_scale_out(self, cluster):
+        cluster.scale_out(8)
+        sizes = cluster.shard_sizes()
+        assert len(sizes) == 8
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_movement_bounded(self, cluster, small_data):
+        """Modulo resharding moves at most all vectors; record it."""
+        moved = cluster.scale_out(8)
+        assert 0 < moved <= len(small_data)
+        assert cluster.vectors_moved == moved
+
+    def test_pending_writes_flushed_before_move(self, cluster, rng):
+        cluster.insert(rng.standard_normal(12).astype(np.float32), 999)
+        assert cluster.pending_replication() > 0
+        cluster.scale_out(8)
+        assert cluster.pending_replication() == 0
+        # The write survives resharding.
+        total = sum(cluster.shard_sizes())
+        assert total == 301
+
+    def test_validation(self, cluster):
+        with pytest.raises(VdbmsError, match="more shards"):
+            cluster.scale_out(4)
+        guided = DistributedSearchCluster(
+            sharding=IndexGuidedSharding(2, seed=0), index_type="flat"
+        )
+        guided.load(np.zeros((10, 4), dtype=np.float32))
+        with pytest.raises(VdbmsError, match="UniformSharding"):
+            guided.scale_out(4)

@@ -1,0 +1,235 @@
+"""Tests for embedders, system presets, and the bench harness."""
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    AlgorithmSpec,
+    Measurement,
+    exact_ground_truth,
+    format_table,
+    gaussian_mixture,
+    hybrid_workload,
+    mean_recall,
+    measure,
+    multi_vector_entities,
+    normalized_embeddings,
+    pareto_frontier,
+    precision_at_k,
+    recall_at_k,
+    sift_like,
+    uniform_hypercube,
+)
+from repro.embed import (
+    HashingTextEmbedder,
+    NumericFeatureEmbedder,
+    available_embedders,
+    get_embedder,
+)
+from repro.scores import EuclideanScore
+from repro.systems import SYSTEM_PRESETS, build_preset_index, mostly_mixed, mostly_vector, relational
+
+
+class TestEmbedders:
+    def test_text_embedder_deterministic(self):
+        emb = HashingTextEmbedder(dim=32)
+        np.testing.assert_array_equal(emb("hello world"), emb("hello world"))
+
+    def test_text_embedder_unit_norm(self):
+        emb = HashingTextEmbedder(dim=32)
+        assert np.linalg.norm(emb("some text")) == pytest.approx(1.0, rel=1e-5)
+
+    def test_similar_texts_closer(self):
+        emb = HashingTextEmbedder(dim=64)
+        base = emb("red running shoes for marathon training")
+        near = emb("red running shoes for marathon racing")
+        far = emb("quantum chromodynamics lattice simulation")
+        assert np.dot(base, near) > np.dot(base, far)
+
+    def test_numeric_embedder_preserves_geometry(self, rng):
+        emb = NumericFeatureEmbedder(num_features=20, dim=16, seed=0)
+        a, b, c = rng.standard_normal((3, 20))
+        # JL projection approximately preserves relative distances.
+        d_ab = np.linalg.norm(emb(a) - emb(b))
+        d_ac = np.linalg.norm(emb(a) - emb(c))
+        true_ab = np.linalg.norm(a - b)
+        true_ac = np.linalg.norm(a - c)
+        if true_ab < 0.5 * true_ac:
+            assert d_ab < d_ac
+
+    def test_numeric_embedder_validates_shape(self):
+        emb = NumericFeatureEmbedder(num_features=4, dim=8)
+        with pytest.raises(ValueError):
+            emb([1.0, 2.0])
+
+    def test_registry(self):
+        assert "hashing_text" in available_embedders()
+        emb = get_embedder("hashing_text", dim=16)
+        assert emb.dim == 16
+        with pytest.raises(ValueError):
+            get_embedder("gpt9000")
+
+    def test_batch(self):
+        emb = HashingTextEmbedder(dim=16)
+        out = emb.batch(["a", "b", "c"])
+        assert out.shape == (3, 16)
+
+
+class TestSystemPresets:
+    @pytest.fixture
+    def loaded(self, hybrid_dataset):
+        def load(maker):
+            db = maker(hybrid_dataset.dim)
+            db.insert_many(hybrid_dataset.train[:200],
+                           hybrid_dataset.attributes[:200])
+            build_preset_index(db)
+            return db
+
+        return load
+
+    def test_mostly_vector_always_postfilters(self, loaded, hybrid_dataset):
+        from repro.hybrid.predicates import Field
+
+        db = loaded(mostly_vector)
+        result = db.search(
+            hybrid_dataset.queries[0], k=3, predicate=Field("rating") >= 2
+        )
+        assert "post_filter" in result.stats.plan_name
+
+    def test_mostly_mixed_optimizes(self, loaded, hybrid_dataset):
+        from repro.core.query import SearchQuery
+        from repro.hybrid.predicates import Field
+
+        db = loaded(mostly_mixed)
+        _, plans = db.plan(
+            SearchQuery(hybrid_dataset.queries[0], 3,
+                        predicate=Field("rating") >= 2)
+        )
+        assert len(plans) > 1  # real enumeration happened
+
+    def test_relational_brute_force_without_index(self, loaded, hybrid_dataset):
+        db = loaded(relational)
+        result = db.search(hybrid_dataset.queries[0], k=3)
+        assert "brute_force" in result.stats.plan_name
+
+    def test_relational_upgrades_with_index(self, loaded, hybrid_dataset):
+        db = loaded(relational)
+        db.create_index("hnsw", "hnsw", m=8, seed=0)
+        result = db.search(hybrid_dataset.queries[0], k=3)
+        assert "index_scan" in result.stats.plan_name
+
+    def test_presets_registry(self):
+        assert set(SYSTEM_PRESETS) == {"mostly_vector", "mostly_mixed",
+                                       "relational"}
+
+
+class TestDatasets:
+    def test_gaussian_mixture_shapes(self):
+        ds = gaussian_mixture(n=100, dim=8, num_queries=5, seed=0)
+        assert ds.train.shape == (100, 8)
+        assert ds.queries.shape == (5, 8)
+        assert ds.train.dtype == np.float32
+
+    def test_deterministic(self):
+        a = gaussian_mixture(n=50, dim=4, seed=3)
+        b = gaussian_mixture(n=50, dim=4, seed=3)
+        np.testing.assert_array_equal(a.train, b.train)
+
+    def test_sift_like_range(self):
+        ds = sift_like(n=50, dim=16, seed=0)
+        assert ds.train.min() >= 0
+        assert ds.train.max() <= 255
+
+    def test_normalized_unit_norm(self):
+        ds = normalized_embeddings(n=50, dim=8, seed=0)
+        np.testing.assert_allclose(
+            np.linalg.norm(ds.train, axis=1), 1.0, rtol=1e-4
+        )
+
+    def test_uniform_range(self):
+        ds = uniform_hypercube(n=50, dim=4, seed=0)
+        assert 0 <= ds.train.min() and ds.train.max() <= 1
+
+    def test_hybrid_attributes(self):
+        ds = hybrid_workload(n=60, dim=4, num_categories=3, seed=0)
+        assert len(ds.attributes) == 60
+        cats = {a["category"] for a in ds.attributes}
+        assert cats <= set(range(3))
+        assert all(a["price"] > 0 for a in ds.attributes)
+        assert all(1 <= a["rating"] <= 5 for a in ds.attributes)
+
+    def test_hybrid_correlated_categories(self):
+        ds = hybrid_workload(n=200, dim=8, num_categories=4, correlated=True,
+                             seed=0)
+        labels = ds.metadata.get("correlated")
+        assert labels is True
+
+    def test_multi_vector_entities(self):
+        entities, queries = multi_vector_entities(
+            num_entities=20, vectors_per_entity=3, dim=8, num_queries=4,
+            query_vectors=2,
+        )
+        assert len(entities) == 20
+        assert entities[0].shape == (3, 8)
+        assert queries.shape == (4, 2, 8)
+
+
+class TestMetrics:
+    def test_ground_truth_is_exact(self, small_data, small_queries, flat_oracle):
+        truth = exact_ground_truth(small_data, small_queries, 5, EuclideanScore())
+        for qi, q in enumerate(small_queries):
+            expected = [h.id for h in flat_oracle.search(q, 5)]
+            assert truth[qi].tolist() == expected
+
+    def test_recall_and_precision(self):
+        truth = np.array([1, 2, 3, 4, 5])
+        assert recall_at_k([1, 2, 3], truth) == pytest.approx(3 / 5)
+        assert precision_at_k([1, 2, 3], truth, k=5) == pytest.approx(3 / 5)
+        assert recall_at_k([9, 8], truth) == 0.0
+
+    def test_mean_recall(self, flat_oracle, small_data, small_queries):
+        truth = exact_ground_truth(small_data, small_queries, 5, EuclideanScore())
+        results = [flat_oracle.search(q, 5) for q in small_queries]
+        assert mean_recall(results, truth) == pytest.approx(1.0)
+
+    def test_pareto_frontier(self):
+        def m(recall, qps):
+            return Measurement("a", "-", recall, qps, 0, 0)
+
+        points = [m(0.5, 100), m(0.9, 50), m(0.5, 50), m(0.4, 120)]
+        frontier = pareto_frontier(points)
+        assert m(0.5, 50) not in frontier
+        assert m(0.5, 100) in frontier
+        assert m(0.9, 50) in frontier
+        assert m(0.4, 120) in frontier
+
+
+class TestHarness:
+    def test_measure_flat_is_exact(self):
+        ds = gaussian_mixture(n=200, dim=8, num_queries=10, seed=0)
+        truth = exact_ground_truth(ds.train, ds.queries, 10, EuclideanScore())
+        out = measure(AlgorithmSpec("flat"), ds, truth, k=10)
+        assert len(out) == 1
+        assert out[0].recall == pytest.approx(1.0)
+        assert out[0].qps > 0
+
+    def test_measure_sweeps_params(self):
+        ds = gaussian_mixture(n=200, dim=8, num_queries=5, seed=0)
+        truth = exact_ground_truth(ds.train, ds.queries, 5, EuclideanScore())
+        spec = AlgorithmSpec("ivf_flat", {"nlist": 8},
+                             [{"nprobe": 1}, {"nprobe": 8}])
+        out = measure(spec, ds, truth, k=5)
+        assert len(out) == 2
+        assert out[1].recall >= out[0].recall
+
+    def test_format_table(self):
+        text = format_table(
+            [{"a": 1, "b": "x"}, {"a": 22, "b": "yy"}], title="demo"
+        )
+        assert "demo" in text
+        assert "22" in text
+        lines = text.splitlines()
+        assert len(lines) == 5  # title, header, rule, 2 rows
+
+    def test_format_empty(self):
+        assert "(no rows)" in format_table([], title="t")

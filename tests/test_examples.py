@@ -1,0 +1,68 @@
+"""Smoke tests: every example script must run to completion.
+
+The quickstart runs in the default suite; the heavier scenario scripts
+are marked slow (enable with ``pytest --runslow``).
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, timeout: int = 600) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+def test_examples_exist():
+    names = {p.name for p in EXAMPLES.glob("*.py")}
+    assert {
+        "quickstart.py",
+        "ecommerce_hybrid_search.py",
+        "rag_document_retrieval.py",
+        "billion_scale_simulation.py",
+        "frontier_features.py",
+    } <= names
+
+
+def test_quickstart_runs():
+    out = run_example("quickstart.py")
+    assert "top-5 nearest" in out
+    assert "EXPLAIN" in out
+    assert "deleted id=" in out
+
+
+@pytest.mark.slow
+def test_ecommerce_runs():
+    out = run_example("ecommerce_hybrid_search.py")
+    assert "optimizer picks" in out
+    assert "all results satisfy their predicates" in out
+
+
+@pytest.mark.slow
+def test_rag_runs():
+    out = run_example("rag_document_retrieval.py")
+    assert "semantic retrieval" in out
+
+
+@pytest.mark.slow
+def test_billion_scale_runs():
+    out = run_example("billion_scale_simulation.py")
+    assert "disk-resident indexes" in out
+    assert "failure drill" in out
+
+
+@pytest.mark.slow
+def test_frontier_features_runs():
+    out = run_example("frontier_features.py")
+    assert "multi-vector entity search" in out

@@ -1,0 +1,260 @@
+"""Tests for the executor and the VectorDatabase facade."""
+
+import numpy as np
+import pytest
+
+from repro.core.database import VectorDatabase
+from repro.core.errors import PlanningError, QueryError
+from repro.core.planner import QueryPlan
+from repro.core.query import SearchQuery
+from repro.hybrid.predicates import Field
+from repro.index import FlatIndex
+from repro.scores import EuclideanScore
+
+
+@pytest.fixture()
+def db(hybrid_dataset):
+    db = VectorDatabase(dim=hybrid_dataset.dim, score="l2", selector="cost")
+    db.insert_many(hybrid_dataset.train, hybrid_dataset.attributes)
+    db.create_index("graph", "hnsw", m=8, ef_construction=48, seed=0)
+    db.create_index("ivf", "ivf_flat", nlist=12, seed=0)
+    return db
+
+
+@pytest.fixture(scope="module")
+def oracle(hybrid_dataset):
+    return FlatIndex(EuclideanScore()).build(hybrid_dataset.train)
+
+
+class TestBasicSearch:
+    def test_search_returns_sorted(self, db, hybrid_dataset):
+        result = db.search(hybrid_dataset.queries[0], k=7)
+        assert len(result) == 7
+        assert result.distances == sorted(result.distances)
+        assert result.stats.elapsed_seconds > 0
+        assert result.stats.plan_name
+
+    def test_every_strategy_executes(self, db, hybrid_dataset):
+        q = hybrid_dataset.queries[0]
+        predicate = Field("category") == 1
+        for plan in (
+            QueryPlan("brute_force"),
+            QueryPlan("pre_filter"),
+            QueryPlan("block_first", "ivf"),
+            QueryPlan("post_filter", "graph", oversample=8.0),
+            QueryPlan("post_filter", "graph"),  # adaptive
+            QueryPlan("visit_first", "graph"),
+        ):
+            result = db.search(q, k=5, predicate=predicate, plan=plan)
+            cats = db.collection.columns["category"]
+            assert all(cats[i] == 1 for i in result.ids), plan.strategy
+
+    def test_hybrid_results_match_oracle(self, db, oracle, hybrid_dataset):
+        predicate = Field("price") < 25
+        q = hybrid_dataset.queries[1]
+        mask = db.collection.predicate_mask(predicate)
+        expected = [h.id for h in oracle.search(q, 5, allowed=mask)]
+        got = db.search(q, k=5, predicate=predicate, plan=QueryPlan("pre_filter"))
+        assert got.ids == expected
+
+    def test_unknown_index_in_plan(self, db, hybrid_dataset):
+        with pytest.raises(PlanningError, match="unknown index"):
+            db.search(hybrid_dataset.queries[0], k=3,
+                      plan=QueryPlan("index_scan", "nope"))
+
+    def test_plan_without_index_rejected(self, db, hybrid_dataset):
+        with pytest.raises(PlanningError):
+            db.search(hybrid_dataset.queries[0], k=3,
+                      plan=QueryPlan("index_scan"))
+
+
+class TestDeletes:
+    def test_deleted_items_never_returned(self, db, hybrid_dataset):
+        q = hybrid_dataset.queries[0]
+        victim = db.search(q, k=1).ids[0]
+        db.delete(victim)
+        for plan in (QueryPlan("brute_force"), QueryPlan("index_scan", "graph")):
+            result = db.search(q, k=5, plan=plan)
+            assert victim not in result.ids
+
+
+class TestStaleness:
+    def test_inserts_mark_stale(self, db):
+        assert not db.has_stale_indexes
+        db.insert(np.zeros(db.dim), {"category": 0, "price": 1.0, "rating": 3})
+        assert db.has_stale_indexes
+
+    def test_stale_database_falls_back_to_exact_plans(self, db, hybrid_dataset):
+        new_id = db.insert(
+            hybrid_dataset.queries[0],
+            {"category": 0, "price": 1.0, "rating": 3},
+        )
+        result = db.search(hybrid_dataset.queries[0], k=1)
+        assert result.ids == [new_id]  # only brute force can see it
+
+    def test_rebuild_clears_staleness(self, db, hybrid_dataset):
+        new_id = db.insert(
+            hybrid_dataset.queries[0] + 100.0,
+            {"category": 0, "price": 1.0, "rating": 3},
+        )
+        db.rebuild_indexes()
+        assert not db.has_stale_indexes
+        result = db.search(
+            hybrid_dataset.queries[0] + 100.0, k=1,
+            plan=QueryPlan("index_scan", "graph"),
+        )
+        assert result.ids == [new_id]
+
+
+class TestRangeBatchMulti:
+    def test_range_search_exact(self, db, oracle, hybrid_dataset):
+        q = hybrid_dataset.queries[0]
+        result = db.range_search(q, radius=2.0, plan=QueryPlan("brute_force"))
+        expected = oracle.range_search(q, 2.0)
+        assert result.ids == [h.id for h in expected]
+        assert all(d <= 2.0 for d in result.distances)
+
+    def test_range_with_predicate(self, db, hybrid_dataset):
+        predicate = Field("rating") >= 3
+        result = db.range_search(
+            hybrid_dataset.queries[0], radius=3.0, predicate=predicate,
+            plan=QueryPlan("brute_force"),
+        )
+        ratings = db.collection.columns["rating"]
+        assert all(ratings[i] >= 3 for i in result.ids)
+
+    def test_batch_matches_singles(self, db, hybrid_dataset):
+        qs = hybrid_dataset.queries[:4]
+        batch = db.batch_search(qs, k=5, plan=QueryPlan("brute_force"))
+        for q, result in zip(qs, batch):
+            single = db.search(q, k=5, plan=QueryPlan("brute_force"))
+            assert result.ids == single.ids
+
+    def test_batch_with_predicate_block_first(self, db, hybrid_dataset):
+        predicate = Field("category") == 2
+        batch = db.batch_search(
+            hybrid_dataset.queries[:3], k=4, predicate=predicate,
+            plan=QueryPlan("block_first", "graph"),
+        )
+        cats = db.collection.columns["category"]
+        for result in batch:
+            assert all(cats[i] == 2 for i in result.ids)
+
+    def test_multivector_mean(self, db, hybrid_dataset):
+        qs = hybrid_dataset.queries[:2]
+        result = db.multi_vector_search(qs, k=5, aggregator="mean")
+        assert len(result) == 5
+        assert result.distances == sorted(result.distances)
+
+    def test_multivector_weighted(self, db, hybrid_dataset):
+        qs = hybrid_dataset.queries[:2]
+        heavy_first = db.multi_vector_search(qs, k=3, weights=[100.0, 0.01])
+        single = db.search(qs[0], k=3, plan=QueryPlan("brute_force"))
+        # Heavily weighting the first query vector should make results
+        # resemble a single-vector search for it.
+        assert len(set(heavy_first.ids) & set(single.ids)) >= 2
+
+    def test_multivector_brute_vs_index_agree(self, db, hybrid_dataset):
+        qs = hybrid_dataset.queries[:2]
+        brute = db.multi_vector_search(qs, k=5, plan=QueryPlan("brute_force"))
+        indexed = db.multi_vector_search(
+            qs, k=5, plan=QueryPlan("index_scan", "graph")
+        )
+        assert len(set(brute.ids) & set(indexed.ids)) >= 3
+
+    def test_multivector_with_predicate(self, db, hybrid_dataset):
+        result = db.multi_vector_search(
+            hybrid_dataset.queries[:2], k=5, predicate=Field("rating") >= 4
+        )
+        ratings = db.collection.columns["rating"]
+        assert all(ratings[i] >= 4 for i in result.ids)
+
+
+class TestPlanningIntegration:
+    def test_explain_lists_candidates(self, db, hybrid_dataset):
+        text = db.explain(
+            SearchQuery(hybrid_dataset.queries[0], 5, predicate=Field("rating") >= 3)
+        )
+        assert "chosen:" in text
+        assert "pre_filter" in text
+
+    def test_selector_adapts_to_selectivity(self, db, hybrid_dataset):
+        q = hybrid_dataset.queries[0]
+        narrow = db.plan(SearchQuery(q, 5, predicate=(
+            (Field("category") == 0) & (Field("rating") == 5) & (Field("price") < 10)
+        )))[0]
+        wide = db.plan(SearchQuery(q, 5, predicate=Field("rating") >= 1))[0]
+        assert narrow.strategy == "pre_filter"
+        assert wide.strategy != "pre_filter"
+
+
+class TestIndexManagement:
+    def test_duplicate_index_name(self, db):
+        with pytest.raises(PlanningError, match="already exists"):
+            db.create_index("graph", "flat")
+
+    def test_drop_index(self, db, hybrid_dataset):
+        db.drop_index("ivf")
+        assert "ivf" not in db.indexes
+        with pytest.raises(PlanningError):
+            db.drop_index("ivf")
+
+    def test_partitioned_index_via_db(self, db, hybrid_dataset):
+        db.create_partitioned_index("bycat", "flat", "category")
+        q = hybrid_dataset.queries[0]
+        result = db.search(
+            q, k=5, predicate=Field("category") == 1,
+            plan=QueryPlan("partition", "bycat"),
+        )
+        cats = db.collection.columns["category"]
+        assert all(cats[i] == 1 for i in result.ids)
+
+    def test_partition_plan_enumerated_when_covering(self, db, hybrid_dataset):
+        db.create_partitioned_index("bycat", "flat", "category")
+        _, plans = db.plan(
+            SearchQuery(hybrid_dataset.queries[0], 5,
+                        predicate=Field("category") == 1)
+        )
+        assert any(p.strategy == "partition" for p in plans)
+
+
+class TestConstruction:
+    def test_requires_dim_or_embedder(self):
+        with pytest.raises(QueryError):
+            VectorDatabase()
+
+    def test_embedder_supplies_dim(self):
+        from repro.embed import HashingTextEmbedder
+
+        db = VectorDatabase(embedder=HashingTextEmbedder(dim=24))
+        assert db.dim == 24
+
+    def test_entity_insert_and_search(self):
+        from repro.embed import HashingTextEmbedder
+
+        db = VectorDatabase(embedder=HashingTextEmbedder(dim=48), score="cosine")
+        docs = ["red running shoes", "blue walking boots", "quantum physics paper",
+                "green hiking shoes", "astrophysics lecture notes"]
+        db.insert_many(entities=docs)
+        result = db.search(entity="running shoes in red", k=2)
+        assert 0 in result.ids  # the lexically closest doc
+
+    def test_vector_and_entity_mutually_exclusive(self):
+        from repro.embed import HashingTextEmbedder
+
+        db = VectorDatabase(embedder=HashingTextEmbedder(dim=16))
+        with pytest.raises(QueryError):
+            db.search(vector=np.zeros(16), entity="both", k=1)
+        with pytest.raises(QueryError):
+            db.search(k=1)
+
+    def test_unknown_selector(self):
+        with pytest.raises(PlanningError):
+            VectorDatabase(dim=4, selector="vibes")
+
+    def test_unknown_planner(self):
+        with pytest.raises(PlanningError):
+            VectorDatabase(dim=4, planner="magic")
+
+    def test_repr(self, db):
+        assert "VectorDatabase" in repr(db)

@@ -1,0 +1,95 @@
+"""Tests for the register-blocked (Quick-ADC analogue) scan."""
+
+import numpy as np
+import pytest
+
+from repro.quantization import (
+    FastScanPQ,
+    ProductQuantizer,
+    blocked_adc_scan,
+    naive_adc_scan,
+    quantize_table,
+    table_quantization_error,
+    transpose_codes,
+)
+
+
+@pytest.fixture(scope="module")
+def pq_and_codes():
+    rng = np.random.default_rng(2)
+    data = rng.standard_normal((300, 16))
+    pq = ProductQuantizer(m=4, ks=16, seed=0).train(data)
+    codes = pq.encode(data)
+    return pq, data, codes
+
+
+class TestQuantizeTable:
+    def test_roundtrip_error_within_bound(self, pq_and_codes):
+        pq, data, _ = pq_and_codes
+        table = pq.adc_table(data[0])
+        qt = quantize_table(table)
+        recon = qt.table.astype(np.float64) * qt.scale + qt.offset
+        bound = table_quantization_error(table)
+        assert np.abs(recon - table).max() <= bound * 2 + 1e-9
+
+    def test_constant_table(self):
+        qt = quantize_table(np.full((2, 4), 7.0))
+        assert (qt.table == 0).all()
+        assert qt.offset == 7.0
+
+
+class TestScans:
+    def test_exact_blocked_equals_naive(self, pq_and_codes):
+        pq, data, codes = pq_and_codes
+        table = pq.adc_table(data[3])
+        naive = naive_adc_scan(table, codes)
+        blocked = blocked_adc_scan(table, transpose_codes(codes), exact=True)
+        np.testing.assert_allclose(naive, blocked, rtol=1e-10)
+
+    def test_quantized_blocked_close_to_naive(self, pq_and_codes):
+        pq, data, codes = pq_and_codes
+        table = pq.adc_table(data[3])
+        naive = naive_adc_scan(table, codes)
+        approx = blocked_adc_scan(table, transpose_codes(codes), exact=False)
+        per_entry = table_quantization_error(table)
+        assert np.abs(naive - approx).max() <= pq.m * per_entry * 2 + 1e-6
+
+    def test_quantized_preserves_ranking(self, pq_and_codes):
+        pq, data, codes = pq_and_codes
+        table = pq.adc_table(data[3])
+        naive = naive_adc_scan(table, codes)
+        approx = blocked_adc_scan(table, transpose_codes(codes), exact=False)
+        top_naive = set(np.argsort(naive)[:10])
+        top_approx = set(np.argsort(approx)[:20])
+        assert len(top_naive & top_approx) >= 8
+
+    def test_transpose_layout(self, pq_and_codes):
+        _, _, codes = pq_and_codes
+        t = transpose_codes(codes)
+        assert t.shape == (codes.shape[1], codes.shape[0])
+        assert t.flags["C_CONTIGUOUS"]
+
+
+class TestFastScanPQ:
+    def test_search_self_is_top(self, pq_and_codes):
+        pq, data, _ = pq_and_codes
+        fs = FastScanPQ(pq)
+        fs.add(np.arange(len(data)), data)
+        ids, dists = fs.search(data[11], k=5, exact=True)
+        assert ids[0] == 11 or 11 in ids[:3]
+        assert (np.diff(dists) >= -1e-9).all()
+
+    def test_incremental_add(self, pq_and_codes):
+        pq, data, _ = pq_and_codes
+        fs = FastScanPQ(pq)
+        fs.add(np.arange(100), data[:100])
+        fs.add(np.arange(100, 200), data[100:200])
+        assert len(fs) == 200
+        ids, _ = fs.search(data[150], k=3)
+        assert 150 in ids
+
+    def test_empty_search(self, pq_and_codes):
+        pq, _, _ = pq_and_codes
+        fs = FastScanPQ(pq)
+        ids, dists = fs.search(np.zeros(16), k=5)
+        assert ids.size == 0

@@ -1,0 +1,101 @@
+"""Tests for index-supported incremental search (§2.6(5))."""
+
+import numpy as np
+import pytest
+
+from repro.core.incremental import IncrementalSearcher, RestartIncrementalSearcher
+from repro.hybrid.predicates import Field
+from repro.index import HnswIndex, VamanaIndex
+
+
+@pytest.fixture(scope="module")
+def graph(small_data):
+    return HnswIndex(m=8, ef_construction=64, seed=0).build(small_data)
+
+
+class TestIncrementalSearcher:
+    def test_pages_are_disjoint_and_sorted(self, graph, small_queries):
+        inc = IncrementalSearcher(graph, small_queries[0])
+        pages = [inc.next_batch(5) for _ in range(4)]
+        ids = [h.id for page in pages for h in page]
+        assert len(ids) == len(set(ids)) == 20
+        distances = [h.distance for page in pages for h in page]
+        assert distances == sorted(distances)
+
+    def test_matches_exact_topk(self, graph, small_queries, flat_oracle):
+        q = small_queries[1]
+        inc = IncrementalSearcher(graph, q)
+        got = [h.id for h in inc.next_batch(10) + inc.next_batch(10)]
+        exact = [h.id for h in flat_oracle.search(q, 20)]
+        assert len(set(got) & set(exact)) >= 18
+
+    def test_pagination_equals_one_shot(self, graph, small_queries):
+        q = small_queries[2]
+        inc = IncrementalSearcher(graph, q)
+        paged = [h.id for _ in range(3) for h in inc.next_batch(4)]
+        one_shot = IncrementalSearcher(graph, q).next_batch(12)
+        assert paged == [h.id for h in one_shot]
+
+    def test_exhaustion(self, graph, small_queries):
+        inc = IncrementalSearcher(graph, small_queries[0])
+        total = []
+        for _ in range(100):
+            page = inc.next_batch(50)
+            total.extend(page)
+            if inc.exhausted:
+                break
+        assert inc.exhausted
+        assert len(total) == 300  # the whole (connected) collection
+
+    def test_predicate_filtering(self, graph, small_data, small_queries):
+        from repro.core.collection import VectorCollection
+
+        coll = VectorCollection(small_data.shape[1])
+        coll.insert_many(
+            small_data, [{"even": int(i % 2 == 0)} for i in range(300)]
+        )
+        inc = IncrementalSearcher(
+            graph, small_queries[0], predicate=Field("even") == 1,
+            collection=coll,
+        )
+        page = inc.next_batch(10)
+        assert len(page) == 10
+        assert all(h.id % 2 == 0 for h in page)
+
+    def test_incremental_cheaper_than_restart_for_deep_pages(
+        self, graph, small_queries
+    ):
+        q = small_queries[3]
+        inc = IncrementalSearcher(graph, q)
+        for _ in range(6):
+            inc.next_batch(10)
+        restart = RestartIncrementalSearcher(graph, q)
+        for _ in range(6):
+            restart.next_batch(10)
+        assert inc.stats.distance_computations < restart.stats.distance_computations
+
+    def test_works_on_plain_graph_index(self, small_data, small_queries):
+        vamana = VamanaIndex(max_degree=10, beam_width=32, seed=0).build(small_data)
+        inc = IncrementalSearcher(vamana, small_queries[0])
+        assert len(inc.next_batch(5)) == 5
+
+    def test_results_reported_counter(self, graph, small_queries):
+        inc = IncrementalSearcher(graph, small_queries[0])
+        inc.next_batch(7)
+        assert inc.results_reported == 7
+
+
+class TestRestartBaseline:
+    def test_pages_disjoint(self, graph, small_queries):
+        restart = RestartIncrementalSearcher(graph, small_queries[0])
+        a = restart.next_batch(5)
+        b = restart.next_batch(5)
+        assert not set(h.id for h in a) & set(h.id for h in b)
+
+    def test_exhaustion_flag(self, graph, small_queries):
+        restart = RestartIncrementalSearcher(graph, small_queries[0])
+        for _ in range(40):
+            restart.next_batch(50)
+            if restart.exhausted:
+                break
+        assert restart.exhausted

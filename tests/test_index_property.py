@@ -1,0 +1,130 @@
+"""Property-based tests (hypothesis) for index invariants.
+
+These run on tiny random collections so hypothesis can explore many
+shapes quickly; the invariants are the ones the executor and hybrid
+operators rely on for *any* data.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.index import (
+    AnnoyIndex,
+    HnswIndex,
+    IvfFlatIndex,
+    KdTreeIndex,
+    LshIndex,
+)
+from repro.index.flat import FlatIndex
+from repro.scores import EuclideanScore
+
+finite = st.floats(min_value=-50, max_value=50, allow_nan=False, width=32)
+
+
+def collections(min_rows=4, max_rows=40, dim=4):
+    return arrays(np.float32, st.tuples(
+        st.integers(min_value=min_rows, max_value=max_rows),
+        st.just(dim),
+    ), elements=finite)
+
+
+class TestFlatOracleProperties:
+    @given(data=collections(), k=st.integers(min_value=1, max_value=10))
+    @settings(max_examples=50, deadline=None)
+    def test_results_sorted_unique_bounded(self, data, k):
+        index = FlatIndex(EuclideanScore()).build(data)
+        hits = index.search(data[0], k)
+        assert len(hits) <= k
+        ids = [h.id for h in hits]
+        assert len(ids) == len(set(ids))
+        d = [h.distance for h in hits]
+        assert d == sorted(d)
+
+    @given(data=collections())
+    @settings(max_examples=50, deadline=None)
+    def test_member_query_top1_is_self_or_duplicate(self, data):
+        index = FlatIndex(EuclideanScore()).build(data)
+        top = index.search(data[0], 1)[0]
+        # Either itself, or an exact duplicate row at distance 0.
+        assert top.id == 0 or top.distance == pytest.approx(0.0, abs=1e-5)
+
+    @given(data=collections(), radius=st.floats(min_value=0, max_value=50))
+    @settings(max_examples=50, deadline=None)
+    def test_range_search_complete_and_correct(self, data, radius):
+        index = FlatIndex(EuclideanScore()).build(data)
+        hits = index.range_search(data[0], radius)
+        got = set(h.id for h in hits)
+        dists = EuclideanScore().distances(data[0], data)
+        expected = set(int(i) for i in np.flatnonzero(dists <= radius))
+        assert got == expected
+
+    @given(data=collections(min_rows=6))
+    @settings(max_examples=50, deadline=None)
+    def test_mask_is_respected_and_complete(self, data):
+        index = FlatIndex(EuclideanScore()).build(data)
+        mask = np.zeros(data.shape[0], dtype=bool)
+        mask[::2] = True
+        hits = index.search(data[1], data.shape[0], allowed=mask)
+        assert all(h.id % 2 == 0 for h in hits)
+        assert len(hits) == int(mask.sum())
+
+
+class TestExactKdTreeEquivalence:
+    @given(
+        data=collections(min_rows=8, max_rows=60),
+        k=st.integers(min_value=1, max_value=8),
+        qi=st.integers(min_value=0, max_value=7),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_kdtree_exact_equals_flat(self, data, k, qi):
+        """Branch-and-bound k-d search is exact for L2 on any data."""
+        q = data[qi % data.shape[0]] + np.float32(0.1)
+        flat = FlatIndex(EuclideanScore()).build(data)
+        kd = KdTreeIndex(leaf_size=4).build(data)
+        expected = [(h.id, round(h.distance, 4)) for h in flat.search(q, k)]
+        got = [(h.id, round(h.distance, 4)) for h in kd.search(q, k)]
+        # Distances must match exactly; ids may differ only on ties.
+        assert [d for _, d in got] == [d for _, d in expected]
+
+
+APPROX_INDEXES = [
+    lambda: LshIndex(num_tables=6, hashes_per_table=3, seed=0),
+    lambda: IvfFlatIndex(nlist=4, nprobe=2, seed=0),
+    lambda: AnnoyIndex(num_trees=3, search_k=16, seed=0),
+    lambda: HnswIndex(m=4, ef_construction=16, ef_search=16, seed=0),
+]
+
+
+@pytest.mark.parametrize("factory", APPROX_INDEXES,
+                         ids=["lsh", "ivf", "annoy", "hnsw"])
+class TestApproximateIndexInvariants:
+    @given(data=collections(min_rows=10, max_rows=40))
+    @settings(max_examples=15, deadline=None)
+    def test_no_hallucinated_ids(self, factory, data):
+        index = factory().build(data)
+        hits = index.search(data[0], 5)
+        assert all(0 <= h.id < data.shape[0] for h in hits)
+
+    @given(data=collections(min_rows=10, max_rows=40))
+    @settings(max_examples=15, deadline=None)
+    def test_distances_are_true_distances(self, factory, data):
+        """Whatever an index returns, the reported distance must equal
+        the true score distance of that id (no stale/approx values)."""
+        index = factory().build(data)
+        q = data[2]
+        score = EuclideanScore()
+        for hit in index.search(q, 5):
+            true = float(score.distances(q, data[hit.id][None, :])[0])
+            assert hit.distance == pytest.approx(true, rel=1e-3, abs=1e-3)
+
+    @given(data=collections(min_rows=10, max_rows=40))
+    @settings(max_examples=15, deadline=None)
+    def test_mask_never_violated(self, factory, data):
+        index = factory().build(data)
+        mask = np.zeros(data.shape[0], dtype=bool)
+        mask[: data.shape[0] // 2] = True
+        hits = index.search(data[0], 5, allowed=mask)
+        assert all(mask[h.id] for h in hits)

@@ -1,0 +1,182 @@
+"""Behavioral tests specific to tree-based indexes (§2.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.types import SearchStats
+from repro.index import (
+    AnnoyIndex,
+    KdTreeIndex,
+    PcaTreeIndex,
+    RandomizedKdForestIndex,
+    RpTreeIndex,
+)
+from repro.index._tree import best_first_search, build_tree, tree_stats
+
+
+class TestTreeMachinery:
+    def test_build_respects_leaf_size(self, small_data):
+        from repro.index.kdtree import _kd_split
+
+        rng = np.random.default_rng(0)
+        root = build_tree(
+            np.arange(300, dtype=np.int64),
+            small_data.astype(np.float64),
+            _kd_split,
+            leaf_size=10,
+            rng=rng,
+        )
+        stats = tree_stats(root)
+        assert stats["mean_leaf_size"] <= 10
+
+    def test_leaves_partition_points(self, small_data):
+        from repro.index.kdtree import _kd_split
+
+        root = build_tree(
+            np.arange(300, dtype=np.int64),
+            small_data.astype(np.float64),
+            _kd_split,
+            leaf_size=10,
+            rng=np.random.default_rng(0),
+        )
+        seen = []
+
+        def walk(node):
+            if node.is_leaf:
+                seen.extend(node.positions.tolist())
+            else:
+                walk(node.left)
+                walk(node.right)
+
+        walk(root)
+        assert sorted(seen) == list(range(300))
+
+    def test_identical_points_become_leaf(self):
+        from repro.index.kdtree import _kd_split
+
+        data = np.ones((50, 4))
+        root = build_tree(
+            np.arange(50, dtype=np.int64), data, _kd_split, 8,
+            np.random.default_rng(0),
+        )
+        assert root.is_leaf
+
+    def test_best_first_budget_respected(self, small_data):
+        from repro.index.kdtree import _kd_split
+
+        root = build_tree(
+            np.arange(300, dtype=np.int64),
+            small_data.astype(np.float64),
+            _kd_split,
+            leaf_size=8,
+            rng=np.random.default_rng(0),
+        )
+        _, leaves = best_first_search(
+            [root], small_data[0].astype(np.float64), max_leaves=3
+        )
+        assert leaves <= 3
+
+
+class TestKdTree:
+    def test_exact_mode_matches_flat(self, small_data, small_queries, flat_oracle):
+        index = KdTreeIndex(leaf_size=8).build(small_data)
+        for q in small_queries[:5]:
+            exact = [h.id for h in flat_oracle.search(q, 10)]
+            got = [h.id for h in index.search(q, 10)]
+            assert got == exact
+
+    def test_exact_mode_with_mask_matches_flat(self, small_data, small_queries,
+                                               flat_oracle):
+        allowed = np.zeros(300, dtype=bool)
+        allowed[::2] = True
+        index = KdTreeIndex(leaf_size=8).build(small_data)
+        q = small_queries[0]
+        exact = [h.id for h in flat_oracle.search(q, 8, allowed=allowed)]
+        got = [h.id for h in index.search(q, 8, allowed=allowed)]
+        assert got == exact
+
+    def test_approximate_mode_cheaper(self, small_data, small_queries):
+        index = KdTreeIndex(leaf_size=8).build(small_data)
+        exact_stats, approx_stats = SearchStats(), SearchStats()
+        index.search(small_queries[0], 10, stats=exact_stats)
+        index.search(small_queries[0], 10, max_leaves=2, stats=approx_stats)
+        assert approx_stats.distance_computations < exact_stats.distance_computations
+
+    def test_logarithmic_depth(self, rng):
+        data = rng.standard_normal((2048, 8)).astype(np.float32)
+        index = KdTreeIndex(leaf_size=8).build(data)
+        stats = index.stats()
+        # Median splits give depth ~= log2(2048/8) = 8; allow slack.
+        assert stats["max_depth"] <= 14
+
+    def test_leaf_budget_recall_monotonic(self, small_data, small_queries,
+                                          ground_truth_10):
+        index = KdTreeIndex(leaf_size=8).build(small_data)
+
+        def recall(budget):
+            got = []
+            for qi, q in enumerate(small_queries):
+                hits = index.search(q, 10, max_leaves=budget)
+                truth = set(int(t) for t in ground_truth_10[qi])
+                got.append(len(truth.intersection(h.id for h in hits)) / 10)
+            return float(np.mean(got))
+
+        assert recall(32) >= recall(1)
+
+
+class TestForests:
+    @pytest.mark.parametrize(
+        "cls,budget_kw",
+        [
+            (RpTreeIndex, "max_leaves"),
+            (RandomizedKdForestIndex, "max_leaves"),
+            (AnnoyIndex, "search_k"),
+        ],
+    )
+    def test_more_trees_help_recall(self, cls, budget_kw, small_data,
+                                    small_queries, ground_truth_10):
+        def recall(num_trees):
+            index = cls(num_trees=num_trees, seed=0)
+            index.build(small_data)
+            got = []
+            for qi, q in enumerate(small_queries):
+                hits = index.search(q, 10, **{budget_kw: 24})
+                truth = set(int(t) for t in ground_truth_10[qi])
+                got.append(len(truth.intersection(h.id for h in hits)) / 10)
+            return float(np.mean(got))
+
+        assert recall(8) >= recall(1) - 0.05
+
+    def test_trees_are_distinct(self, small_data):
+        index = RpTreeIndex(num_trees=3, seed=0).build(small_data)
+        roots = index._roots
+        # Different random seeds per tree -> different first splits.
+        ws = [r.w for r in roots if r.w is not None]
+        assert len(ws) == 3
+        assert not np.allclose(ws[0], ws[1])
+
+    def test_forest_stats_per_tree(self, small_data):
+        index = AnnoyIndex(num_trees=4, seed=0).build(small_data)
+        assert len(index.stats()) == 4
+
+
+class TestPcaTree:
+    def test_axes_are_orthonormal(self, small_data):
+        index = PcaTreeIndex(num_axes=4, seed=0).build(small_data)
+        gram = index.axes @ index.axes.T
+        np.testing.assert_allclose(gram, np.eye(gram.shape[0]), atol=1e-6)
+
+    def test_rotate_vs_local_choice(self, small_data, small_queries):
+        for rotate in (True, False):
+            index = PcaTreeIndex(rotate=rotate, seed=0).build(small_data)
+            hits = index.search(small_queries[0], 5)
+            assert len(hits) == 5
+
+    def test_first_split_is_top_component(self, rng):
+        # Data stretched along one axis: the root split must use it.
+        data = np.zeros((200, 4), dtype=np.float32)
+        data[:, 2] = rng.standard_normal(200) * 10
+        data[:, 0] = rng.standard_normal(200) * 0.1
+        index = PcaTreeIndex(num_axes=2, rotate=True, seed=0).build(data)
+        w = index._root.w
+        assert abs(w[2]) > 0.9

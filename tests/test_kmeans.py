@@ -1,0 +1,100 @@
+"""Tests for the from-scratch k-means."""
+
+import numpy as np
+import pytest
+
+from repro.quantization import assign, assign_topn, kmeans, kmeans_pp_init
+
+
+@pytest.fixture
+def blobs(rng):
+    centers = np.array([[0.0, 0.0], [10.0, 10.0], [-10.0, 10.0]])
+    labels = rng.integers(3, size=300)
+    return centers[labels] + 0.3 * rng.standard_normal((300, 2)), centers
+
+
+class TestKMeans:
+    def test_recovers_separated_clusters(self, blobs):
+        data, centers = blobs
+        result = kmeans(data, 3, seed=0)
+        # Each true center should be within 0.5 of some learned centroid.
+        for center in centers:
+            d = np.linalg.norm(result.centroids - center, axis=1).min()
+            assert d < 0.5
+
+    def test_inertia_nonincreasing_with_k(self, blobs):
+        data, _ = blobs
+        inertias = [kmeans(data, k, seed=0).inertia for k in (1, 3, 10)]
+        assert inertias[0] >= inertias[1] >= inertias[2]
+
+    def test_assignments_match_nearest_centroid(self, blobs):
+        data, _ = blobs
+        result = kmeans(data, 3, seed=0)
+        np.testing.assert_array_equal(
+            result.assignments, assign(data, result.centroids)
+        )
+
+    def test_k_equals_n_zero_inertia(self, rng):
+        data = rng.standard_normal((8, 3))
+        result = kmeans(data, 8, seed=0)
+        assert result.inertia == pytest.approx(0.0, abs=1e-9)
+
+    def test_k_one_is_mean(self, rng):
+        data = rng.standard_normal((50, 4))
+        result = kmeans(data, 1, seed=0)
+        np.testing.assert_allclose(result.centroids[0], data.mean(axis=0), atol=1e-9)
+
+    def test_invalid_k(self, rng):
+        data = rng.standard_normal((5, 2))
+        with pytest.raises(ValueError):
+            kmeans(data, 0)
+        with pytest.raises(ValueError):
+            kmeans(data, 6)
+
+    def test_deterministic_given_seed(self, blobs):
+        data, _ = blobs
+        a = kmeans(data, 3, seed=42)
+        b = kmeans(data, 3, seed=42)
+        np.testing.assert_array_equal(a.centroids, b.centroids)
+
+    def test_handles_duplicate_points(self):
+        data = np.ones((20, 3))
+        result = kmeans(data, 4, seed=0)
+        assert result.inertia == pytest.approx(0.0, abs=1e-12)
+
+    def test_no_empty_clusters_on_clustered_data(self, blobs):
+        data, _ = blobs
+        result = kmeans(data, 16, seed=0)
+        counts = np.bincount(result.assignments, minlength=16)
+        assert (counts > 0).all()
+
+
+class TestAssignTopN:
+    def test_first_column_is_nearest(self, blobs):
+        data, _ = blobs
+        result = kmeans(data, 5, seed=0)
+        top2 = assign_topn(data, result.centroids, 2)
+        np.testing.assert_array_equal(top2[:, 0], assign(data, result.centroids))
+
+    def test_columns_sorted_by_distance(self, rng):
+        centroids = rng.standard_normal((6, 3))
+        points = rng.standard_normal((10, 3))
+        top = assign_topn(points, centroids, 4)
+        for i in range(10):
+            d = np.linalg.norm(centroids[top[i]] - points[i], axis=1)
+            assert (np.diff(d) >= -1e-9).all()
+
+    def test_n_clamped_to_k(self, rng):
+        centroids = rng.standard_normal((3, 2))
+        top = assign_topn(rng.standard_normal((4, 2)), centroids, 10)
+        assert top.shape == (4, 3)
+
+
+class TestKMeansPP:
+    def test_spreads_centroids(self, blobs):
+        data, centers = blobs
+        rng = np.random.default_rng(0)
+        init = kmeans_pp_init(data, 3, rng)
+        # Initial centroids should not all come from one blob.
+        dists = np.linalg.norm(init[:, None] - centers[None], axis=2)
+        assert len(set(dists.argmin(axis=1))) >= 2

@@ -1,0 +1,164 @@
+"""Tests for the LSM vector store (out-of-place updates, §2.3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage import LsmVectorStore
+
+
+def vec(value: float, dim: int = 4) -> np.ndarray:
+    return np.full(dim, value, dtype=np.float32)
+
+
+class TestBasics:
+    def test_put_get(self):
+        lsm = LsmVectorStore(dim=4)
+        lsm.put(1, vec(1.0), {"tag": "a"})
+        out = lsm.get(1)
+        assert out is not None
+        np.testing.assert_array_equal(out[0], vec(1.0))
+        assert out[1] == {"tag": "a"}
+
+    def test_missing_key(self):
+        assert LsmVectorStore(dim=4).get(99) is None
+
+    def test_overwrite_newest_wins(self):
+        lsm = LsmVectorStore(dim=4, memtable_capacity=2)
+        lsm.put(1, vec(1.0))
+        lsm.put(2, vec(2.0))  # triggers flush
+        lsm.put(1, vec(9.0))
+        np.testing.assert_array_equal(lsm.get(1)[0], vec(9.0))
+
+    def test_delete_tombstones(self):
+        lsm = LsmVectorStore(dim=4)
+        lsm.put(1, vec(1.0))
+        lsm.delete(1)
+        assert lsm.get(1) is None
+        assert 1 not in lsm
+
+    def test_delete_survives_flush(self):
+        lsm = LsmVectorStore(dim=4, memtable_capacity=2)
+        lsm.put(1, vec(1.0))
+        lsm.flush()
+        lsm.delete(1)
+        lsm.flush()
+        assert lsm.get(1) is None
+
+    def test_len_counts_live(self):
+        lsm = LsmVectorStore(dim=4, memtable_capacity=3)
+        for i in range(10):
+            lsm.put(i, vec(i))
+        lsm.delete(3)
+        lsm.delete(4)
+        assert len(lsm) == 8
+
+
+class TestFlushCompact:
+    def test_auto_flush_at_capacity(self):
+        lsm = LsmVectorStore(dim=4, memtable_capacity=4)
+        for i in range(4):
+            lsm.put(i, vec(i))
+        assert lsm.memtable_size == 0
+        assert lsm.num_runs == 1
+        assert lsm.stats.flushes == 1
+
+    def test_compaction_bounds_runs(self):
+        lsm = LsmVectorStore(dim=4, memtable_capacity=2, max_runs=3)
+        for i in range(20):
+            lsm.put(i, vec(i))
+        assert lsm.num_runs <= 3 + 1
+        assert lsm.stats.compactions >= 1
+
+    def test_compaction_drops_tombstones(self):
+        lsm = LsmVectorStore(dim=4, memtable_capacity=2, max_runs=100)
+        lsm.put(1, vec(1.0))
+        lsm.delete(1)
+        lsm.flush()
+        lsm.put(2, vec(2.0))
+        lsm.flush()
+        lsm.compact()
+        assert lsm.get(1) is None
+        assert len(lsm) == 1
+
+    def test_single_run_tombstones_compacted(self):
+        """With no older runs to shadow, a lone run's tombstones are
+        safe to drop — compact() must rewrite it."""
+        lsm = LsmVectorStore(dim=4, memtable_capacity=100, max_runs=100)
+        lsm.put(1, vec(1.0))
+        lsm.delete(1)
+        lsm.put(2, vec(2.0))
+        lsm.flush()
+        assert lsm.num_runs == 1
+        lsm.compact()
+        assert lsm.num_runs == 1
+        assert sum(1 for _ in lsm._runs[0]) == 1  # tombstone gone
+        assert lsm.get(1) is None
+        assert lsm.get(2) is not None
+
+    def test_single_clean_run_compact_is_noop(self):
+        lsm = LsmVectorStore(dim=4, memtable_capacity=100)
+        lsm.put(1, vec(1.0))
+        lsm.flush()
+        run_before = lsm._runs[0]
+        lsm.compact()
+        assert lsm._runs[0] is run_before  # untouched object
+
+    def test_live_arrays(self):
+        lsm = LsmVectorStore(dim=4, memtable_capacity=3)
+        for i in range(7):
+            lsm.put(i, vec(i))
+        lsm.delete(0)
+        ids, matrix = lsm.live_arrays()
+        assert set(ids.tolist()) == set(range(1, 7))
+        assert matrix.shape == (6, 4)
+
+    def test_live_items_resolve_shadowing(self):
+        lsm = LsmVectorStore(dim=4, memtable_capacity=2)
+        lsm.put(1, vec(1.0))
+        lsm.put(2, vec(2.0))
+        lsm.put(1, vec(5.0))
+        items = {k: v for k, v, _ in lsm.live_items()}
+        np.testing.assert_array_equal(items[1], vec(5.0))
+
+
+class TestLsmModelProperty:
+    """The LSM store must behave exactly like a dict, regardless of
+    flush/compaction timing (property-based)."""
+
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.sampled_from(["put", "delete", "flush", "compact"]),
+                st.integers(min_value=0, max_value=15),
+                st.floats(min_value=-10, max_value=10, allow_nan=False),
+            ),
+            max_size=60,
+        ),
+        capacity=st.integers(min_value=1, max_value=8),
+        max_runs=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_dict_model(self, ops, capacity, max_runs):
+        lsm = LsmVectorStore(dim=2, memtable_capacity=capacity, max_runs=max_runs)
+        model: dict[int, np.ndarray] = {}
+        for op, key, value in ops:
+            if op == "put":
+                v = np.array([value, -value], dtype=np.float32)
+                lsm.put(key, v)
+                model[key] = v
+            elif op == "delete":
+                lsm.delete(key)
+                model.pop(key, None)
+            elif op == "flush":
+                lsm.flush()
+            else:
+                lsm.compact()
+        assert len(lsm) == len(model)
+        for key, expected in model.items():
+            got = lsm.get(key)
+            assert got is not None
+            np.testing.assert_array_equal(got[0], expected)
+        live = {k for k, _, _ in lsm.live_items()}
+        assert live == set(model)

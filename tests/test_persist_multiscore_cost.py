@@ -1,0 +1,161 @@
+"""Tests for persistence, multi-score querying, and the empirical cost model."""
+
+import numpy as np
+import pytest
+
+from repro.core.cost import EmpiricalCostModel
+from repro.core.database import VectorDatabase
+from repro.core.errors import StorageError
+from repro.core.types import SearchStats
+from repro.storage import (
+    load_collection,
+    load_database,
+    save_collection,
+    save_database,
+)
+
+
+@pytest.fixture
+def db(hybrid_dataset):
+    db = VectorDatabase(dim=hybrid_dataset.dim)
+    db.insert_many(hybrid_dataset.train[:200], hybrid_dataset.attributes[:200])
+    db.create_index("g", "hnsw", m=8, ef_construction=48, seed=0)
+    return db
+
+
+class TestPersistence:
+    def test_collection_roundtrip(self, db, tmp_path):
+        save_collection(db.collection, tmp_path)
+        restored = load_collection(tmp_path)
+        assert len(restored) == len(db.collection)
+        np.testing.assert_array_equal(restored.vectors, db.collection.vectors)
+        assert restored.attributes(7) == db.collection.attributes(7)
+
+    def test_tombstones_survive(self, db, tmp_path):
+        db.delete(3)
+        save_collection(db.collection, tmp_path)
+        restored = load_collection(tmp_path)
+        assert not restored.alive[3]
+        assert len(restored) == len(db.collection)
+
+    def test_database_roundtrip_identical_results(self, db, tmp_path,
+                                                  hybrid_dataset):
+        save_database(db, tmp_path)
+        restored = load_database(tmp_path)
+        q = hybrid_dataset.queries[0]
+        assert restored.search(q, k=10).ids == db.search(q, k=10).ids
+        assert set(restored.indexes) == {"g"}
+        assert restored.score.name == db.score.name
+
+    def test_index_kwargs_restored(self, db, tmp_path):
+        save_database(db, tmp_path)
+        restored = load_database(tmp_path)
+        assert restored.indexes["g"].m == 8
+        assert restored.indexes["g"].seed == 0
+
+    def test_missing_snapshot_raises(self, tmp_path):
+        with pytest.raises(StorageError):
+            load_collection(tmp_path / "nope")
+        with pytest.raises(StorageError):
+            load_database(tmp_path / "nope")
+
+    def test_attributeless_collection_roundtrip(self, tmp_path, rng):
+        from repro.core.collection import VectorCollection
+
+        coll = VectorCollection(4)
+        coll.insert_many(rng.standard_normal((5, 4)).astype(np.float32))
+        save_collection(coll, tmp_path)
+        restored = load_collection(tmp_path)
+        assert len(restored) == 5
+        assert restored.attribute_names == ()
+
+
+class TestMultiScore:
+    def test_returns_all_requested_scores(self, db, hybrid_dataset):
+        out = db.multi_score_search(
+            hybrid_dataset.queries[0], k=5, scores=["l2", "cosine"]
+        )
+        assert set(out) == {"l2", "cosine"}
+        assert all(len(r) == 5 for r in out.values())
+
+    def test_results_differ_between_scores(self, db, hybrid_dataset):
+        out = db.multi_score_search(hybrid_dataset.queries[0], k=10)
+        assert out["l2"].ids != out["ip"].ids
+
+    def test_each_score_result_is_exact(self, db, hybrid_dataset):
+        from repro.index.flat import FlatIndex
+        from repro.scores import get_score
+
+        q = hybrid_dataset.queries[1]
+        out = db.multi_score_search(q, k=5, scores=["cosine"])
+        live = np.flatnonzero(db.collection.alive)
+        oracle = FlatIndex(get_score("cosine")).build(
+            db.collection.vectors[live], ids=live.astype(np.int64)
+        )
+        assert out["cosine"].ids == [h.id for h in oracle.search(q, 5)]
+
+
+class TestEmpiricalCostModel:
+    def _synthetic_samples(self, model, n=60, noise=0.0, seed=0):
+        rng = np.random.default_rng(seed)
+        true = (1e-7, 3e-9, 5e-5)
+        for _ in range(n):
+            stats = SearchStats(
+                distance_computations=int(rng.integers(100, 10_000)),
+                predicate_evaluations=int(rng.integers(0, 5_000)),
+                page_reads=int(rng.integers(0, 50)),
+            )
+            latency = (
+                true[0] * stats.distance_computations
+                + true[1] * stats.predicate_evaluations
+                + true[2] * stats.page_reads
+                + abs(rng.normal(0, noise))
+            )
+            model.observe(stats, latency)
+        return true
+
+    def test_recovers_true_weights(self):
+        model = EmpiricalCostModel()
+        true = self._synthetic_samples(model)
+        model.fit()
+        assert model.weights.distance == pytest.approx(true[0], rel=0.1)
+        assert model.weights.page_read == pytest.approx(true[2], rel=0.1)
+
+    def test_prediction_accuracy(self):
+        model = EmpiricalCostModel()
+        self._synthetic_samples(model, noise=1e-8)
+        model.fit()
+        stats = SearchStats(distance_computations=5000, page_reads=10)
+        predicted = model.predict_latency(stats)
+        expected = 1e-7 * 5000 + 5e-5 * 10
+        assert predicted == pytest.approx(expected, rel=0.15)
+
+    def test_weights_nonnegative(self):
+        model = EmpiricalCostModel()
+        self._synthetic_samples(model, noise=1e-6)  # heavy noise
+        model.fit()
+        assert model.weights.distance >= 0
+        assert model.weights.predicate >= 0
+        assert model.weights.page_read >= 0
+
+    def test_needs_observations(self):
+        with pytest.raises(ValueError):
+            EmpiricalCostModel().fit()
+
+    def test_fits_real_executions(self, db, hybrid_dataset):
+        """End to end: observe real plan executions, fit, sanity-check."""
+        import time
+
+        model = EmpiricalCostModel()
+        for q in hybrid_dataset.queries:
+            start = time.perf_counter()
+            result = db.search(q, k=10)
+            model.observe(result.stats, time.perf_counter() - start)
+            start = time.perf_counter()
+            from repro.core.planner import QueryPlan
+
+            result = db.search(q, k=10, plan=QueryPlan("brute_force"))
+            model.observe(result.stats, time.perf_counter() - start)
+        model.fit()
+        assert model.fitted
+        assert model.residual_rms is not None

@@ -1,0 +1,157 @@
+"""Tests for the predicate AST and selectivity estimation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import PredicateError
+from repro.hybrid.predicates import (
+    And,
+    Between,
+    Comparison,
+    Field,
+    In,
+    Not,
+    Or,
+    TruePredicate,
+)
+
+
+@pytest.fixture
+def columns():
+    return {
+        "price": np.array([5.0, 15.0, 25.0, 35.0, 45.0]),
+        "category": np.array(["a", "b", "a", "c", "b"]),
+        "stock": np.array([0, 10, 20, 30, 40]),
+    }
+
+
+class TestComparison:
+    def test_all_operators(self, columns):
+        assert Comparison("price", "<", 20).evaluate(columns).tolist() == [
+            True, True, False, False, False,
+        ]
+        assert Comparison("price", ">=", 35).evaluate(columns).sum() == 2
+        assert Comparison("category", "==", "a").evaluate(columns).sum() == 2
+        assert Comparison("category", "!=", "a").evaluate(columns).sum() == 3
+
+    def test_unknown_operator(self):
+        with pytest.raises(PredicateError):
+            Comparison("price", "~", 3)
+
+    def test_unknown_attribute(self, columns):
+        with pytest.raises(PredicateError, match="known attributes"):
+            Comparison("color", "==", "red").evaluate(columns)
+
+    def test_attributes(self):
+        assert Comparison("x", "<", 1).attributes() == {"x"}
+
+
+class TestCombinators:
+    def test_and_or_not(self, columns):
+        p = (Field("price") > 10) & (Field("category") == "a")
+        assert p.evaluate(columns).tolist() == [False, False, True, False, False]
+        q = (Field("price") < 10) | (Field("price") > 40)
+        assert q.evaluate(columns).sum() == 2
+        assert (~q).evaluate(columns).sum() == 3
+
+    def test_nested_attributes_union(self):
+        p = (Field("a") > 1) & ((Field("b") == 2) | ~(Field("c") < 3))
+        assert p.attributes() == {"a", "b", "c"}
+
+    def test_in(self, columns):
+        p = Field("category").isin(["a", "c"])
+        assert p.evaluate(columns).tolist() == [True, False, True, True, False]
+
+    def test_between_inclusive(self, columns):
+        p = Field("price").between(15, 35)
+        assert p.evaluate(columns).tolist() == [False, True, True, True, False]
+
+    def test_true_predicate(self, columns):
+        assert TruePredicate().evaluate(columns).all()
+        assert TruePredicate().attributes() == set()
+
+    def test_true_predicate_needs_columns(self):
+        with pytest.raises(PredicateError):
+            TruePredicate().evaluate({})
+
+
+class TestSelectivity:
+    def test_exact(self, columns):
+        assert Comparison("price", "<", 20).selectivity(columns) == pytest.approx(0.4)
+
+    def test_sampled_close_to_exact(self, rng):
+        columns = {"x": rng.uniform(size=5000)}
+        p = Field("x") < 0.3
+        exact = p.selectivity(columns)
+        sampled = p.selectivity(columns, sample_size=1000, seed=1)
+        assert abs(exact - sampled) < 0.08
+
+    def test_no_attributes_is_one(self, columns):
+        assert TruePredicate().selectivity(columns) == 1.0
+
+    def test_empty_columns(self):
+        assert Comparison("x", "<", 1).selectivity({"x": np.array([])}) == 0.0
+
+
+class TestFieldBuilder:
+    def test_builders_produce_expected_types(self):
+        assert isinstance(Field("x") == 1, Comparison)
+        assert isinstance(Field("x") != 1, Comparison)
+        assert isinstance(Field("x") < 1, Comparison)
+        assert isinstance(Field("x") <= 1, Comparison)
+        assert isinstance(Field("x") > 1, Comparison)
+        assert isinstance(Field("x") >= 1, Comparison)
+        assert isinstance(Field("x").isin([1]), In)
+        assert isinstance(Field("x").between(0, 1), Between)
+
+
+class TestDeMorganProperty:
+    """Hypothesis: boolean algebra identities hold for any data."""
+
+    @given(
+        values=st.lists(
+            st.integers(min_value=0, max_value=10), min_size=1, max_size=40
+        ),
+        a=st.integers(min_value=0, max_value=10),
+        b=st.integers(min_value=0, max_value=10),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_de_morgan(self, values, a, b):
+        columns = {"x": np.asarray(values)}
+        p = Field("x") < a
+        q = Field("x") > b
+        lhs = (~(p & q)).evaluate(columns)
+        rhs = ((~p) | (~q)).evaluate(columns)
+        np.testing.assert_array_equal(lhs, rhs)
+
+    @given(
+        values=st.lists(
+            st.integers(min_value=0, max_value=10), min_size=1, max_size=40
+        ),
+        a=st.integers(min_value=0, max_value=10),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_double_negation(self, values, a):
+        columns = {"x": np.asarray(values)}
+        p = Field("x") >= a
+        np.testing.assert_array_equal(
+            p.evaluate(columns), (~~p).evaluate(columns)
+        )
+
+    @given(
+        values=st.lists(
+            st.integers(min_value=0, max_value=6), min_size=1, max_size=40
+        ),
+        picks=st.lists(st.integers(min_value=0, max_value=6), min_size=1,
+                       max_size=4),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_in_equals_or_chain(self, values, picks):
+        columns = {"x": np.asarray(values)}
+        in_pred = In("x", picks).evaluate(columns)
+        or_pred = Comparison("x", "==", picks[0])
+        for p in picks[1:]:
+            or_pred = or_pred | Comparison("x", "==", p)
+        np.testing.assert_array_equal(in_pred, or_pred.evaluate(columns))

@@ -1,0 +1,149 @@
+"""Registry tests plus end-to-end integration scenarios."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    VectorDatabase,
+    available_indexes,
+    make_index,
+)
+from repro.core.errors import UnknownIndexError
+from repro.core.planner import QueryPlan
+from repro.hybrid.predicates import Field
+from repro.index import VectorIndex, index_families, register_index
+from repro.index.flat import FlatIndex
+
+
+class TestIndexRegistry:
+    def test_all_families_present(self):
+        families = index_families()
+        assert set(families) >= {"flat", "table", "tree", "graph"}
+        assert "hnsw" in families["graph"]
+        assert "lsh" in families["table"]
+        assert "annoy" in families["tree"]
+        assert "diskann" in families["graph"]
+
+    def test_unknown_index(self):
+        with pytest.raises(UnknownIndexError, match="available"):
+            make_index("btree")
+
+    def test_register_custom(self):
+        class MyIndex(FlatIndex):
+            name = "my_custom"
+
+        register_index("my_custom", MyIndex)
+        assert isinstance(make_index("my_custom"), MyIndex)
+        assert "my_custom" in available_indexes()
+
+    def test_opq_alias_sets_optimized(self):
+        index = make_index("opq", m=2, ks=4)
+        assert index.name == "opq"
+
+    def test_kwargs_forwarded(self):
+        index = make_index("hnsw", m=5)
+        assert index.m == 5
+
+
+class TestEndToEnd:
+    """Integration scenarios exercising the full Figure-1 pipeline."""
+
+    def test_ecommerce_scenario(self, rng):
+        """Product search: insert catalog, hybrid query, delete, re-query."""
+        dim = 16
+        db = VectorDatabase(dim=dim, score="cosine", selector="rule")
+        n = 300
+        vectors = rng.standard_normal((n, dim)).astype(np.float32)
+        attrs = [
+            {"category": ["shoes", "bags", "hats"][i % 3],
+             "price": float(10 + i % 90)}
+            for i in range(n)
+        ]
+        db.insert_many(vectors, attrs)
+        db.create_index("main", "hnsw", m=8, ef_construction=48, seed=0)
+
+        predicate = (Field("category") == "shoes") & (Field("price") < 50)
+        result = db.search(vectors[0], k=5, predicate=predicate)
+        cols = db.collection.columns
+        for i in result.ids:
+            assert cols["category"][i] == "shoes"
+            assert cols["price"][i] < 50
+
+        # Business rule change: delete an item and verify it vanishes.
+        victim = result.ids[0]
+        db.delete(victim)
+        again = db.search(vectors[0], k=5, predicate=predicate)
+        assert victim not in again.ids
+
+    def test_all_query_types_one_database(self, hybrid_dataset):
+        db = VectorDatabase(dim=hybrid_dataset.dim)
+        db.insert_many(hybrid_dataset.train, hybrid_dataset.attributes)
+        db.create_index("g", "hnsw", m=8, seed=0)
+        q = hybrid_dataset.queries[0]
+
+        knn = db.search(q, k=5)
+        ann = db.search(q, k=5, c=0.5)
+        rng_q = db.range_search(q, radius=3.0)
+        batch = db.batch_search(hybrid_dataset.queries[:3], k=5)
+        mv = db.multi_vector_search(hybrid_dataset.queries[:2], k=5)
+        hybrid = db.search(q, k=5, predicate=Field("rating") >= 2)
+
+        assert len(knn) == 5 and len(ann) == 5
+        assert all(d <= 3.0 for d in rng_q.distances)
+        assert len(batch) == 3
+        assert len(mv) == 5
+        assert len(hybrid) == 5
+
+    def test_ck_guarantee_on_exact_plans(self, hybrid_dataset):
+        from repro.core.query import satisfies_ck
+
+        db = VectorDatabase(dim=hybrid_dataset.dim)
+        db.insert_many(hybrid_dataset.train, hybrid_dataset.attributes)
+        q = hybrid_dataset.queries[0]
+        exact = db.search(q, k=10, plan=QueryPlan("brute_force"))
+        true_kth = exact.distances[-1]
+        assert satisfies_ck(exact.distances, true_kth, c=0.0)
+
+    def test_score_consistency_across_plans(self, hybrid_dataset):
+        """Every plan must agree on the distance of a shared result."""
+        db = VectorDatabase(dim=hybrid_dataset.dim)
+        db.insert_many(hybrid_dataset.train, hybrid_dataset.attributes)
+        db.create_index("g", "hnsw", m=8, ef_construction=64, seed=0)
+        q = hybrid_dataset.queries[0]
+        predicate = Field("rating") >= 2
+        by_plan = {}
+        for plan in (QueryPlan("pre_filter"),
+                     QueryPlan("block_first", "g"),
+                     QueryPlan("post_filter", "g", oversample=10.0)):
+            result = db.search(q, k=5, predicate=predicate, plan=plan)
+            by_plan[plan.strategy] = {h.id: h.distance for h in result}
+        shared = set.intersection(*(set(v) for v in by_plan.values()))
+        assert shared
+        for item in shared:
+            distances = {round(v[item], 4) for v in by_plan.values()}
+            assert len(distances) == 1
+
+    def test_mixed_score_database(self, rng):
+        """Inner-product database ranks by similarity descending."""
+        db = VectorDatabase(dim=8, score="ip")
+        vectors = rng.standard_normal((100, 8)).astype(np.float32)
+        db.insert_many(vectors)
+        q = vectors[0]
+        result = db.search(q, k=10, plan=QueryPlan("brute_force"))
+        sims = vectors[result.ids] @ q
+        assert (np.diff(sims) <= 1e-5).all()  # descending inner product
+
+    def test_document_retrieval_via_embedder(self):
+        from repro.embed import HashingTextEmbedder
+
+        db = VectorDatabase(embedder=HashingTextEmbedder(dim=64), score="cosine")
+        corpus = [
+            "postgresql relational database transactions",
+            "vector similarity search with hnsw graphs",
+            "chocolate chip cookie recipe with butter",
+            "approximate nearest neighbor search algorithms",
+            "gardening tips for tomato plants in summer",
+        ]
+        db.insert_many(entities=corpus)
+        result = db.search(entity="nearest neighbor vector search", k=2)
+        assert set(result.ids) <= {1, 3}

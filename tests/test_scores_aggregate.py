@@ -1,0 +1,88 @@
+"""Tests for aggregate (multi-vector) scores."""
+
+import numpy as np
+import pytest
+
+from repro.scores import AggregateScore, EuclideanScore, WeightedSumAggregator
+from repro.scores.aggregate import (
+    AGGREGATORS,
+    max_aggregator,
+    mean_aggregator,
+    min_aggregator,
+    sum_of_min_aggregator,
+)
+
+
+@pytest.fixture
+def block():
+    # 2 query vectors x 3 entity vectors of distances.
+    return np.array([[1.0, 2.0, 3.0], [4.0, 0.5, 6.0]])
+
+
+class TestAggregators:
+    def test_mean(self, block):
+        assert mean_aggregator(block) == pytest.approx(block.mean())
+
+    def test_min(self, block):
+        assert min_aggregator(block) == pytest.approx(0.5)
+
+    def test_max(self, block):
+        assert max_aggregator(block) == pytest.approx(6.0)
+
+    def test_sum_of_min(self, block):
+        # row mins are 1.0 and 0.5
+        assert sum_of_min_aggregator(block) == pytest.approx(1.5)
+
+    def test_weighted_sum(self, block):
+        agg = WeightedSumAggregator([2.0, 1.0])
+        assert agg(block) == pytest.approx(2.0 * 1.0 + 1.0 * 0.5)
+
+    def test_weighted_sum_length_check(self, block):
+        with pytest.raises(ValueError):
+            WeightedSumAggregator([1.0])(block)
+
+    def test_registry_complete(self):
+        assert set(AGGREGATORS) == {"mean", "min", "max", "sum_of_min"}
+
+
+class TestAggregateScore:
+    def test_single_vector_reduces_to_base(self, rng):
+        base = EuclideanScore()
+        agg = AggregateScore(base, "mean")
+        q = rng.standard_normal(4)
+        e = rng.standard_normal(4)
+        assert agg.entity_distance(q, e) == pytest.approx(
+            float(base.distances(q, e[None, :])[0]), rel=1e-5
+        )
+
+    def test_distances_over_entities(self, rng):
+        agg = AggregateScore(EuclideanScore(), "min")
+        q = rng.standard_normal((2, 4))
+        entities = [rng.standard_normal((3, 4)) for _ in range(5)]
+        d = agg.distances(q, entities)
+        assert d.shape == (5,)
+        # Entity equal to a query vector must have distance 0 under min.
+        entities.append(np.vstack([q[0], rng.standard_normal(4)]))
+        d2 = agg.distances(q, entities)
+        assert d2[-1] == pytest.approx(0.0, abs=1e-5)
+
+    def test_unknown_aggregator_rejected(self):
+        with pytest.raises(ValueError, match="unknown aggregator"):
+            AggregateScore(EuclideanScore(), "median")
+
+    def test_callable_aggregator(self, rng):
+        agg = AggregateScore(EuclideanScore(), lambda b: float(b.sum()))
+        q = rng.standard_normal((2, 3))
+        e = rng.standard_normal((2, 3))
+        expected = EuclideanScore().pairwise(q, e).sum()
+        assert agg.entity_distance(q, e) == pytest.approx(expected, rel=1e-5)
+
+    def test_ranking_respects_aggregate(self, rng):
+        """min-aggregation ranks an entity sharing one facet above an
+        entity that is moderately far on all facets."""
+        agg = AggregateScore(EuclideanScore(), "min")
+        q = np.zeros((1, 4))
+        near_one_facet = np.vstack([np.zeros(4), 10 * np.ones(4)])
+        all_medium = np.ones((2, 4))
+        d = agg.distances(q, [near_one_facet, all_medium])
+        assert d[0] < d[1]

@@ -1,0 +1,98 @@
+"""Tests for metric learning and score selection diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.scores import (
+    CosineScore,
+    EuclideanScore,
+    HammingScore,
+    InnerProductScore,
+    concentration_ratio,
+    learn_mahalanobis,
+    recommend_score,
+    relative_contrast,
+    normalize_rows,
+)
+
+
+class TestLearnMahalanobis:
+    def test_loss_decreases(self, rng):
+        data = rng.standard_normal((30, 4))
+        sim = [(0, 1), (2, 3)]
+        dis = [(0, 10), (5, 20)]
+        result = learn_mahalanobis(data, sim, dis, iterations=50, seed=0)
+        assert result.loss_history[-1] <= result.loss_history[0]
+
+    def test_constraints_respected(self, rng):
+        # Two clusters separated along dim 0; "similar" pairs straddle the
+        # noisy dim 1.  The learned metric should downweight dim 1.
+        n = 40
+        labels = np.repeat([0, 1], n // 2)
+        data = np.stack(
+            [labels * 4.0 + 0.1 * rng.standard_normal(n), rng.standard_normal(n) * 3],
+            axis=1,
+        )
+        sim = [(i, j) for i in range(5) for j in range(5, 10)]  # same cluster
+        dis = [(i, j) for i in range(5) for j in range(n // 2, n // 2 + 5)]
+        result = learn_mahalanobis(data, sim, dis, iterations=100)
+        m = result.matrix
+        assert m[0, 0] > m[1, 1]  # informative dim weighted higher
+
+    def test_requires_constraints(self, rng):
+        with pytest.raises(ValueError):
+            learn_mahalanobis(rng.standard_normal((5, 2)), [], [])
+
+    def test_result_is_usable_score(self, rng):
+        data = rng.standard_normal((20, 3))
+        result = learn_mahalanobis(data, [(0, 1)], [(0, 2)], iterations=10)
+        d = result.score.distances(data[0], data)
+        assert d.shape == (20,)
+        assert d[0] == pytest.approx(0.0, abs=1e-6)
+
+
+class TestDiagnostics:
+    def test_contrast_decreases_with_dimension(self, rng):
+        """The curse of dimensionality: relative contrast of uniform data
+        shrinks as d grows [30]."""
+        low = relative_contrast(rng.uniform(size=(300, 2)))
+        high = relative_contrast(rng.uniform(size=(300, 256)))
+        assert low > high
+        assert high > 1.0
+
+    def test_clustered_beats_uniform_contrast(self, rng):
+        from repro.bench.datasets import gaussian_mixture
+
+        clustered = gaussian_mixture(n=300, dim=32, cluster_std=0.1, seed=1).train
+        uniform = rng.standard_normal((300, 32))
+        assert relative_contrast(clustered) > relative_contrast(uniform)
+
+    def test_concentration_ratio_drops_with_dim(self, rng):
+        low = concentration_ratio(rng.uniform(size=(200, 2)))
+        high = concentration_ratio(rng.uniform(size=(200, 512)))
+        assert low > high
+
+
+class TestRecommendScore:
+    def test_binary_data_gets_hamming(self, rng):
+        data = (rng.uniform(size=(50, 16)) > 0.5).astype(np.float64)
+        rec = recommend_score(data)
+        assert isinstance(rec.score, HammingScore)
+
+    def test_normalized_data_gets_ip(self, rng):
+        data = normalize_rows(rng.standard_normal((50, 16))).astype(np.float64)
+        rec = recommend_score(data)
+        assert isinstance(rec.score, InnerProductScore)
+
+    def test_varying_norms_get_cosine(self, rng):
+        scales = np.exp(rng.standard_normal(50) * 2)[:, None]
+        data = scales * normalize_rows(rng.standard_normal((50, 8))).astype(float)
+        rec = recommend_score(data)
+        assert isinstance(rec.score, CosineScore)
+
+    def test_default_euclidean_with_diagnostics(self, rng):
+        data = rng.standard_normal((50, 8)) + 5.0
+        data = data * (1.0 + 0.05 * rng.standard_normal((50, 1)))
+        rec = recommend_score(data)
+        assert isinstance(rec.score, EuclideanScore)
+        assert "relative_contrast" in rec.diagnostics

@@ -1,0 +1,56 @@
+"""Tests for the score registry."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import UnknownScoreError
+from repro.scores import (
+    CosineScore,
+    EuclideanScore,
+    MinkowskiScore,
+    Score,
+    available_scores,
+    get_score,
+    register_score,
+)
+
+
+class TestGetScore:
+    def test_by_name(self):
+        assert isinstance(get_score("l2"), EuclideanScore)
+        assert isinstance(get_score("cosine"), CosineScore)
+
+    def test_aliases(self):
+        assert isinstance(get_score("euclidean"), EuclideanScore)
+        assert get_score("manhattan").name == "l1"
+        assert get_score("chebyshev").name == "linf"
+        assert get_score("dot").name == "ip"
+
+    def test_case_insensitive(self):
+        assert isinstance(get_score("COSINE"), CosineScore)
+
+    def test_passthrough(self):
+        score = EuclideanScore()
+        assert get_score(score) is score
+
+    def test_minkowski_parameterized(self):
+        score = get_score("minkowski:3")
+        assert isinstance(score, MinkowskiScore)
+        assert score.p == 3.0
+
+    def test_unknown_raises_with_suggestions(self):
+        with pytest.raises(UnknownScoreError, match="available"):
+            get_score("nope")
+
+    def test_register_custom(self):
+        class Custom(EuclideanScore):
+            name = "custom_test"
+
+        register_score("custom_test", Custom)
+        assert isinstance(get_score("custom_test"), Custom)
+        assert "custom_test" in available_scores()
+
+    def test_available_scores_sorted(self):
+        scores = available_scores()
+        assert scores == sorted(scores)
+        assert "l2" in scores

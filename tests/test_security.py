@@ -1,0 +1,125 @@
+"""Tests for DCPE-based secure k-NN (§2.6(4))."""
+
+import numpy as np
+import pytest
+
+from repro.index.flat import FlatIndex
+from repro.scores import EuclideanScore
+from repro.security import DcpeKey, SecureKnnClient, SecureSearchServer
+from repro.security.dcpe import secure_knn_roundtrip
+
+
+@pytest.fixture(scope="module")
+def key():
+    return DcpeKey.generate(12, scale=3.0, noise_radius=0.0, seed=1)
+
+
+class TestKey:
+    def test_rotation_orthogonal(self, key):
+        r = key.rotation
+        np.testing.assert_allclose(r @ r.T, np.eye(12), atol=1e-10)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DcpeKey.generate(4, scale=0.0)
+        with pytest.raises(ValueError):
+            DcpeKey.generate(4, noise_radius=-1.0)
+
+
+class TestNoiselessScheme:
+    def test_exact_distance_scaling(self, key, small_data):
+        client = SecureKnnClient(key, seed=0)
+        enc = client.encrypt(small_data[:50])
+        score = EuclideanScore()
+        plain = score.distances(small_data[0], small_data[:50])
+        cipher = score.distances(enc[0], enc)
+        np.testing.assert_allclose(cipher, key.scale * plain, rtol=1e-4,
+                                   atol=1e-3)
+
+    def test_topk_preserved_exactly(self, key, small_data, small_queries,
+                                    flat_oracle):
+        client = SecureKnnClient(key, seed=0)
+        server = SecureSearchServer("flat").load(client.encrypt(small_data))
+        for q in small_queries[:5]:
+            expected = [h.id for h in flat_oracle.search(q, 10)]
+            got = [h.id for h in server.search(client.encrypt(q)[0], 10)]
+            assert got == expected
+
+    def test_roundtrip_distances_in_plaintext_units(self, key, small_data,
+                                                    small_queries, flat_oracle):
+        client = SecureKnnClient(key, seed=0)
+        hits = secure_knn_roundtrip(
+            client, SecureSearchServer("flat"), small_data, small_queries[0], 5
+        )
+        expected = flat_oracle.search(small_queries[0], 5)
+        for got, want in zip(hits, expected):
+            assert got.distance == pytest.approx(want.distance, rel=1e-3,
+                                                 abs=1e-3)
+
+    def test_graph_index_on_ciphertexts(self, key, small_data, small_queries,
+                                        flat_oracle):
+        """DCPE preserves geometry, so even a graph index works server-side."""
+        client = SecureKnnClient(key, seed=0)
+        server = SecureSearchServer("hnsw", m=8, ef_construction=48, seed=0)
+        server.load(client.encrypt(small_data))
+        expected = set(h.id for h in flat_oracle.search(small_queries[0], 10))
+        got = set(h.id for h in server.search(client.encrypt(small_queries[0])[0], 10))
+        assert len(got & expected) >= 8
+
+    def test_ciphertext_hides_plaintext(self, key, small_data):
+        client = SecureKnnClient(key, seed=0)
+        enc = client.encrypt(small_data[:10])
+        # No coordinate should match, and norms should be scaled+shifted.
+        assert not np.allclose(enc, small_data[:10], atol=0.1)
+        correlation = np.corrcoef(
+            enc.ravel().astype(np.float64), small_data[:10].ravel().astype(np.float64)
+        )[0, 1]
+        assert abs(correlation) < 0.5
+
+
+class TestNoisyScheme:
+    def test_noise_bounded(self, small_data):
+        key = DcpeKey.generate(12, scale=2.0, noise_radius=0.1, seed=3)
+        client_a = SecureKnnClient(key, seed=1)
+        client_b = SecureKnnClient(key, seed=2)
+        enc_a = client_a.encrypt(small_data[:20]).astype(np.float64)
+        enc_b = client_b.encrypt(small_data[:20]).astype(np.float64)
+        # Same key, different noise draws: ciphertexts differ by <= 2*eps.
+        gap = np.linalg.norm(enc_a - enc_b, axis=1)
+        assert (gap > 0).any()
+        assert (gap <= 2 * 0.1 + 1e-6).all()
+
+    def test_comparison_slack_honored(self, small_data, small_queries,
+                                      flat_oracle):
+        key = DcpeKey.generate(12, scale=2.0, noise_radius=0.05, seed=3)
+        client = SecureKnnClient(key, seed=1)
+        slack = client.comparison_slack()
+        server = SecureSearchServer("flat").load(client.encrypt(small_data))
+        q = small_queries[0]
+        got = server.search(client.encrypt(q)[0], 10)
+        exact = flat_oracle.search(q, 30)
+        exact_d = {h.id: h.distance for h in exact}
+        kth = exact[9].distance
+        # Every reported item is within slack of the true top-10 boundary.
+        for hit in got:
+            assert exact_d.get(hit.id, np.inf) <= kth + slack + 1e-6
+
+    def test_more_noise_less_recall(self, small_data, small_queries,
+                                    flat_oracle):
+        def recall(noise):
+            key = DcpeKey.generate(12, scale=2.0, noise_radius=noise, seed=3)
+            client = SecureKnnClient(key, seed=1)
+            server = SecureSearchServer("flat").load(client.encrypt(small_data))
+            total = 0
+            for q in small_queries:
+                expected = set(h.id for h in flat_oracle.search(q, 10))
+                got = set(h.id for h in server.search(client.encrypt(q)[0], 10))
+                total += len(got & expected)
+            return total / (10 * len(small_queries))
+
+        assert recall(0.0) == pytest.approx(1.0)
+        assert recall(0.0) >= recall(1.0)
+
+    def test_server_requires_load(self):
+        with pytest.raises(RuntimeError):
+            SecureSearchServer("flat").search(np.zeros(4, np.float32), 1)

@@ -1,0 +1,154 @@
+"""Tests for the SQL-ish vector query language."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import SqlError
+from repro.core.sql import parse_sql, tokenize
+from repro.hybrid.predicates import And, Between, Comparison, In, Not, Or
+
+
+class TestTokenizer:
+    def test_basic(self):
+        assert tokenize("SELECT * FROM t") == ["SELECT", "*", "FROM", "t"]
+
+    def test_numbers_and_strings(self):
+        tokens = tokenize("price < 19.99 AND name = 'it''s'")
+        assert "19.99" in tokens
+        assert "'it''s'" in tokens
+
+    def test_operators(self):
+        assert tokenize("a <> b <= c") == ["a", "<>", "b", "<=", "c"]
+
+    def test_garbage_rejected(self):
+        with pytest.raises(SqlError):
+            tokenize("SELECT ~~~ FROM t")
+
+
+class TestParser:
+    def _q(self, where=""):
+        clause = f"WHERE {where} " if where else ""
+        return parse_sql(
+            f"SELECT * FROM items {clause}"
+            "ORDER BY DISTANCE(vec, [1.0, 2.0]) LIMIT 5"
+        )
+
+    def test_minimal(self):
+        parsed = self._q()
+        assert parsed.table == "items"
+        assert parsed.predicate is None
+        assert parsed.k == 5
+        np.testing.assert_array_equal(parsed.vector, [1.0, 2.0])
+
+    def test_comparison(self):
+        parsed = self._q("price < 20")
+        assert parsed.predicate == Comparison("price", "<", 20)
+
+    def test_equals_normalized(self):
+        assert self._q("a = 3").predicate == Comparison("a", "==", 3)
+        assert self._q("a == 3").predicate == Comparison("a", "==", 3)
+        assert self._q("a <> 3").predicate == Comparison("a", "!=", 3)
+
+    def test_string_literal(self):
+        parsed = self._q("category = 'shoes'")
+        assert parsed.predicate == Comparison("category", "==", "shoes")
+
+    def test_and_or_precedence(self):
+        parsed = self._q("a = 1 OR b = 2 AND c = 3")
+        # AND binds tighter: a=1 OR (b=2 AND c=3)
+        assert isinstance(parsed.predicate, Or)
+        assert isinstance(parsed.predicate.right, And)
+
+    def test_parentheses(self):
+        parsed = self._q("(a = 1 OR b = 2) AND c = 3")
+        assert isinstance(parsed.predicate, And)
+        assert isinstance(parsed.predicate.left, Or)
+
+    def test_not(self):
+        parsed = self._q("NOT a = 1")
+        assert isinstance(parsed.predicate, Not)
+
+    def test_between(self):
+        parsed = self._q("price BETWEEN 5 AND 10")
+        assert parsed.predicate == Between("price", 5, 10)
+
+    def test_in(self):
+        parsed = self._q("category IN ('a', 'b')")
+        assert parsed.predicate == In("category", ["a", "b"])
+
+    def test_between_inside_and(self):
+        parsed = self._q("price BETWEEN 5 AND 10 AND rating > 3")
+        assert isinstance(parsed.predicate, And)
+
+    def test_errors(self):
+        with pytest.raises(SqlError):
+            parse_sql("")
+        with pytest.raises(SqlError):
+            parse_sql("SELECT * FROM t LIMIT 5")  # missing ORDER BY
+        with pytest.raises(SqlError):
+            parse_sql("SELECT * FROM t ORDER BY DISTANCE(v, [1]) LIMIT 5 extra")
+        with pytest.raises(SqlError):
+            parse_sql("SELECT name FROM t ORDER BY DISTANCE(v, [1]) LIMIT 5")
+
+    def test_keyword_as_attribute_rejected(self):
+        with pytest.raises(SqlError):
+            self._q("WHERE = 3")
+
+
+class TestExecution:
+    def test_sql_equals_api(self, hybrid_dataset):
+        from repro.core.database import VectorDatabase
+        from repro.core.sql import execute_sql
+        from repro.hybrid.predicates import Field
+
+        db = VectorDatabase(dim=hybrid_dataset.dim)
+        db.insert_many(hybrid_dataset.train, hybrid_dataset.attributes)
+        q = hybrid_dataset.queries[0]
+        vector_sql = "[" + ", ".join(f"{x:.6f}" for x in q) + "]"
+        sql_result = execute_sql(
+            db,
+            f"SELECT * FROM items WHERE category = 2 AND price < 40 "
+            f"ORDER BY DISTANCE(vec, {vector_sql}) LIMIT 5",
+        )
+        api_result = db.search(
+            q, k=5, predicate=(Field("category") == 2) & (Field("price") < 40)
+        )
+        assert sql_result.ids == api_result.ids
+
+
+class TestParserProperties:
+    @given(
+        k=st.integers(min_value=1, max_value=1000),
+        dims=st.lists(
+            st.floats(min_value=-1e3, max_value=1e3, allow_nan=False),
+            min_size=1, max_size=8,
+        ),
+        value=st.integers(min_value=-100, max_value=100),
+        op=st.sampled_from(["<", "<=", ">", ">=", "=", "!="]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_structure(self, k, dims, value, op):
+        vector_sql = "[" + ", ".join(str(d) for d in dims) + "]"
+        parsed = parse_sql(
+            f"SELECT * FROM t WHERE x {op} {value} "
+            f"ORDER BY DISTANCE(v, {vector_sql}) LIMIT {k}"
+        )
+        assert parsed.k == k
+        assert parsed.vector.shape == (len(dims),)
+        # Vectors are stored float32; compare at that precision.
+        np.testing.assert_allclose(
+            parsed.vector, np.asarray(dims, dtype=np.float32), rtol=1e-5
+        )
+        assert isinstance(parsed.predicate, Comparison)
+        assert parsed.predicate.value == value
+
+    @given(text=st.text(min_size=1, max_size=30).filter(lambda s: "'" not in s))
+    @settings(max_examples=40, deadline=None)
+    def test_string_literals_roundtrip(self, text):
+        parsed = parse_sql(
+            f"SELECT * FROM t WHERE name = '{text}' "
+            "ORDER BY DISTANCE(v, [1]) LIMIT 1"
+        )
+        assert parsed.predicate.value == text

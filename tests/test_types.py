@@ -1,0 +1,111 @@
+"""Tests for core value types."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import DimensionMismatchError
+from repro.core.types import (
+    SearchHit,
+    SearchResult,
+    SearchStats,
+    as_matrix,
+    as_vector,
+    topk_from_arrays,
+)
+
+
+class TestAsMatrix:
+    def test_single_vector_becomes_row(self):
+        out = as_matrix([1.0, 2.0, 3.0])
+        assert out.shape == (1, 3)
+        assert out.dtype == np.float32
+
+    def test_list_of_vectors(self):
+        out = as_matrix([[1, 2], [3, 4]])
+        assert out.shape == (2, 2)
+
+    def test_dim_check(self):
+        with pytest.raises(DimensionMismatchError):
+            as_matrix([[1, 2, 3]], dim=2)
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValueError):
+            as_matrix(np.zeros((2, 2, 2)))
+
+    def test_contiguous(self):
+        arr = np.zeros((4, 6), dtype=np.float32)[:, ::2]
+        out = as_matrix(arr)
+        assert out.flags["C_CONTIGUOUS"]
+
+
+class TestAsVector:
+    def test_row_matrix_squeezed(self):
+        out = as_vector(np.zeros((1, 5)))
+        assert out.shape == (5,)
+
+    def test_rejects_matrix(self):
+        with pytest.raises(ValueError):
+            as_vector(np.zeros((2, 5)))
+
+    def test_dim_mismatch_reports_both(self):
+        with pytest.raises(DimensionMismatchError) as excinfo:
+            as_vector(np.zeros(4), dim=8)
+        assert excinfo.value.expected == 8
+        assert excinfo.value.actual == 4
+
+
+class TestSearchHit:
+    def test_ordering_by_distance(self):
+        assert SearchHit(1, 0.5) < SearchHit(2, 0.7)
+
+    def test_ordering_ties_break_by_id(self):
+        assert SearchHit(1, 0.5) < SearchHit(2, 0.5)
+
+    def test_sorting_list(self):
+        hits = [SearchHit(3, 2.0), SearchHit(1, 1.0), SearchHit(2, 1.5)]
+        assert [h.id for h in sorted(hits)] == [1, 2, 3]
+
+
+class TestSearchResult:
+    def test_accessors(self):
+        result = SearchResult([SearchHit(4, 0.1), SearchHit(9, 0.2)])
+        assert result.ids == [4, 9]
+        assert result.distances == [0.1, 0.2]
+        assert len(result) == 2
+        assert result[0].id == 4
+        assert [h.id for h in result] == [4, 9]
+
+
+class TestSearchStats:
+    def test_merge_accumulates(self):
+        a = SearchStats(distance_computations=5, page_reads=2)
+        b = SearchStats(distance_computations=3, page_reads=1,
+                        predicate_rejections=4)
+        a.merge(b)
+        assert a.distance_computations == 8
+        assert a.page_reads == 3
+        assert a.predicate_rejections == 4
+
+
+class TestTopK:
+    def test_returns_k_smallest_sorted(self):
+        ids = np.arange(100)
+        dists = np.arange(100)[::-1].astype(float)  # id 99 is closest
+        hits = topk_from_arrays(ids, dists, 3)
+        assert [h.id for h in hits] == [99, 98, 97]
+        assert [h.distance for h in hits] == [0.0, 1.0, 2.0]
+
+    def test_k_larger_than_n(self):
+        hits = topk_from_arrays([1, 2], np.array([0.2, 0.1]), 10)
+        assert [h.id for h in hits] == [2, 1]
+
+    def test_k_zero_or_empty(self):
+        assert topk_from_arrays([], np.array([]), 5) == []
+        assert topk_from_arrays([1], np.array([1.0]), 0) == []
+
+    def test_matches_full_sort(self, rng):
+        dists = rng.standard_normal(500)
+        ids = rng.permutation(500)
+        hits = topk_from_arrays(ids, dists, 25)
+        expected = [int(ids[i]) for i in np.argsort(dists, kind="stable")[:25]]
+        assert [h.id for h in hits] == expected
