@@ -44,16 +44,31 @@ from .core import (
     execute_sql,
     parse_sql,
 )
+from .core import (
+    AllReplicasDownError,
+    DeadlineExceededError,
+    PartialResultWarning,
+    ReplicaUnavailableError,
+)
 from .hybrid import Field, Predicate
 from .index import VectorIndex, available_indexes, make_index
+from .reliability import CircuitBreaker, FaultInjector, FaultPlan, RetryPolicy
 from .scores import Score, available_scores, get_score
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "AllReplicasDownError",
     "BatchQuery",
     "BufferedVectorIndex",
+    "CircuitBreaker",
     "CostModel",
+    "DeadlineExceededError",
+    "FaultInjector",
+    "FaultPlan",
+    "PartialResultWarning",
+    "ReplicaUnavailableError",
+    "RetryPolicy",
     "EmpiricalCostModel",
     "Field",
     "IncrementalSearcher",

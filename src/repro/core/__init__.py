@@ -7,12 +7,17 @@ from .incremental import IncrementalSearcher, RestartIncrementalSearcher
 from .multivector import MultiVectorEntityCollection
 from .database import VectorDatabase
 from .errors import (
+    AllReplicasDownError,
     CollectionError,
+    DeadlineExceededError,
     DimensionMismatchError,
     IndexNotBuiltError,
+    PageReadError,
+    PartialResultWarning,
     PlanningError,
     PredicateError,
     QueryError,
+    ReplicaUnavailableError,
     SqlError,
     StorageError,
     UnknownIndexError,
@@ -33,10 +38,15 @@ from .types import SearchHit, SearchResult, SearchStats
 from .updates import BufferedVectorIndex
 
 __all__ = [
+    "AllReplicasDownError",
     "AutomaticPlanner",
     "BatchQuery",
     "BufferedVectorIndex",
     "CollectionError",
+    "DeadlineExceededError",
+    "PageReadError",
+    "PartialResultWarning",
+    "ReplicaUnavailableError",
     "CostBasedSelector",
     "CostModel",
     "CostWeights",

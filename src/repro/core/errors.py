@@ -52,5 +52,66 @@ class StorageError(VdbmsError):
     """Error in the storage layer (bad page id, closed store, ...)."""
 
 
+class PageReadError(StorageError):
+    """A disk page read failed (injected I/O fault or corrupt page)."""
+
+    def __init__(self, page_id: int, message: str | None = None):
+        super().__init__(message or f"I/O error reading page {page_id}")
+        self.page_id = page_id
+
+
 class SqlError(VdbmsError):
     """Error parsing or executing the SQL-like query language."""
+
+
+class ReplicaUnavailableError(VdbmsError, ConnectionError):
+    """A replica could not serve a request (crashed node, dropped RPC).
+
+    Inherits :class:`ConnectionError` so pre-existing failover code that
+    catches ``ConnectionError`` keeps working.  ``transient`` marks
+    failures worth retrying on the *same* replica (a flaky request)
+    versus ones that call for immediate failover (a crashed node).
+    """
+
+    def __init__(self, node_id: str, reason: str = "down",
+                 transient: bool = False):
+        super().__init__(f"replica {node_id} unavailable: {reason}")
+        self.node_id = node_id
+        self.reason = reason
+        self.transient = transient
+
+
+class AllReplicasDownError(ReplicaUnavailableError):
+    """Every replica of a shard failed; the shard's data is unreachable."""
+
+    def __init__(self, shard: int, attempts: int = 0):
+        VdbmsError.__init__(
+            self,
+            f"all replicas of shard {shard} are down"
+            + (f" (after {attempts} attempts)" if attempts else ""),
+        )
+        self.shard = shard
+        self.attempts = attempts
+        self.node_id = f"shard{shard}"
+        self.reason = "all replicas down"
+        self.transient = False
+
+
+class DeadlineExceededError(VdbmsError, TimeoutError):
+    """A request's simulated-clock deadline elapsed before it finished."""
+
+    def __init__(self, budget_seconds: float, spent_seconds: float):
+        super().__init__(
+            f"deadline of {budget_seconds:.6g}s exceeded"
+            f" ({spent_seconds:.6g}s spent)"
+        )
+        self.budget_seconds = budget_seconds
+        self.spent_seconds = spent_seconds
+
+
+class PartialResultWarning(UserWarning):
+    """A query completed with reduced coverage (some shards unreachable).
+
+    Emitted (not raised) in non-strict mode so callers that opted into
+    graceful degradation can still observe it with ``warnings`` filters.
+    """

@@ -81,6 +81,16 @@ class SearchResult:
     def distances(self) -> list[float]:
         return [h.distance for h in self.hits]
 
+    @property
+    def is_partial(self) -> bool:
+        """True when some routed shards failed and the result set is a
+        best-effort answer over the reachable fraction of the data."""
+        return self.stats.partial
+
+    @property
+    def coverage_fraction(self) -> float:
+        return self.stats.coverage_fraction
+
     def __len__(self) -> int:
         return len(self.hits)
 
@@ -96,7 +106,11 @@ class SearchResult:
         )
         more = f", ... +{len(self.hits) - 5}" if len(self.hits) > 5 else ""
         plan = f" plan={self.stats.plan_name!r}" if self.stats.plan_name else ""
-        return f"SearchResult([{preview}{more}]{plan})"
+        part = (
+            f" PARTIAL coverage={self.stats.coverage_fraction:.2f}"
+            if self.stats.partial else ""
+        )
+        return f"SearchResult([{preview}{more}]{plan}{part})"
 
 
 @dataclass(slots=True)
@@ -116,6 +130,14 @@ class SearchStats:
     predicate_rejections: int = 0
     plan_name: str = ""
     elapsed_seconds: float = 0.0
+    # Degraded-mode accounting (distributed/faulty execution, §2.3):
+    # ``partial`` marks a result produced with less than full coverage;
+    # ``coverage_fraction`` is the fraction of routed shards that
+    # answered (1.0 for single-node execution).
+    partial: bool = False
+    coverage_fraction: float = 1.0
+    shards_ok: int = 0
+    shards_failed: int = 0
 
     def merge(self, other: "SearchStats") -> None:
         """Accumulate another stats object into this one (for batches)."""
@@ -126,6 +148,12 @@ class SearchStats:
         self.predicate_evaluations += other.predicate_evaluations
         self.predicate_rejections += other.predicate_rejections
         self.elapsed_seconds += other.elapsed_seconds
+        self.partial = self.partial or other.partial
+        self.coverage_fraction = min(
+            self.coverage_fraction, other.coverage_fraction
+        )
+        self.shards_ok += other.shards_ok
+        self.shards_failed += other.shards_failed
 
 
 def topk_from_arrays(

@@ -1,14 +1,28 @@
 """Distributed search: sharding, replicas, scatter-gather (§2.3)."""
 
+from ..reliability import (
+    CircuitBreaker,
+    ClusterHealth,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    RetryPolicy,
+)
 from .cluster import DistributedQueryStats, DistributedSearchCluster
 from .node import NodeLatencyModel, SearchNode
 from .shard import IndexGuidedSharding, ShardingStrategy, UniformSharding
 
 __all__ = [
+    "CircuitBreaker",
+    "ClusterHealth",
     "DistributedQueryStats",
     "DistributedSearchCluster",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
     "IndexGuidedSharding",
     "NodeLatencyModel",
+    "RetryPolicy",
     "SearchNode",
     "ShardingStrategy",
     "UniformSharding",

@@ -11,16 +11,33 @@ replicas work in parallel, so per-query latency is the *maximum* node
 latency plus a merge term — which is how adding shards buys throughput
 and tail latency shifts.  Node failures are injectable to exercise the
 replica failover path.
+
+Fault handling (``repro.reliability``): the coordinator retries flaky
+replicas with exponential backoff, fails over across replicas, trips a
+per-replica circuit breaker after consecutive failures, races each
+shard chain against an optional simulated-clock deadline, and — in
+non-strict mode — degrades gracefully when a shard has no reachable
+replica, returning a partial :class:`SearchResult` with per-shard
+coverage accounting instead of raising.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import warnings
+from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..core.errors import VdbmsError
+from ..core.errors import (
+    AllReplicasDownError,
+    DeadlineExceededError,
+    PartialResultWarning,
+    VdbmsError,
+)
 from ..core.types import SearchHit, SearchResult, SearchStats
+from ..reliability.breaker import CircuitBreaker, ClusterHealth, ReplicaHealth
+from ..reliability.faults import FaultInjector
+from ..reliability.retry import RetryPolicy
 from .node import NodeLatencyModel, SearchNode
 from .shard import ShardingStrategy, UniformSharding
 
@@ -32,6 +49,14 @@ class DistributedQueryStats:
     shards_contacted: int = 0
     replicas_tried: int = 0
     failovers: int = 0
+    retries: int = 0
+    breaker_skips: int = 0
+    shards_ok: int = 0
+    shards_failed: int = 0
+    skipped_shards: list[int] = field(default_factory=list)
+    deadline_exceeded: bool = False
+    partial: bool = False
+    coverage_fraction: float = 1.0
     simulated_latency_seconds: float = 0.0
     total_distance_computations: int = 0
 
@@ -47,6 +72,20 @@ class DistributedSearchCluster:
         Replicas per shard (>= 1).
     index_type / index_kwargs:
         Local index each node builds over its shard.
+    retry_policy:
+        Backoff/retry knobs for contacting replicas; defaults to a
+        3-attempt exponential-backoff policy seeded from 0.
+    injector:
+        Optional :class:`~repro.reliability.faults.FaultInjector` wired
+        into every node (chaos testing).
+    strict:
+        Default failure semantics: ``True`` raises
+        :class:`AllReplicasDownError` / :class:`DeadlineExceededError`
+        when a shard is unreachable; ``False`` returns a partial result
+        with coverage accounting.  Overridable per :meth:`search`.
+    breaker_failure_threshold / breaker_cooldown_ops:
+        Per-replica circuit-breaker tuning (consecutive failures to
+        trip; denied operations before half-opening).
     """
 
     def __init__(
@@ -56,6 +95,11 @@ class DistributedSearchCluster:
         replication_factor: int = 1,
         index_type: str = "hnsw",
         latency: NodeLatencyModel | None = None,
+        retry_policy: RetryPolicy | None = None,
+        injector: FaultInjector | None = None,
+        strict: bool = True,
+        breaker_failure_threshold: int = 3,
+        breaker_cooldown_ops: int = 8,
         **index_kwargs,
     ):
         self.sharding = sharding or UniformSharding(num_shards)
@@ -64,10 +108,19 @@ class DistributedSearchCluster:
             raise VdbmsError("replication_factor must be >= 1")
         self.replication_factor = replication_factor
         self.latency = latency or NodeLatencyModel()
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.injector = injector
+        self.strict = strict
+        self._breaker_kwargs = dict(
+            failure_threshold=breaker_failure_threshold,
+            cooldown_ops=breaker_cooldown_ops,
+        )
+        self._breakers: dict[str, CircuitBreaker] = {}
         self.nodes: list[list[SearchNode]] = [
             [
                 SearchNode(
-                    f"shard{s}-replica{r}", index_type, self.latency, **index_kwargs
+                    f"shard{s}-replica{r}", index_type, self.latency,
+                    injector=self.injector, **index_kwargs
                 )
                 for r in range(replication_factor)
             ]
@@ -199,12 +252,13 @@ class DistributedSearchCluster:
             [
                 SearchNode(
                     f"shard{s}-replica{r}", self._index_type, self.latency,
-                    **self._index_kwargs,
+                    injector=self.injector, **self._index_kwargs,
                 )
                 for r in range(self.replication_factor)
             ]
             for s in range(new_num_shards)
         ]
+        self._breakers = {}
         for shard in range(new_num_shards):
             member = new_assignment == shard
             for replica in self.nodes[shard]:
@@ -220,6 +274,41 @@ class DistributedSearchCluster:
     def recover_node(self, shard: int, replica: int = 0) -> None:
         self.nodes[shard][replica].is_up = True
 
+    def attach_injector(self, injector: FaultInjector | None) -> None:
+        """(Re)wire a fault injector into the coordinator and all nodes."""
+        self.injector = injector
+        for replicas in self.nodes:
+            for node in replicas:
+                node.injector = injector
+
+    def _breaker(self, node: SearchNode) -> CircuitBreaker:
+        breaker = self._breakers.get(node.node_id)
+        if breaker is None:
+            breaker = CircuitBreaker(**self._breaker_kwargs)
+            self._breakers[node.node_id] = breaker
+        return breaker
+
+    def health(self) -> ClusterHealth:
+        """Coordinator's view of every replica's liveness + breaker."""
+        view = ClusterHealth()
+        for shard, replicas in enumerate(self.nodes):
+            for r, node in enumerate(replicas):
+                breaker = self._breaker(node)
+                view.replicas.append(ReplicaHealth(
+                    node_id=node.node_id,
+                    shard=shard,
+                    replica=r,
+                    is_up=node.is_up and not (
+                        self.injector is not None
+                        and self.injector.is_down(node.node_id)
+                    ),
+                    breaker_state=breaker.state,
+                    consecutive_failures=breaker.consecutive_failures,
+                    breaker_trips=breaker.trips,
+                    queries_served=node.queries_served,
+                ))
+        return view
+
     # ---------------------------------------------------------------- search
 
     def _pick_replica(self, shard: int) -> list[SearchNode]:
@@ -228,16 +317,85 @@ class DistributedSearchCluster:
         start = self._rr % len(replicas)
         return replicas[start:] + replicas[:start]
 
+    def _search_shard(
+        self,
+        shard: int,
+        query: np.ndarray,
+        k: int,
+        dstats: DistributedQueryStats,
+        deadline_seconds: float | None,
+        params: dict,
+    ) -> tuple[list[SearchHit] | None, float, SearchStats | None, bool]:
+        """One shard's replica chain: breaker -> attempt -> retry -> failover.
+
+        Returns ``(hits, simulated_elapsed, node_stats, deadline_hit)``
+        where ``hits is None`` means every replica was exhausted.  The
+        elapsed time includes failed attempts and backoff delays
+        (failover is sequential within a shard), so failover cost is
+        visible in the query's wall clock.
+        """
+        elapsed = 0.0
+        for node in self._pick_replica(shard):
+            breaker = self._breaker(node)
+            if not breaker.allow():
+                dstats.breaker_skips += 1
+                continue
+            attempt = 0
+            while True:
+                if deadline_seconds is not None and elapsed > deadline_seconds:
+                    return None, elapsed, None, True
+                dstats.replicas_tried += 1
+                try:
+                    hits, latency, stats = node.search(query, k, **params)
+                except ConnectionError as exc:
+                    elapsed += node.latency.failed_request_latency()
+                    breaker.record_failure()
+                    transient = getattr(exc, "transient", False)
+                    attempt += 1
+                    if transient and attempt < self.retry_policy.max_attempts:
+                        # Same replica may answer next time: back off and
+                        # retry, charging the wait to the shard's clock.
+                        elapsed += self.retry_policy.backoff(attempt)
+                        dstats.retries += 1
+                        continue
+                    dstats.failovers += 1
+                    break  # next replica
+                breaker.record_success()
+                elapsed += latency
+                if deadline_seconds is not None and elapsed > deadline_seconds:
+                    return None, elapsed, None, True
+                return hits, elapsed, stats, False
+        return None, elapsed, None, False
+
     def search(
         self,
         query: np.ndarray,
         k: int,
         route_nprobe: int = 4,
+        deadline_seconds: float | None = None,
+        strict: bool | None = None,
         **params,
     ) -> tuple[SearchResult, DistributedQueryStats]:
-        """Scatter to routed shards, gather and merge the top-k."""
+        """Scatter to routed shards, gather and merge the top-k.
+
+        Parameters
+        ----------
+        deadline_seconds:
+            Per-query budget on the simulated clock.  Shards fan out in
+            parallel, so each shard's replica chain races the deadline
+            independently; a chain that exceeds it is abandoned.
+        strict:
+            ``True``: raise :class:`AllReplicasDownError` (or
+            :class:`DeadlineExceededError`) when any routed shard cannot
+            answer.  ``False``: skip the shard and return a result
+            flagged partial, with ``shards_ok``/``shards_failed``/
+            ``coverage_fraction`` accounting.  ``None`` uses the
+            cluster's default.
+        """
         if not self.loaded:
             raise VdbmsError("cluster has no data loaded")
+        if strict is None:
+            strict = self.strict
         self._rr += 1
         dstats = DistributedQueryStats()
         shard_latencies: list[float] = []
@@ -245,20 +403,22 @@ class DistributedSearchCluster:
         gather_stats = SearchStats(plan_name="scatter_gather")
         for shard in self.sharding.route(np.asarray(query), route_nprobe):
             dstats.shards_contacted += 1
-            hits: list[SearchHit] | None = None
-            for node in self._pick_replica(shard):
-                dstats.replicas_tried += 1
-                try:
-                    hits, latency, stats = node.search(query, k, **params)
-                except ConnectionError:
-                    dstats.failovers += 1
-                    continue
-                shard_latencies.append(latency)
-                gather_stats.merge(stats)
-                dstats.total_distance_computations += stats.distance_computations
-                break
+            hits, elapsed, stats, deadline_hit = self._search_shard(
+                shard, query, k, dstats, deadline_seconds, params
+            )
+            shard_latencies.append(elapsed)
             if hits is None:
-                raise VdbmsError(f"all replicas of shard {shard} are down")
+                dstats.deadline_exceeded |= deadline_hit
+                if strict:
+                    if deadline_hit:
+                        raise DeadlineExceededError(deadline_seconds, elapsed)
+                    raise AllReplicasDownError(shard, dstats.replicas_tried)
+                dstats.shards_failed += 1
+                dstats.skipped_shards.append(shard)
+                continue
+            dstats.shards_ok += 1
+            gather_stats.merge(stats)
+            dstats.total_distance_computations += stats.distance_computations
             merged.extend(hits)
         merged.sort()
         merged = merged[:k]
@@ -267,7 +427,24 @@ class DistributedSearchCluster:
         dstats.simulated_latency_seconds = (
             (max(shard_latencies) if shard_latencies else 0.0) + merge_seconds
         )
+        dstats.coverage_fraction = (
+            dstats.shards_ok / dstats.shards_contacted
+            if dstats.shards_contacted else 1.0
+        )
+        dstats.partial = dstats.shards_failed > 0
         gather_stats.elapsed_seconds = dstats.simulated_latency_seconds
+        gather_stats.shards_ok = dstats.shards_ok
+        gather_stats.shards_failed = dstats.shards_failed
+        gather_stats.coverage_fraction = dstats.coverage_fraction
+        gather_stats.partial = dstats.partial
+        if dstats.partial:
+            warnings.warn(
+                f"query answered with partial coverage"
+                f" ({dstats.shards_ok}/{dstats.shards_contacted} shards,"
+                f" skipped {dstats.skipped_shards})",
+                PartialResultWarning,
+                stacklevel=2,
+            )
         return SearchResult(hits=merged, stats=gather_stats), dstats
 
     def throughput_estimate(self, per_query: DistributedQueryStats) -> float:

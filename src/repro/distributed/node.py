@@ -5,17 +5,25 @@ local search cost; the simulated clock models both so scatter-gather
 wall-clock estimates behave like the real thing (queries fan out in
 parallel, so elapsed time is the *max* over contacted nodes — the
 cluster computes that).
+
+Fault injection (``repro.reliability``): a node may carry a
+:class:`~repro.reliability.faults.FaultInjector`; before serving it asks
+the injector whether this request crashes, fails transiently, or runs
+slow, and raises the typed errors the coordinator's failover/retry
+logic keys on.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 import numpy as np
 
+from ..core.errors import ReplicaUnavailableError
 from ..core.types import SearchHit, SearchStats
 from ..index.registry import make_index
+from ..reliability.faults import FaultInjector
 
 
 @dataclass
@@ -24,12 +32,23 @@ class NodeLatencyModel:
 
     network_seconds: float = 0.0005
     per_distance_seconds: float = 1e-7
+    # A failed attempt is not free: the coordinator still pays (at least)
+    # the RTT — or a timeout's worth of waiting — before it can fail
+    # over.  Charged per failed attempt into the simulated wall clock so
+    # failover cost shows up in ``simulated_latency_seconds``.
+    failed_attempt_seconds: float | None = None
 
     def request_latency(self, stats: SearchStats) -> float:
         return (
             self.network_seconds
             + stats.distance_computations * self.per_distance_seconds
         )
+
+    def failed_request_latency(self) -> float:
+        """Simulated time burned by one failed/refused attempt."""
+        if self.failed_attempt_seconds is not None:
+            return self.failed_attempt_seconds
+        return self.network_seconds
 
 
 class SearchNode:
@@ -40,12 +59,14 @@ class SearchNode:
         node_id: str,
         index_type: str = "hnsw",
         latency: NodeLatencyModel | None = None,
+        injector: FaultInjector | None = None,
         **index_kwargs: Any,
     ):
         self.node_id = node_id
         self.index_type = index_type
         self.index_kwargs = index_kwargs
         self.latency = latency or NodeLatencyModel()
+        self.injector = injector
         self.index = None
         self.queries_served = 0
         self.is_up = True
@@ -62,12 +83,32 @@ class SearchNode:
     def search(
         self, query: np.ndarray, k: int, **params: Any
     ) -> tuple[list[SearchHit], float, SearchStats]:
-        """Local search; returns (hits, simulated latency, stats)."""
+        """Local search; returns (hits, simulated latency, stats).
+
+        Raises :class:`ReplicaUnavailableError` (a ``ConnectionError``)
+        when the node is administratively down, crashed by the fault
+        injector, or hit by an injected transient failure; the error's
+        ``transient`` flag tells the coordinator whether retrying this
+        same replica can help.
+        """
         if not self.is_up:
-            raise ConnectionError(f"node {self.node_id} is down")
+            raise ReplicaUnavailableError(self.node_id, reason="node is down")
+        slowdown = 1.0
+        if self.injector is not None:
+            decision = self.injector.on_request(self.node_id)
+            if decision.crashed:
+                raise ReplicaUnavailableError(
+                    self.node_id, reason="crashed (injected)"
+                )
+            if decision.flaky:
+                raise ReplicaUnavailableError(
+                    self.node_id, reason="request dropped (injected)",
+                    transient=True,
+                )
+            slowdown = decision.slowdown
         self.queries_served += 1
         stats = SearchStats()
         if self.index is None or len(self.index) == 0:
-            return [], self.latency.network_seconds, stats
+            return [], slowdown * self.latency.network_seconds, stats
         hits = self.index.search(query, k, stats=stats, **params)
-        return hits, self.latency.request_latency(stats), stats
+        return hits, slowdown * self.latency.request_latency(stats), stats

@@ -1,0 +1,37 @@
+"""Reliability toolkit: fault injection, retries, breakers (§2.3).
+
+The chaos harness every scaling PR tests against: seedable fault plans
+(:mod:`~repro.reliability.faults`), retry/backoff/deadline policies on
+the simulated clock (:mod:`~repro.reliability.retry`), and per-replica
+circuit breakers feeding a cluster health view
+(:mod:`~repro.reliability.breaker`).  See ``docs/reliability.md``.
+"""
+
+from .breaker import CircuitBreaker, ClusterHealth, ReplicaHealth
+from .faults import (
+    CRASH,
+    FLAKY,
+    PAGE_ERROR,
+    SLOW,
+    FaultDecision,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+)
+from .retry import Deadline, RetryPolicy
+
+__all__ = [
+    "CRASH",
+    "CircuitBreaker",
+    "ClusterHealth",
+    "Deadline",
+    "FLAKY",
+    "FaultDecision",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "PAGE_ERROR",
+    "ReplicaHealth",
+    "RetryPolicy",
+    "SLOW",
+]

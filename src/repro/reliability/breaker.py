@@ -1,0 +1,113 @@
+"""Per-replica circuit breakers and the cluster health view.
+
+A coordinator that keeps hammering a dead replica pays a failed-RTT tax
+on every query.  The classic fix is a circuit breaker per downstream:
+after ``failure_threshold`` *consecutive* failures the breaker OPENs and
+the replica is skipped outright; after ``cooldown_ops`` skipped
+operations it HALF-OPENs and lets one probe request through — success
+re-CLOSEs it, failure re-OPENs it.  Cooldown is counted in operations
+(breaker consultations), the natural unit of our simulated clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["CircuitBreaker", "ClusterHealth", "ReplicaHealth"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+@dataclass
+class CircuitBreaker:
+    """Failure-counting state machine for one replica."""
+
+    failure_threshold: int = 3
+    cooldown_ops: int = 8
+    state: str = CLOSED
+    consecutive_failures: int = 0
+    _cooldown_left: int = 0
+    trips: int = 0
+    skips: int = 0
+
+    def allow(self) -> bool:
+        """May the coordinator contact this replica right now?
+
+        While OPEN, each denied consultation ticks the cooldown; once it
+        reaches zero the breaker HALF-OPENs and admits a single probe.
+        """
+        if self.state == CLOSED:
+            return True
+        if self.state == HALF_OPEN:
+            return True
+        self._cooldown_left -= 1
+        if self._cooldown_left <= 0:
+            self.state = HALF_OPEN
+            return True
+        self.skips += 1
+        return False
+
+    def record_success(self) -> None:
+        self.state = CLOSED
+        self.consecutive_failures = 0
+
+    def record_failure(self) -> None:
+        self.consecutive_failures += 1
+        if self.state == HALF_OPEN:
+            self._trip()
+        elif (self.state == CLOSED
+              and self.consecutive_failures >= self.failure_threshold):
+            self._trip()
+
+    def _trip(self) -> None:
+        self.state = OPEN
+        self._cooldown_left = self.cooldown_ops
+        self.trips += 1
+
+
+@dataclass(frozen=True)
+class ReplicaHealth:
+    """Point-in-time health of one replica, as the coordinator sees it."""
+
+    node_id: str
+    shard: int
+    replica: int
+    is_up: bool
+    breaker_state: str
+    consecutive_failures: int
+    breaker_trips: int
+    queries_served: int
+
+
+@dataclass
+class ClusterHealth:
+    """Aggregated health view over every replica of every shard."""
+
+    replicas: list[ReplicaHealth] = field(default_factory=list)
+
+    @property
+    def healthy_replicas(self) -> int:
+        return sum(1 for r in self.replicas
+                   if r.is_up and r.breaker_state == CLOSED)
+
+    @property
+    def tripped_replicas(self) -> int:
+        return sum(1 for r in self.replicas if r.breaker_state != CLOSED)
+
+    def shards_at_risk(self) -> list[int]:
+        """Shards with no replica that is both up and breaker-closed."""
+        by_shard: dict[int, bool] = {}
+        for r in self.replicas:
+            ok = r.is_up and r.breaker_state == CLOSED
+            by_shard[r.shard] = by_shard.get(r.shard, False) or ok
+        return sorted(s for s, ok in by_shard.items() if not ok)
+
+    def summary(self) -> str:
+        at_risk = self.shards_at_risk()
+        return (
+            f"{self.healthy_replicas}/{len(self.replicas)} replicas healthy,"
+            f" {self.tripped_replicas} breakers tripped,"
+            f" shards at risk: {at_risk if at_risk else 'none'}"
+        )

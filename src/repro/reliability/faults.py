@@ -1,0 +1,281 @@
+"""Deterministic, seedable fault injection (chaos harness).
+
+The VDBMS testing roadmap (arXiv:2502.20812) and the VDBMS bug study
+(arXiv:2506.02617) both find that the query/storage fault path — replica
+failover, partial availability, crash-consistent reads — dominates
+real-world VDBMS failures, yet is the least-tested layer.  This module
+gives the reproduction a controllable fault model:
+
+* :class:`FaultSpec` describes one fault: node crashes, slow replicas,
+  flaky (transient) request failures, and storage page-read errors,
+  scheduled either deterministically (the Nth operation on a target) or
+  probabilistically (per-operation probability from a seeded RNG).
+* :class:`FaultPlan` is an immutable, reusable bundle of specs + seed.
+  The same plan replayed over the same operation sequence injects the
+  *identical* faults — chaos tests are reproducible by construction.
+* :class:`FaultInjector` is the live object components consult: nodes
+  call :meth:`FaultInjector.on_request` before serving, disks call
+  :meth:`FaultInjector.on_page_read` before returning a page.
+
+Nothing here sleeps or touches wall-clock time; "slow" faults surface as
+latency *multipliers* that feed the simulated clock.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import random
+from dataclasses import dataclass, field
+
+__all__ = [
+    "CRASH",
+    "FLAKY",
+    "PAGE_ERROR",
+    "SLOW",
+    "FaultDecision",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+]
+
+# Fault kinds.
+CRASH = "crash"            # replica stops answering (until healed)
+SLOW = "slow"              # replica answers, but latency is multiplied
+FLAKY = "flaky"            # one request fails; a retry may succeed
+PAGE_ERROR = "page_error"  # a disk page read raises PageReadError
+
+_KINDS = (CRASH, SLOW, FLAKY, PAGE_ERROR)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault.
+
+    Parameters
+    ----------
+    kind:
+        ``"crash"``, ``"slow"``, ``"flaky"`` or ``"page_error"``.
+    target:
+        Which component the fault applies to, matched with shell-style
+        wildcards against node ids (``"shard0-replica1"``, ``"shard*"``)
+        or the pseudo-target ``"disk"`` for page faults.  ``"*"``
+        matches everything of the right kind.
+    at_op:
+        Fire deterministically from the Nth operation (0-based) seen by
+        each matching target, for ``duration_ops`` operations (``None``
+        = forever).  A crash scheduled this way keeps the target down
+        for exactly that operation window.
+    probability:
+        Alternatively fire per-operation with this probability, drawn
+        from the plan's seeded RNG.  Ignored when ``at_op`` is set.
+    duration_ops:
+        Fault lifetime in operations.  For probabilistic crashes this is
+        the heal-after counter: the target comes back up after this many
+        further operations are attempted against it (``None`` = stays
+        down).
+    slowdown:
+        For ``"slow"``: multiplier applied to the request's simulated
+        latency.
+    """
+
+    kind: str
+    target: str = "*"
+    at_op: int | None = None
+    probability: float = 0.0
+    duration_ops: int | None = None
+    slowdown: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of {_KINDS}"
+            )
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+
+    def matches(self, target: str) -> bool:
+        return fnmatch.fnmatchcase(target, self.target)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A reusable, seedable set of faults.
+
+    Two :class:`FaultInjector`\\ s built from the same plan and driven
+    through the same operation sequence make identical decisions.
+    """
+
+    faults: tuple[FaultSpec, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "faults", tuple(self.faults))
+
+    def injector(self) -> "FaultInjector":
+        return FaultInjector(self)
+
+    # ------------------------------------------------------------- builders
+
+    @classmethod
+    def kill_replicas(cls, num_shards: int, replica: int = 0,
+                      at_op: int = 0, seed: int = 0) -> "FaultPlan":
+        """Crash one replica of every shard (the acceptance scenario)."""
+        return cls(
+            faults=tuple(
+                FaultSpec(CRASH, target=f"shard{s}-replica{replica}",
+                          at_op=at_op)
+                for s in range(num_shards)
+            ),
+            seed=seed,
+        )
+
+    @classmethod
+    def random_plan(
+        cls,
+        seed: int,
+        crash_rate: float = 0.0,
+        flaky_rate: float = 0.0,
+        slow_rate: float = 0.0,
+        page_error_rate: float = 0.0,
+        slowdown: float = 10.0,
+        crash_duration_ops: int | None = 8,
+    ) -> "FaultPlan":
+        """A probabilistic chaos plan over every node and the disk."""
+        faults: list[FaultSpec] = []
+        if crash_rate > 0:
+            faults.append(FaultSpec(CRASH, probability=crash_rate,
+                                    duration_ops=crash_duration_ops))
+        if flaky_rate > 0:
+            faults.append(FaultSpec(FLAKY, probability=flaky_rate))
+        if slow_rate > 0:
+            faults.append(FaultSpec(SLOW, probability=slow_rate,
+                                    slowdown=slowdown))
+        if page_error_rate > 0:
+            faults.append(FaultSpec(PAGE_ERROR, target="disk",
+                                    probability=page_error_rate))
+        return cls(faults=tuple(faults), seed=seed)
+
+
+@dataclass
+class FaultDecision:
+    """The injector's verdict for one operation."""
+
+    kind: str | None = None
+    slowdown: float = 1.0
+
+    @property
+    def crashed(self) -> bool:
+        return self.kind == CRASH
+
+    @property
+    def flaky(self) -> bool:
+        return self.kind == FLAKY
+
+
+@dataclass
+class FaultInjectionStats:
+    """Counters for observability in tests and benches."""
+
+    requests_seen: int = 0
+    page_reads_seen: int = 0
+    crashes: int = 0
+    flaky_failures: int = 0
+    slow_requests: int = 0
+    page_errors: int = 0
+
+    @property
+    def total_injected(self) -> int:
+        return (self.crashes + self.flaky_failures + self.slow_requests
+                + self.page_errors)
+
+
+class FaultInjector:
+    """Live fault-decision engine for one run.
+
+    Components ask it before doing work; it answers deterministically
+    given the plan seed and the per-target operation counters.  It holds
+    the crash state machine (down targets, heal-after counters) so the
+    simulated node objects stay stateless about faults.
+    """
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self._rng = random.Random(plan.seed)
+        self._ops: dict[str, int] = {}
+        # target -> ops remaining until heal (None = down forever)
+        self._down: dict[str, int | None] = {}
+        self.stats = FaultInjectionStats()
+
+    # ------------------------------------------------------------- plumbing
+
+    def _tick(self, target: str) -> int:
+        op = self._ops.get(target, 0)
+        self._ops[target] = op + 1
+        return op
+
+    def _fires(self, spec: FaultSpec, target: str, op: int) -> bool:
+        if not spec.matches(target):
+            return False
+        if spec.at_op is not None:
+            if op < spec.at_op:
+                return False
+            if spec.duration_ops is not None:
+                return op < spec.at_op + spec.duration_ops
+            return True
+        return spec.probability > 0 and self._rng.random() < spec.probability
+
+    def is_down(self, target: str) -> bool:
+        return target in self._down
+
+    # ---------------------------------------------------------------- hooks
+
+    def on_request(self, node_id: str) -> FaultDecision:
+        """Consulted by a node before serving one request."""
+        self.stats.requests_seen += 1
+        op = self._tick(node_id)
+        # A crashed node stays crashed until its heal counter runs out;
+        # attempts against it still advance the counter.
+        if node_id in self._down:
+            remaining = self._down[node_id]
+            if remaining is None:
+                self.stats.crashes += 1
+                return FaultDecision(kind=CRASH)
+            if remaining > 1:
+                self._down[node_id] = remaining - 1
+                self.stats.crashes += 1
+                return FaultDecision(kind=CRASH)
+            del self._down[node_id]  # healed; fall through to fresh checks
+        decision = FaultDecision()
+        for spec in self.plan.faults:
+            if spec.kind == PAGE_ERROR or not self._fires(spec, node_id, op):
+                continue
+            if spec.kind == CRASH:
+                if spec.at_op is None:
+                    # Probabilistic crash: persist via the heal counter.
+                    # (Deterministic crashes are governed directly by
+                    # their [at_op, at_op + duration_ops) window.)
+                    self._down[node_id] = spec.duration_ops
+                self.stats.crashes += 1
+                return FaultDecision(kind=CRASH)
+            if spec.kind == FLAKY:
+                self.stats.flaky_failures += 1
+                return FaultDecision(kind=FLAKY)
+            if spec.kind == SLOW:
+                self.stats.slow_requests += 1
+                decision.kind = SLOW
+                decision.slowdown = max(decision.slowdown, spec.slowdown)
+        return decision
+
+    def on_page_read(self, page_id: int, target: str = "disk") -> bool:
+        """Consulted by a disk before returning a page; True = fail."""
+        self.stats.page_reads_seen += 1
+        op = self._tick(target)
+        for spec in self.plan.faults:
+            if spec.kind == PAGE_ERROR and self._fires(spec, target, op):
+                self.stats.page_errors += 1
+                return True
+        return False
+
+    def heal_all(self) -> None:
+        """Bring every crashed target back up (manual recovery)."""
+        self._down.clear()

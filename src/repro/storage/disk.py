@@ -12,8 +12,9 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import Any
 
-from ..core.errors import StorageError
+from ..core.errors import PageReadError, StorageError
 
 
 @dataclass
@@ -24,12 +25,14 @@ class DiskStats:
     writes: int = 0
     bytes_read: int = 0
     bytes_written: int = 0
+    read_errors: int = 0
 
     def reset(self) -> None:
         self.reads = 0
         self.writes = 0
         self.bytes_read = 0
         self.bytes_written = 0
+        self.read_errors = 0
 
 
 @dataclass
@@ -45,11 +48,18 @@ class SimulatedDisk:
     read_latency_seconds:
         Optional synthetic delay per page read, to make wall-clock numbers
         reflect an I/O-bound device.  Defaults to 0 for fast tests.
+    injector:
+        Optional :class:`~repro.reliability.faults.FaultInjector`; its
+        ``page_error`` faults make :meth:`read_page` raise
+        :class:`~repro.core.errors.PageReadError` (counted in
+        ``stats.read_errors``) so crash-consistency and retry paths can
+        be exercised deterministically.
     """
 
     page_size: int = 4096
     read_latency_seconds: float = 0.0
     stats: DiskStats = field(default_factory=DiskStats)
+    injector: Any = None
 
     def __post_init__(self) -> None:
         self._pages: dict[int, bytes] = {}
@@ -82,6 +92,9 @@ class SimulatedDisk:
             data = self._pages[page_id]
         except KeyError:
             raise StorageError(f"read of unallocated page {page_id}") from None
+        if self.injector is not None and self.injector.on_page_read(page_id):
+            self.stats.read_errors += 1
+            raise PageReadError(page_id)
         self.stats.reads += 1
         self.stats.bytes_read += len(data)
         if self.read_latency_seconds > 0:

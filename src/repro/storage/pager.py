@@ -14,8 +14,9 @@ from collections import OrderedDict
 
 import numpy as np
 
-from ..core.errors import StorageError
+from ..core.errors import PageReadError, StorageError
 from ..core.types import VECTOR_DTYPE, as_matrix
+from ..reliability.retry import RetryPolicy
 from .disk import SimulatedDisk
 
 
@@ -66,12 +67,17 @@ class PagedVectorStore:
         dim: int,
         disk: SimulatedDisk | None = None,
         buffer_pool_pages: int = 0,
+        retry_policy: RetryPolicy | None = None,
     ):
         if dim <= 0:
             raise ValueError("dim must be positive")
         self.dim = dim
         self.disk = disk or SimulatedDisk()
         self.pool = BufferPool(buffer_pool_pages)
+        # Transient page-read errors (injected I/O faults) are retried
+        # under this policy; ``read_retries`` counts the extra attempts.
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.read_retries = 0
         self._vector_bytes = dim * np.dtype(VECTOR_DTYPE).itemsize
         if self._vector_bytes > self.disk.page_size:
             raise StorageError(
@@ -118,7 +124,17 @@ class PagedVectorStore:
         cached = self.pool.get(page_id)
         if cached is not None:
             return cached
-        data = self.disk.read_page(page_id)
+        attempt = 0
+        while True:
+            try:
+                data = self.disk.read_page(page_id)
+            except PageReadError:
+                attempt += 1
+                if attempt >= self.retry_policy.max_attempts:
+                    raise
+                self.read_retries += 1
+                continue
+            break
         self.pool.put(page_id, data)
         return data
 
