@@ -55,7 +55,7 @@ def batched_graph_search(
         return []
     stats = stats if stats is not None else SearchStats()
     ef = max(k, ef_search if ef_search is not None else getattr(index, "ef_search", 64))
-    neighbors_of, _ = _graph_surface(index)
+    neighbors_of, fallback_entries = _graph_surface(index)
 
     num_groups = max(1, math.ceil(b / group_size))
     if num_groups >= b:
@@ -90,7 +90,7 @@ def batched_graph_search(
             for hit in centroid_hits
         ]
         if not entries:
-            entries = [_graph_surface(index)[1][0]]
+            entries = [fallback_entries[0]]
         for member in members:
             pairs = beam_search(
                 queries[member],

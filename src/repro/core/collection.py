@@ -77,7 +77,11 @@ class VectorCollection:
             for name in self._schema:
                 self._columns_raw[name].append(attrs[name])
         start = self._vectors.shape[0]
-        self._vectors = np.vstack([self._vectors, matrix])
+        # Keep the row store float32 C-contiguous: every search kernel
+        # (beam search gathers, blocked scans, top-k) assumes it.
+        from ..index._kernels import ensure_f32c
+
+        self._vectors = ensure_f32c(np.vstack([self._vectors, matrix]))
         self._alive = np.concatenate([self._alive, np.ones(count, dtype=bool)])
         self._columns_cache = None
         return list(range(start, start + count))

@@ -146,7 +146,9 @@ class MultiVectorEntityCollection:
         stats = SearchStats(plan_name="entity_exact")
         distances = agg.distances(queries, self._entity_vectors)
         stats.distance_computations = self.num_facets * queries.shape[0]
-        order = np.argsort(distances, kind="stable")[:k]
+        from ..index._kernels import topk_indices
+
+        order = topk_indices(distances, k)
         hits = [SearchHit(int(e), float(distances[e])) for e in order]
         return SearchResult(hits=hits, stats=stats)
 
@@ -187,7 +189,9 @@ class MultiVectorEntityCollection:
             * queries.shape[0]
         )
         stats.candidates_examined += len(entity_ids)
-        order = np.argsort(distances, kind="stable")[:k]
+        from ..index._kernels import topk_indices
+
+        order = topk_indices(distances, k)
         hits = [
             SearchHit(int(entity_ids[i]), float(distances[i])) for i in order
         ]

@@ -163,16 +163,15 @@ def topk_from_arrays(
 ) -> list[SearchHit]:
     """Build the k smallest-distance hits from parallel id/distance arrays.
 
-    Uses argpartition for O(n + k log k) instead of a full sort.
+    Selection runs through the shared partition-based kernel
+    (:func:`repro.index._kernels.topk_indices`): O(n + k log k) instead
+    of a full sort.
     """
     distances = np.asarray(distances)
-    n = distances.shape[0]
-    if n == 0 or k <= 0:
+    if distances.shape[0] == 0 or k <= 0:
         return []
     ids_arr = np.asarray(ids)
-    if n > k:
-        part = np.argpartition(distances, k - 1)[:k]
-    else:
-        part = np.arange(n)
-    order = part[np.argsort(distances[part], kind="stable")]
+    from ..index._kernels import topk_indices  # local: avoids an import cycle
+
+    order = topk_indices(distances, k)
     return [SearchHit(int(ids_arr[i]), float(distances[i])) for i in order]

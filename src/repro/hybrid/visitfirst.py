@@ -61,26 +61,34 @@ def visit_first_search(
         return []
     ef = max(ef, k)
     budget = max_visits if max_visits is not None else 8 * ef
+    n = vectors.shape[0]
+    ids = np.asarray(ids)
+    mask = np.asarray(mask, dtype=bool)
 
-    def passes(pos: int) -> bool:
-        stats.predicate_evaluations += 1
-        ok = bool(mask[int(ids[pos])])
-        if not ok:
-            stats.predicate_rejections += 1
+    def passes_batch(positions: np.ndarray) -> np.ndarray:
+        """Vectorized predicate check with reference-equal accounting."""
+        ok = mask[ids[positions]]
+        stats.predicate_evaluations += positions.size
+        stats.predicate_rejections += int(np.count_nonzero(~ok))
         return ok
 
-    entry = list(dict.fromkeys(int(e) for e in entry_points))
-    dists = score.distances(query, vectors[np.asarray(entry)])
-    stats.distance_computations += len(entry)
+    entry = np.asarray(
+        list(dict.fromkeys(int(e) for e in entry_points)), dtype=np.int64
+    )
+    dists = score.distances(query, vectors[entry])
+    stats.distance_computations += entry.size
 
-    visited = set(entry)
+    # Bitmap visited-set + batched gathers (same kernel shape as
+    # repro.index._graph.beam_search).
+    visited = np.zeros(n, dtype=bool)
+    visited[entry] = True
     frontier: list[tuple[float, int]] = []  # (priority, position)
     results: list[tuple[float, int]] = []  # max-heap of passing nodes
-    for d, pos in zip(dists, entry):
-        d = float(d)
-        ok = passes(pos)
-        heapq.heappush(frontier, (d if ok else d * penalty, pos))
-        if ok:
+    entry_ok = passes_batch(entry)
+    for i in range(entry.size):
+        d, pos = float(dists[i]), int(entry[i])
+        heapq.heappush(frontier, (d if entry_ok[i] else d * penalty, pos))
+        if entry_ok[i]:
             heapq.heappush(results, (-d, pos))
     while len(results) > ef:
         heapq.heappop(results)
@@ -93,15 +101,18 @@ def visit_first_search(
             break
         visits += 1
         stats.nodes_visited += 1
-        fresh = [int(nb) for nb in neighbors_of(pos) if int(nb) not in visited]
-        if not fresh:
+        neighbors = np.asarray(neighbors_of(pos), dtype=np.int64)
+        if neighbors.size == 0:
             continue
-        visited.update(fresh)
-        nd = score.distances(query, vectors[np.asarray(fresh)])
-        stats.distance_computations += len(fresh)
-        for d, nb in zip(nd, fresh):
-            d = float(d)
-            ok = passes(nb)
+        fresh = neighbors[~visited[neighbors]]
+        if fresh.size == 0:
+            continue
+        visited[fresh] = True
+        nd = score.distances(query, vectors[fresh])
+        stats.distance_computations += fresh.size
+        ok_arr = passes_batch(fresh)
+        for i in range(fresh.size):
+            d, nb, ok = float(nd[i]), int(fresh[i]), bool(ok_arr[i])
             worst = -results[0][0] if len(results) >= ef else np.inf
             if d < worst or len(results) < ef or (not ok and d * penalty < worst):
                 heapq.heappush(frontier, (d if ok else d * penalty, nb))
@@ -119,7 +130,9 @@ def graph_entry_and_adjacency(index):
     """Extract (neighbors_of, entry_points) from any graph index.
 
     Works for :class:`~repro.index.graph_base.GraphIndex` subclasses and
-    :class:`~repro.index.hnsw.HnswIndex` (bottom layer).
+    :class:`~repro.index.hnsw.HnswIndex` (bottom layer).  The returned
+    surface is the index's CSR-packed adjacency (callable), so callers
+    get the vectorized traversal fast path for free.
     """
     from ..index.graph_base import GraphIndex
     from ..index.hnsw import HnswIndex
@@ -127,8 +140,7 @@ def graph_entry_and_adjacency(index):
     if isinstance(index, HnswIndex):
         return index.bottom_layer, [index.entry_point]
     if isinstance(index, GraphIndex):
-        adjacency = index.adjacency
-        return adjacency.__getitem__, [index.entry_point]
+        return index.csr_adjacency, [index.entry_point]
     raise TypeError(
         f"visit-first scan requires a graph index, got {type(index).__name__}"
     )

@@ -1,5 +1,6 @@
 """Search indexes: table-, tree-, and graph-based (§2.2 of the paper)."""
 
+from ._kernels import CSRAdjacency, ensure_f32c, topk_indices
 from .annoy import AnnoyIndex
 from .base import VectorIndex
 from .diskann import DiskAnnIndex
@@ -28,6 +29,7 @@ from .vamana import VamanaIndex, build_vamana_graph
 __all__ = [
     "AnnoyIndex",
     "BinaryHashIndex",
+    "CSRAdjacency",
     "DiskAnnIndex",
     "FanngIndex",
     "FilteredHnswIndex",
@@ -57,9 +59,11 @@ __all__ = [
     "available_indexes",
     "brute_force_knng",
     "build_vamana_graph",
+    "ensure_f32c",
     "index_families",
     "knng_recall",
     "make_index",
     "nn_descent",
     "register_index",
+    "topk_indices",
 ]

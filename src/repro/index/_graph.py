@@ -11,6 +11,22 @@ The ``allowed`` mask implements bitmask block-first scan on graphs
 may disconnect, as [3, 43, 87] observe) but never enter the result set.
 Visit-first scan, which biases expansion itself, lives in
 :mod:`repro.hybrid.visitfirst` on top of the same adjacency.
+
+Two implementations of the traversal live here:
+
+* :func:`beam_search` — the vectorized kernel: a numpy bool bitmap for
+  the visited set, one slice gathering all unvisited neighbors of an
+  expansion, one batched ``score.distances`` call per expansion, and a
+  vectorized beam-threshold prefilter so the result heap only ever sees
+  candidates that can actually enter it.  Accepts a
+  :class:`~repro.index._kernels.CSRAdjacency` (the fast path — flat
+  int64 ``indices``/``indptr`` arrays, no per-node object dereference),
+  a ``list[np.ndarray]``, or a callable.
+* :func:`beam_search_reference` — the original scalar implementation
+  (Python ``set`` visited-set, per-neighbor heapq churn), kept verbatim
+  for differential testing: both functions return identical (distance,
+  position) pairs and charge identical ``SearchStats`` counts on any
+  input (see ``tests/test_kernels.py``).
 """
 
 from __future__ import annotations
@@ -21,16 +37,18 @@ import numpy as np
 
 from ..core.types import SearchStats
 from ..scores import Score
+from ._kernels import CSRAdjacency
 
 #: Adjacency representation shared by all graph indexes: one int64 array
-#: of neighbor positions per node position.
+#: of neighbor positions per node position.  Graph indexes lazily pack
+#: this into a :class:`CSRAdjacency` for searching.
 Adjacency = list[np.ndarray]
 
 
 def beam_search(
     query: np.ndarray,
     vectors: np.ndarray,
-    adjacency,  # Adjacency, or a callable position -> neighbor array
+    adjacency,  # CSRAdjacency, Adjacency, or callable position -> neighbors
     entry_points: np.ndarray | list[int],
     ef: int,
     score: Score,
@@ -39,6 +57,11 @@ def beam_search(
     ids: np.ndarray | None = None,
 ) -> list[tuple[float, int]]:
     """Best-first search; returns up to ``ef`` (distance, position) pairs.
+
+    Vectorized kernel: behaviorally identical to
+    :func:`beam_search_reference` (same results, same stats counts) but
+    with a bitmap visited-set, batched neighbor filtering/scoring, and a
+    beam-threshold prefilter in place of per-element heap churn.
 
     Parameters
     ----------
@@ -53,6 +76,115 @@ def beam_search(
         Position -> external id mapping used with ``allowed`` (defaults
         to identity).
     """
+    if ef <= 0:
+        return []
+    n = vectors.shape[0]
+    if n == 0:
+        return []
+    csr = adjacency if isinstance(adjacency, CSRAdjacency) else None
+    if csr is not None:
+        indptr, flat_indices = csr.indptr, csr.indices
+        neighbors_of = None
+    else:
+        neighbors_of = adjacency if callable(adjacency) else adjacency.__getitem__
+    entry = np.asarray(
+        list(dict.fromkeys(int(e) for e in entry_points)), dtype=np.int64
+    )
+    if entry.size == 0:
+        return []
+    dists = score.distances(query, vectors[entry])
+    if stats is not None:
+        stats.distance_computations += entry.size
+    ids_arr = None if ids is None else np.asarray(ids)
+
+    visited = np.zeros(n, dtype=bool)
+    visited[entry] = True
+    heappush, heappop = heapq.heappush, heapq.heappop
+    heappushpop = heapq.heappushpop
+
+    # Frontier: min-heap by distance.  Results: max-heap of size ef.
+    frontier: list[tuple[float, int]] = []
+    results: list[tuple[float, int]] = []
+    entry_ok = None
+    if allowed is not None:
+        entry_ok = allowed[entry] if ids_arr is None else allowed[ids_arr[entry]]
+    for i in range(entry.size):
+        d, e = float(dists[i]), int(entry[i])
+        heappush(frontier, (d, e))
+        if entry_ok is None or entry_ok[i]:
+            heappush(results, (-d, e))
+    while len(results) > ef:
+        heappop(results)
+
+    inf = float("inf")
+    while frontier:
+        d_cand, cand = heappop(frontier)
+        worst = -results[0][0] if len(results) >= ef else inf
+        if d_cand > worst:
+            break
+        if stats is not None:
+            stats.nodes_visited += 1
+        if csr is not None:
+            neighbors = flat_indices[indptr[cand] : indptr[cand + 1]]
+        else:
+            neighbors = np.asarray(neighbors_of(cand), dtype=np.int64)
+        if neighbors.size == 0:
+            continue
+        # One gather filters every already-visited neighbor at once.
+        fresh = neighbors[~visited[neighbors]]
+        if fresh.size == 0:
+            continue
+        visited[fresh] = True
+        nd = score.distances(query, vectors[fresh])
+        if stats is not None:
+            stats.distance_computations += fresh.size
+        worst = -results[0][0] if len(results) >= ef else inf
+        if len(results) >= ef:
+            # Once full, ``worst`` only shrinks: anything at/over the
+            # current beam threshold can never be admitted, so drop it
+            # before touching the heaps.
+            keep = nd < worst
+            fresh, nd = fresh[keep], nd[keep]
+            if fresh.size == 0:
+                continue
+        ok = None
+        if allowed is not None:
+            ok = allowed[fresh] if ids_arr is None else allowed[ids_arr[fresh]]
+        # Bulk-convert once: numpy scalar extraction inside the loop
+        # costs ~100ns per element, tolist() is a single C pass.
+        nd = nd.tolist()
+        fresh = fresh.tolist()
+        for i in range(len(fresh)):
+            dist, node = nd[i], fresh[i]
+            if dist < worst or len(results) < ef:
+                heappush(frontier, (dist, node))
+                if ok is None or ok[i]:
+                    if len(results) >= ef:
+                        heappushpop(results, (-dist, node))
+                        worst = -results[0][0]
+                    else:
+                        heappush(results, (-dist, node))
+                        if len(results) >= ef:
+                            worst = -results[0][0]
+
+    out = [(-d, n_) for d, n_ in results]
+    out.sort()
+    return out
+
+
+def beam_search_reference(
+    query: np.ndarray,
+    vectors: np.ndarray,
+    adjacency,  # Adjacency, or a callable position -> neighbor array
+    entry_points: np.ndarray | list[int],
+    ef: int,
+    score: Score,
+    stats: SearchStats | None = None,
+    allowed: np.ndarray | None = None,
+    ids: np.ndarray | None = None,
+) -> list[tuple[float, int]]:
+    """The original scalar best-first search, kept as the differential-
+    testing oracle for :func:`beam_search`.  Do not optimize this."""
     if ef <= 0:
         return []
     neighbors_of = adjacency if callable(adjacency) else adjacency.__getitem__

@@ -57,8 +57,15 @@ class VectorIndex(abc.ABC):
             raise IndexNotBuiltError(f"{type(self).__name__} has not been built")
 
     def build(self, vectors: np.ndarray, ids: np.ndarray | None = None) -> "VectorIndex":
-        """Build the index over ``vectors`` (ids default to 0..n-1)."""
-        matrix = as_matrix(vectors)
+        """Build the index over ``vectors`` (ids default to 0..n-1).
+
+        The stored matrix is guaranteed float32 C-contiguous
+        (:func:`repro.index._kernels.ensure_f32c` layout) so the search
+        kernels never hit strided gathers or silent upcasts.
+        """
+        from ._kernels import ensure_f32c
+
+        matrix = ensure_f32c(as_matrix(vectors))
         if ids is None:
             ids = np.arange(matrix.shape[0], dtype=np.int64)
         else:

@@ -30,10 +30,11 @@ class FlatIndex(VectorIndex):
     def add(self, vectors: np.ndarray, ids: np.ndarray) -> None:
         self._require_built()
         from ..core.types import as_matrix
+        from ._kernels import ensure_f32c
 
         matrix = as_matrix(vectors, self._vectors.shape[1])
         ids = np.asarray(ids, dtype=np.int64)
-        self._vectors = np.vstack([self._vectors, matrix])
+        self._vectors = ensure_f32c(np.vstack([self._vectors, matrix]))
         self._ids = np.concatenate([self._ids, ids])
 
     def _search(

@@ -10,6 +10,7 @@ from ..core.types import SearchHit, SearchStats
 from ..scores import Score
 from .base import VectorIndex
 from ._graph import Adjacency, beam_search, graph_degree_stats, medoid
+from ._kernels import CSRAdjacency
 
 
 class GraphIndex(VectorIndex):
@@ -18,6 +19,9 @@ class GraphIndex(VectorIndex):
     Subclasses implement :meth:`_build_graph` returning the adjacency;
     search, entry-point selection, masking, and stats are shared here.
     Hybrid visit-first scans reach the raw graph via :attr:`adjacency`.
+    Searches run over a CSR-packed copy of the adjacency
+    (:attr:`csr_adjacency`), built lazily on first search and
+    invalidated whenever the builder mutates the list form.
     """
 
     family = "graph"
@@ -27,13 +31,19 @@ class GraphIndex(VectorIndex):
         self.ef_search = ef_search
         self.seed = seed
         self._adjacency: Adjacency = []
+        self._csr: CSRAdjacency | None = None
         self._entry_point: int = 0
 
     def _build(self) -> None:
         self._adjacency = self._build_graph()
         if len(self._adjacency) != self._vectors.shape[0]:
             raise AssertionError("adjacency length must equal collection size")
+        self._csr = None
         self._entry_point = self._default_entry_point()
+
+    def _invalidate_csr(self) -> None:
+        """Drop the packed adjacency after mutating ``_adjacency``."""
+        self._csr = None
 
     def _build_graph(self) -> Adjacency:
         raise NotImplementedError
@@ -48,6 +58,14 @@ class GraphIndex(VectorIndex):
     def adjacency(self) -> Adjacency:
         self._require_built()
         return self._adjacency
+
+    @property
+    def csr_adjacency(self) -> CSRAdjacency:
+        """The adjacency packed in CSR form (lazily built, cached)."""
+        self._require_built()
+        if self._csr is None:
+            self._csr = CSRAdjacency.from_lists(self._adjacency)
+        return self._csr
 
     @property
     def entry_point(self) -> int:
@@ -74,10 +92,11 @@ class GraphIndex(VectorIndex):
         if self._vectors.shape[0] == 0:
             return []
         ef = max(k, ef_search if ef_search is not None else self.ef_search)
+        visited_before = stats.nodes_visited
         pairs = beam_search(
             query,
             self._vectors,
-            self._adjacency,
+            self.csr_adjacency,
             self._entry_points(query),
             ef,
             self.score,
@@ -86,7 +105,9 @@ class GraphIndex(VectorIndex):
             ids=self._ids,
         )
         if allowed is not None:
-            stats.predicate_evaluations += stats.nodes_visited
+            # Charge only this search's expansions, not whatever the
+            # caller had already accumulated in a shared stats object.
+            stats.predicate_evaluations += stats.nodes_visited - visited_before
         stats.candidates_examined += len(pairs)
         return [
             SearchHit(int(self._ids[pos]), float(d)) for d, pos in pairs[:k]
@@ -97,4 +118,5 @@ class GraphIndex(VectorIndex):
         return graph_degree_stats(self._adjacency)
 
     def memory_bytes(self) -> int:
-        return sum(a.nbytes for a in self._adjacency)
+        packed = 0 if self._csr is None else self._csr.nbytes
+        return sum(a.nbytes for a in self._adjacency) + packed

@@ -22,6 +22,7 @@ import numpy as np
 from ..core.types import SearchHit, SearchStats
 from ..scores import Score
 from ._graph import beam_search, greedy_walk
+from ._kernels import CSRAdjacency
 from .base import VectorIndex
 
 # A layer's adjacency: node position -> neighbor positions.
@@ -70,6 +71,7 @@ class HnswIndex(VectorIndex):
         self._layers: list[Layer] = []
         self._node_levels: np.ndarray | None = None
         self._entry: int = -1
+        self._csr0: CSRAdjacency | None = None
         self._rng = np.random.default_rng(seed)
 
     # ------------------------------------------------------------------ build
@@ -104,6 +106,16 @@ class HnswIndex(VectorIndex):
         table = self._layers[layer]
         empty = np.empty(0, dtype=np.int64)
         return lambda node: table.get(node, empty)
+
+    def _bottom_csr(self) -> CSRAdjacency:
+        """Layer 0 packed as CSR (built lazily, dropped on insert)."""
+        if self._csr0 is None:
+            table = self._layers[0] if self._layers else {}
+            empty = np.empty(0, dtype=np.int64)
+            self._csr0 = CSRAdjacency.from_lists(
+                [table.get(i, empty) for i in range(self._vectors.shape[0])]
+            )
+        return self._csr0
 
     def _shrink(self, node: int, layer: int, max_degree: int) -> None:
         """Re-prune a node whose degree overflowed after a back-edge."""
@@ -172,6 +184,7 @@ class HnswIndex(VectorIndex):
         self._rng = np.random.default_rng(self.seed)
         for pos in range(self._vectors.shape[0]):
             self._insert(pos)
+        self._csr0 = None
         self._node_levels = np.asarray(self._levels_list, dtype=np.int64)
 
     def add(self, vectors: np.ndarray, ids: np.ndarray) -> None:
@@ -185,6 +198,7 @@ class HnswIndex(VectorIndex):
         self._ids = np.concatenate([self._ids, ids])
         for offset in range(matrix.shape[0]):
             self._insert(start + offset)
+        self._csr0 = None
         self._node_levels = np.asarray(self._levels_list, dtype=np.int64)
 
     # ----------------------------------------------------------------- search
@@ -212,7 +226,7 @@ class HnswIndex(VectorIndex):
         pairs = beam_search(
             query,
             self._vectors,
-            self._layer_neighbors(0),
+            self._bottom_csr(),
             [current],
             ef,
             self.score,
@@ -242,9 +256,9 @@ class HnswIndex(VectorIndex):
 
     @property
     def bottom_layer(self):
-        """Callable position -> neighbors on layer 0."""
+        """Callable position -> neighbors on layer 0 (CSR-backed)."""
         self._require_built()
-        return self._layer_neighbors(0)
+        return self._bottom_csr()
 
     @property
     def entry_point(self) -> int:

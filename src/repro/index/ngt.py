@@ -19,6 +19,7 @@ import numpy as np
 
 from ..scores import Score
 from ._graph import Adjacency, beam_search
+from ._kernels import topk_indices
 from ._tree import TreeNode, best_first_search, build_tree
 from .graph_base import GraphIndex
 from .rptree import _rp_split
@@ -70,8 +71,7 @@ class NgtIndex(GraphIndex):
         if neighbors.shape[0] <= self.max_degree:
             return
         d = self.score.distances(self._vectors[node], self._vectors[neighbors])
-        keep = np.argsort(d, kind="stable")[: self.max_degree]
-        adjacency[node] = neighbors[keep]
+        adjacency[node] = neighbors[topk_indices(d, self.max_degree)]
 
     def _insert_position(self, pos: int, adjacency: Adjacency) -> None:
         if pos == 0:
@@ -121,6 +121,7 @@ class NgtIndex(GraphIndex):
         for offset in range(matrix.shape[0]):
             self._adjacency.append(np.empty(0, dtype=np.int64))
             self._insert_position(start + offset, self._adjacency)
+        self._invalidate_csr()
         self._rebuild_tree()
 
     # ----------------------------------------------------------------- search
@@ -136,8 +137,7 @@ class NgtIndex(GraphIndex):
         if positions.size == 0:
             return [self._entry_point]
         d = self.score.distances(query, self._vectors[positions])
-        order = np.argsort(d, kind="stable")[:3]
-        return [int(positions[i]) for i in order]
+        return [int(positions[i]) for i in topk_indices(d, 3)]
 
     def memory_bytes(self) -> int:
         from ._tree import count_nodes

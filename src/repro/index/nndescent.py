@@ -19,6 +19,7 @@ import numpy as np
 
 from ..scores import Score
 from ._graph import Adjacency
+from ._kernels import topk_indices
 from .graph_base import GraphIndex
 from ._tree import build_tree
 from .randkd import _random_top_axis_split
@@ -93,7 +94,7 @@ def _forest_init(
             cands = cands[cands != i]
         d = score.distances(vectors[i], vectors[cands])
         comps += cands.size
-        order = np.argsort(d, kind="stable")[:k]
+        order = topk_indices(d, k)
         ids[i] = cands[order]
         dists[i] = d[order]
     return ids, dists, comps

@@ -89,6 +89,7 @@ class NswIndex(GraphIndex):
         for offset in range(matrix.shape[0]):
             self._adjacency.append(np.empty(0, dtype=np.int64))
             self._insert_position(start + offset, self._adjacency)
+        self._invalidate_csr()
 
     def _entry_points(self, query: np.ndarray) -> list[int]:
         n = self._vectors.shape[0]

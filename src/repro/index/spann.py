@@ -26,6 +26,7 @@ from ..core.types import SearchHit, SearchStats, VECTOR_DTYPE, topk_from_arrays
 from ..quantization.kmeans import kmeans
 from ..scores import Score
 from ..storage.disk import SimulatedDisk
+from ._kernels import topk_indices
 from .base import VectorIndex
 
 
@@ -152,7 +153,7 @@ class SpannIndex(VectorIndex):
                             len(self._posting_pages)))
         cd = self.score.distances(query, self.centroids.astype(VECTOR_DTYPE))
         stats.distance_computations += self.centroids.shape[0]
-        probe_order = np.argsort(cd, kind="stable")[:nprobe]
+        probe_order = topk_indices(cd, nprobe)
         if self.prune_epsilon is not None and probe_order.size:
             limit = (1.0 + self.prune_epsilon) * float(cd[probe_order[0]])
             probe_order = probe_order[cd[probe_order] <= limit]

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..index._kernels import topk_indices
 from .pq import ProductQuantizer
 
 
@@ -131,10 +132,7 @@ class FastScanPQ:
             return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64)
         table = self.pq.adc_table(query)
         dists = blocked_adc_scan(table, self._codes_t, exact=exact)
-        n = dists.shape[0]
-        k = min(k, n)
-        part = np.argpartition(dists, k - 1)[:k] if n > k else np.arange(n)
-        order = part[np.argsort(dists[part], kind="stable")]
+        order = topk_indices(dists, min(k, dists.shape[0]))
         return self._ids[order], dists[order]
 
     def __len__(self) -> int:

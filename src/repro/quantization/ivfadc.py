@@ -17,6 +17,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.errors import IndexNotBuiltError
+from ..index._kernels import topk_indices
 from .kmeans import assign_topn, kmeans
 from .pq import ProductQuantizer
 
@@ -121,11 +122,7 @@ class IvfAdc:
             )
         ids = np.concatenate(all_ids)
         dists = np.concatenate(all_dists)
-        k = min(k, ids.shape[0])
-        part = np.argpartition(dists, k - 1)[:k] if ids.shape[0] > k else np.arange(
-            ids.shape[0]
-        )
-        order = part[np.argsort(dists[part], kind="stable")]
+        order = topk_indices(dists, min(k, ids.shape[0]))
         return ids[order], dists[order], stats
 
     def memory_bytes(self) -> int:

@@ -1,0 +1,343 @@
+"""Differential tests for the vectorized search kernels.
+
+The contract under test: :func:`repro.index._graph.beam_search` (bitmap
+visited-set, CSR adjacency, batched scoring) is *behavior-preserving*
+with respect to :func:`repro.index._graph.beam_search_reference` (the
+original scalar implementation) — identical (distance, position) pairs
+and identical ``SearchStats`` counts on any adjacency, seed, entry set,
+and ``allowed``-mask configuration.  Plus unit coverage for the CSR
+packing, the partition-based top-k kernel, and float32/C-contiguous
+ingest enforcement.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.collection import VectorCollection
+from repro.core.types import SearchStats
+from repro.index import (
+    HnswIndex,
+    KnngIndex,
+    NgtIndex,
+    NswIndex,
+    NsgIndex,
+    VamanaIndex,
+)
+from repro.index._graph import beam_search, beam_search_reference, greedy_walk
+from repro.index._kernels import CSRAdjacency, ensure_f32c, topk_indices
+from repro.scores import EuclideanScore
+
+
+def random_adjacency(n, degree, rng):
+    """Random directed graph as the builders' list-of-arrays form."""
+    adjacency = []
+    for v in range(n):
+        d = int(rng.integers(0, degree + 1))
+        if d == 0:
+            adjacency.append(np.empty(0, dtype=np.int64))
+        else:
+            adjacency.append(rng.integers(0, n, size=d).astype(np.int64))
+    return adjacency
+
+
+def run_both(vectors, adjacency, entries, ef, score, allowed=None, ids=None):
+    """(vectorized pairs+stats, reference pairs+stats) on identical input."""
+    s_vec, s_ref = SearchStats(), SearchStats()
+    csr = CSRAdjacency.from_lists(adjacency)
+    got = beam_search(
+        vectors[0], vectors, csr, entries, ef, score,
+        stats=s_vec, allowed=allowed, ids=ids,
+    )
+    want = beam_search_reference(
+        vectors[0], vectors, adjacency, entries, ef, score,
+        stats=s_ref, allowed=allowed, ids=ids,
+    )
+    return (got, s_vec), (want, s_ref)
+
+
+class TestCSRAdjacency:
+    def test_round_trip_matches_lists(self):
+        rng = np.random.default_rng(0)
+        adjacency = random_adjacency(40, 6, rng)
+        csr = CSRAdjacency.from_lists(adjacency)
+        assert len(csr) == len(adjacency)
+        assert csr.num_edges == sum(len(a) for a in adjacency)
+        for node, expected in enumerate(adjacency):
+            np.testing.assert_array_equal(csr[node], expected)
+            np.testing.assert_array_equal(csr(node), expected)  # callable form
+        np.testing.assert_array_equal(
+            csr.degrees(), [len(a) for a in adjacency]
+        )
+        for back, expected in zip(csr.to_lists(), adjacency):
+            np.testing.assert_array_equal(back, expected)
+
+    def test_empty_graph(self):
+        csr = CSRAdjacency.from_lists([])
+        assert len(csr) == 0 and csr.num_edges == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CSRAdjacency(np.array([0, 3]), np.array([1]))
+
+
+class TestTopkKernel:
+    @given(
+        n=st.integers(min_value=1, max_value=300),
+        k=st.integers(min_value=0, max_value=40),
+        seed=st.integers(min_value=0, max_value=50),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_full_stable_argsort(self, n, k, seed):
+        rng = np.random.default_rng(seed)
+        d = rng.random(n)  # ties have probability ~0
+        got = topk_indices(d, k)
+        want = np.argsort(d, kind="stable")[:k]
+        np.testing.assert_array_equal(got, want)
+
+    def test_with_ties_returns_k_smallest_values(self):
+        d = np.array([1.0, 0.0, 1.0, 0.0, 2.0, 1.0])
+        got = topk_indices(d, 3)
+        assert sorted(d[got]) == [0.0, 0.0, 1.0]
+        assert list(d[got]) == sorted(d[got])
+
+    def test_unsorted_selection(self):
+        rng = np.random.default_rng(3)
+        d = rng.random(100)
+        got = topk_indices(d, 10, sort=False)
+        assert set(d[got]) == set(np.sort(d)[:10])
+
+    def test_k_exceeds_n(self):
+        d = np.array([3.0, 1.0, 2.0])
+        np.testing.assert_array_equal(topk_indices(d, 10), [1, 2, 0])
+
+
+class TestBeamSearchDifferential:
+    """Vectorized vs reference traversal on randomized graphs."""
+
+    @given(
+        n=st.integers(min_value=1, max_value=80),
+        degree=st.integers(min_value=0, max_value=8),
+        ef=st.integers(min_value=1, max_value=32),
+        seed=st.integers(min_value=0, max_value=1000),
+        masked=st.booleans(),
+        permute_ids=st.booleans(),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_identical_results_and_stats(
+        self, n, degree, ef, seed, masked, permute_ids
+    ):
+        rng = np.random.default_rng(seed)
+        vectors = rng.standard_normal((n, 6)).astype(np.float32)
+        adjacency = random_adjacency(n, degree, rng)
+        entries = list(rng.integers(0, n, size=int(rng.integers(1, 4))))
+        entries += entries[:1]  # exercise entry-point dedup
+        ids = rng.permutation(n).astype(np.int64) if permute_ids else None
+        allowed = None
+        if masked:
+            allowed = rng.random(n) < 0.6
+        (got, s_vec), (want, s_ref) = run_both(
+            vectors, adjacency, entries, ef, EuclideanScore(),
+            allowed=allowed, ids=ids,
+        )
+        assert [(round(d, 6), p) for d, p in got] == [
+            (round(d, 6), p) for d, p in want
+        ]
+        assert s_vec.distance_computations == s_ref.distance_computations
+        assert s_vec.nodes_visited == s_ref.nodes_visited
+
+    def test_distances_within_tolerance_on_fixed_seed(self):
+        rng = np.random.default_rng(1234)
+        vectors = rng.standard_normal((200, 16)).astype(np.float32)
+        adjacency = random_adjacency(200, 12, rng)
+        (got, _), (want, _) = run_both(
+            vectors, adjacency, [0, 7], 48, EuclideanScore()
+        )
+        assert [p for _, p in got] == [p for _, p in want]
+        assert np.allclose(
+            [d for d, _ in got], [d for d, _ in want], atol=1e-5
+        )
+
+    def test_empty_entry_and_zero_ef(self):
+        vectors = np.zeros((4, 2), dtype=np.float32)
+        adjacency = random_adjacency(4, 2, np.random.default_rng(0))
+        assert beam_search(
+            vectors[0], vectors, CSRAdjacency.from_lists(adjacency),
+            [], 4, EuclideanScore(),
+        ) == []
+        assert beam_search(
+            vectors[0], vectors, CSRAdjacency.from_lists(adjacency),
+            [0], 0, EuclideanScore(),
+        ) == []
+
+    def test_callable_adjacency_still_supported(self):
+        rng = np.random.default_rng(5)
+        vectors = rng.standard_normal((30, 4)).astype(np.float32)
+        adjacency = random_adjacency(30, 4, rng)
+        got = beam_search(
+            vectors[0], vectors, lambda v: adjacency[v], [0], 8,
+            EuclideanScore(),
+        )
+        want = beam_search_reference(
+            vectors[0], vectors, adjacency, [0], 8, EuclideanScore()
+        )
+        assert got == want
+
+
+GRAPH_FACTORIES = [
+    ("nsw", lambda: NswIndex(connections=4, ef_construction=16, seed=0)),
+    ("knng", lambda: KnngIndex(graph_k=6, seed=0)),
+    ("vamana", lambda: VamanaIndex(max_degree=8, beam_width=16, seed=0)),
+    ("nsg", lambda: NsgIndex(max_degree=8, candidate_pool=16, knng_k=6, seed=0)),
+    ("ngt", lambda: NgtIndex(edge_size=4, max_degree=8, ef_construction=16, seed=0)),
+]
+
+
+@pytest.mark.parametrize(
+    "factory", [f for _, f in GRAPH_FACTORIES], ids=[n for n, _ in GRAPH_FACTORIES]
+)
+class TestGraphIndexDifferential:
+    """The vectorized kernel over every graph index's real adjacency."""
+
+    def _build(self, factory, seed=7, n=90, dim=8):
+        rng = np.random.default_rng(seed)
+        data = rng.standard_normal((n, dim)).astype(np.float32)
+        return factory().build(data), data
+
+    @pytest.mark.parametrize("query_seed", [0, 1, 2])
+    def test_csr_equals_reference_on_index_graph(self, factory, query_seed):
+        index, data = self._build(factory)
+        rng = np.random.default_rng(query_seed)
+        query = rng.standard_normal(data.shape[1]).astype(np.float32)
+        entries = index._entry_points(query)
+        for allowed in (None, rng.random(data.shape[0]) < 0.5):
+            s_vec, s_ref = SearchStats(), SearchStats()
+            got = beam_search(
+                query, index._vectors, index.csr_adjacency, entries, 24,
+                index.score, stats=s_vec, allowed=allowed, ids=index._ids,
+            )
+            want = beam_search_reference(
+                query, index._vectors, index.adjacency, entries, 24,
+                index.score, stats=s_ref, allowed=allowed, ids=index._ids,
+            )
+            assert [p for _, p in got] == [p for _, p in want]
+            assert np.allclose(
+                [d for d, _ in got], [d for d, _ in want], atol=1e-5
+            )
+            assert s_vec.distance_computations == s_ref.distance_computations
+            assert s_vec.nodes_visited == s_ref.nodes_visited
+
+    def test_search_respects_mask(self, factory):
+        index, data = self._build(factory)
+        mask = np.zeros(data.shape[0], dtype=bool)
+        mask[::3] = True
+        hits = index.search(data[1], 5, allowed=mask)
+        assert all(h.id % 3 == 0 for h in hits)
+
+
+class TestHnswDifferential:
+    def _build(self, n=120, dim=8, seed=3):
+        rng = np.random.default_rng(seed)
+        data = rng.standard_normal((n, dim)).astype(np.float32)
+        return HnswIndex(m=6, ef_construction=24, ef_search=24, seed=0).build(data), data
+
+    def _reference_search(self, index, query, k, ef, allowed=None):
+        current = index._entry
+        for layer in range(index._top_level, 0, -1):
+            current, _, _ = greedy_walk(
+                query, index._vectors, index._layer_neighbors(layer),
+                current, index.score,
+            )
+        pairs = beam_search_reference(
+            query, index._vectors, index._layer_neighbors(0), [current],
+            ef, index.score, allowed=allowed, ids=index._ids,
+        )
+        return pairs[:k]
+
+    @pytest.mark.parametrize("query_seed", [0, 1, 2])
+    def test_bottom_layer_csr_matches_reference(self, query_seed):
+        index, data = self._build()
+        rng = np.random.default_rng(query_seed)
+        query = rng.standard_normal(data.shape[1]).astype(np.float32)
+        for allowed in (None, rng.random(data.shape[0]) < 0.5):
+            hits = index.search(query, 8, ef_search=24, allowed=allowed)
+            want = self._reference_search(index, query, 8, 24, allowed=allowed)
+            assert [h.id for h in hits] == [p for _, p in want]
+            assert np.allclose(
+                [h.distance for h in hits], [d for d, _ in want], atol=1e-5
+            )
+
+    def test_add_invalidates_bottom_csr(self):
+        index, data = self._build(n=40)
+        index.search(data[0], 3)  # materialize the CSR cache
+        extra = np.random.default_rng(9).standard_normal((5, data.shape[1]))
+        index.add(extra.astype(np.float32), np.arange(40, 45))
+        # New nodes must be reachable through the rebuilt packed layer.
+        hits = index.search(extra[0].astype(np.float32), 1)
+        assert hits and hits[0].id == 40
+
+
+class TestStatsAccounting:
+    def test_shared_stats_predicate_accounting_is_linear(self):
+        """predicate_evaluations must charge per-search deltas, not the
+        cumulative nodes_visited of a shared stats object (the pre-fix
+        behavior over-charged every search after the first)."""
+        rng = np.random.default_rng(0)
+        data = rng.standard_normal((60, 6)).astype(np.float32)
+        index = NswIndex(connections=4, ef_construction=16, seed=0).build(data)
+        mask = rng.random(60) < 0.7
+
+        single = SearchStats()
+        index.search(data[0], 5, allowed=mask, stats=single)
+
+        shared = SearchStats()
+        index.search(data[0], 5, allowed=mask, stats=shared)
+        index.search(data[0], 5, allowed=mask, stats=shared)
+        assert shared.predicate_evaluations == 2 * single.predicate_evaluations
+        assert shared.nodes_visited == 2 * single.nodes_visited
+        assert shared.distance_computations == 2 * single.distance_computations
+
+    def test_batched_and_scalar_kernels_charge_identically(self):
+        """The vectorized kernel used by the batched path must charge the
+        counts the scalar reference would for the same traversal."""
+        rng = np.random.default_rng(1)
+        vectors = rng.standard_normal((80, 6)).astype(np.float32)
+        adjacency = random_adjacency(80, 6, rng)
+        csr = CSRAdjacency.from_lists(adjacency)
+        for entries in ([0], [0, 3, 3, 9]):
+            s_vec, s_ref = SearchStats(), SearchStats()
+            beam_search(
+                vectors[2], vectors, csr, entries, 16,
+                EuclideanScore(), stats=s_vec,
+            )
+            beam_search_reference(
+                vectors[2], vectors, adjacency, entries, 16,
+                EuclideanScore(), stats=s_ref,
+            )
+            assert s_vec.distance_computations == s_ref.distance_computations
+            assert s_vec.nodes_visited == s_ref.nodes_visited
+
+
+class TestLayoutEnforcement:
+    def test_collection_ingest_is_f32_contiguous(self):
+        coll = VectorCollection(dim=4)
+        sloppy = np.asfortranarray(
+            np.random.default_rng(0).standard_normal((10, 4))
+        )  # float64, F-order
+        coll.insert_many(sloppy)
+        assert coll.vectors.dtype == np.float32
+        assert coll.vectors.flags["C_CONTIGUOUS"]
+
+    def test_index_build_is_f32_contiguous(self):
+        data = np.asfortranarray(
+            np.random.default_rng(1).standard_normal((30, 4))
+        )
+        index = NswIndex(connections=3, ef_construction=8).build(data)
+        assert index._vectors.dtype == np.float32
+        assert index._vectors.flags["C_CONTIGUOUS"]
+
+    def test_ensure_f32c_no_copy_when_already_conforming(self):
+        good = np.zeros((5, 3), dtype=np.float32)
+        assert ensure_f32c(good) is good
+        assert ensure_f32c(good.astype(np.float64)).dtype == np.float32
