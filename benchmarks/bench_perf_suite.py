@@ -10,7 +10,10 @@ which are kept in-tree as references:
   (argpartition + partial sort) vs the full stable ``np.argsort`` the
   replaced call sites used;
 * IVF-ADC posting scan end-to-end with each selection kernel;
-* batched graph search (shared routes) vs a per-query search loop.
+* batched graph search (shared routes) vs a per-query search loop;
+* observability overhead — the disabled (no-op singleton) query path vs
+  raw operator dispatch (no span plumbing at all) and vs fully-enabled
+  tracing+metrics; the disabled path must be within noise of raw.
 
 Writes a machine-readable ``BENCH_PERF.json`` at the repo root.  Every
 timed pair is also checked for result identity — a mismatch exits
@@ -265,6 +268,69 @@ def bench_batched_graph_search(n: int, batch: int, group_size: int, rng) -> dict
     }
 
 
+def bench_observability_overhead(n: int, queries: int, rng) -> dict:
+    """Disabled-observability execute() vs raw dispatch vs enabled tracing.
+
+    ``raw`` calls ``QueryExecutor._dispatch`` directly — the executor
+    body with no span or metric plumbing at all; ``disabled`` is the
+    full ``execute()`` path against the DISABLED no-op singletons;
+    ``enabled`` runs with a live tracer + metrics registry (cleared
+    between reps so span accumulation doesn't skew timing).
+    """
+    from repro import Field, Observability, VectorDatabase
+    from repro.core.query import SearchQuery
+    from repro.core.types import SearchStats
+
+    dim, k = 32, 10
+    db = VectorDatabase(dim=dim)
+    db.insert_many(
+        clustered_vectors(n, dim, rng),
+        [{"category": i % 8} for i in range(n)],
+    )
+    db.create_index("g", "hnsw", m=8)
+    qs = rng.standard_normal((queries, dim)).astype(np.float32)
+    predicate = Field("category") == 3
+    probe = SearchQuery(qs[0], k, predicate=predicate, params={})
+    plan = db.plan(probe)[0]
+    executor = db._executor
+
+    def raw():
+        for q in qs:
+            query = SearchQuery(q, k, predicate=predicate, params={})
+            executor._dispatch(
+                query, plan, SearchStats(plan_name=plan.describe())
+            )
+
+    def full_path_with_plan():
+        for q in qs:
+            executor.execute(
+                SearchQuery(q, k, predicate=predicate, params={}), plan
+            )
+
+    raw_s = best_of(raw, 5)
+    disabled_s = best_of(full_path_with_plan, 5)
+    obs = Observability()
+
+    def enabled_run():
+        obs.tracer.clear()
+        full_path_with_plan()
+
+    db.set_observability(obs)
+    enabled_s = best_of(enabled_run, 5)
+    db.set_observability(None)
+    return {
+        "name": "observability_overhead",
+        "n": n,
+        "queries": queries,
+        "strategy": plan.strategy,
+        "raw_dispatch_s": raw_s,
+        "disabled_s": disabled_s,
+        "enabled_s": enabled_s,
+        "disabled_overhead_pct": 100.0 * (disabled_s / raw_s - 1.0),
+        "enabled_overhead_pct": 100.0 * (enabled_s / raw_s - 1.0),
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -306,6 +372,12 @@ def main(argv=None) -> int:
     entries.append(entry)
     print(f"batched_graph_search n={entry['n']:>7,}  ref {entry['reference_s']*1e3:8.1f} ms  "
           f"vec {entry['vectorized_s']*1e3:8.1f} ms  {entry['speedup']:5.1f}x")
+    obs_n, obs_q = (3_000, 100) if args.quick else (10_000, 200)
+    entry = bench_observability_overhead(obs_n, obs_q, rng)
+    entries.append(entry)
+    print(f"observability        n={entry['n']:>7,}  raw {entry['raw_dispatch_s']*1e3:8.1f} ms  "
+          f"off {entry['disabled_s']*1e3:8.1f} ms ({entry['disabled_overhead_pct']:+5.1f}%)  "
+          f"on {entry['enabled_s']*1e3:8.1f} ms ({entry['enabled_overhead_pct']:+5.1f}%)")
 
     payload = {
         "schema": 1,
@@ -329,6 +401,18 @@ def main(argv=None) -> int:
     if failures and not args.quick:
         print("TARGETS MISSED: " + "; ".join(failures), file=sys.stderr)
         return 1
+    # The no-op observability path must cost nothing measurable; checked
+    # in quick mode too (CI smoke).  The 15% gate is generous to absorb
+    # scheduler noise — the real overhead is a handful of no-op calls.
+    for e in entries:
+        if (e["name"] == "observability_overhead"
+                and e["disabled_overhead_pct"] > 15.0):
+            print(
+                f"NO-OP OVERHEAD TOO HIGH: disabled path"
+                f" {e['disabled_overhead_pct']:.1f}% over raw dispatch (>15%)",
+                file=sys.stderr,
+            )
+            return 1
     return 0
 
 

@@ -52,6 +52,14 @@ from .core import (
 )
 from .hybrid import Field, Predicate
 from .index import VectorIndex, available_indexes, make_index
+from .observability import (
+    Observability,
+    QueryProfile,
+    SlowQueryLog,
+    validate_span_tree,
+    write_metrics_text,
+    write_trace_jsonl,
+)
 from .reliability import CircuitBreaker, FaultInjector, FaultPlan, RetryPolicy
 from .scores import Score, available_scores, get_score
 
@@ -74,9 +82,12 @@ __all__ = [
     "IncrementalSearcher",
     "MultiVectorEntityCollection",
     "MultiVectorQuery",
+    "Observability",
     "Predicate",
     "QueryPlan",
+    "QueryProfile",
     "RangeQuery",
+    "SlowQueryLog",
     "Score",
     "SearchHit",
     "SearchQuery",
@@ -93,5 +104,8 @@ __all__ = [
     "get_score",
     "make_index",
     "parse_sql",
+    "validate_span_tree",
+    "write_metrics_text",
+    "write_trace_jsonl",
     "__version__",
 ]

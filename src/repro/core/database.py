@@ -20,6 +20,8 @@ from ..embed.embedders import EmbeddingFunction
 from ..hybrid.partitioned import AttributePartitionedIndex
 from ..hybrid.predicates import Predicate
 from ..index.registry import make_index
+from ..observability.instrument import DISABLED, Observability
+from ..observability.profiler import QueryProfile, build_profile_tree
 from ..scores import get_score
 from .collection import VectorCollection
 from .errors import PlanningError, QueryError
@@ -69,6 +71,11 @@ class VectorDatabase:
     embedder:
         Optional embedding function enabling indirect manipulation
         (insert/search by entity instead of vector).
+    observability:
+        Optional :class:`~repro.observability.Observability` bundle
+        (tracer + metrics + slow-query log).  Defaults to the shared
+        no-op ``DISABLED`` singleton, which costs nothing on the query
+        path.
     """
 
     def __init__(
@@ -78,6 +85,7 @@ class VectorDatabase:
         planner: str | Any = "auto",
         selector: str | PlanSelector = "cost",
         embedder: EmbeddingFunction | None = None,
+        observability: Observability | None = None,
     ):
         if dim is None:
             if embedder is None:
@@ -93,12 +101,19 @@ class VectorDatabase:
         else:
             raise PlanningError(f"unknown planner {planner!r}")
         self.selector = _make_selector(selector)
+        self.observability = observability if observability is not None else DISABLED
         self.indexes: dict[str, Any] = {}
         self.partitioned: dict[str, AttributePartitionedIndex] = {}
         self._executor = QueryExecutor(
-            self.collection, self.score, self.indexes, self.partitioned
+            self.collection, self.score, self.indexes, self.partitioned,
+            observability=self.observability,
         )
         self._stale = False
+
+    def set_observability(self, observability: Observability | None) -> None:
+        """Swap the observability bundle (``None`` -> disabled no-op)."""
+        self.observability = observability if observability is not None else DISABLED
+        self._executor.observability = self.observability
 
     # ------------------------------------------------------------------- DML
 
@@ -203,14 +218,27 @@ class VectorDatabase:
 
     def plan(self, query: SearchQuery) -> tuple[QueryPlan, list[QueryPlan]]:
         """Enumerate and select; returns (chosen, all candidates)."""
-        usable = {} if self._stale else self.indexes
-        plans = self.planner.enumerate(
-            query.is_hybrid, usable, self.partitioned, query.predicate
-        )
-        selectivity = self.collection.selectivity(query.predicate)
-        chosen = self.selector.select(
-            plans, usable, len(self.collection), query.k, selectivity
-        )
+        obs = self.observability
+        with obs.tracer.start_span("plan", hybrid=query.is_hybrid) as span:
+            usable = {} if self._stale else self.indexes
+            plans = self.planner.enumerate(
+                query.is_hybrid, usable, self.partitioned, query.predicate
+            )
+            selectivity = self.collection.selectivity(query.predicate)
+            chosen = self.selector.select(
+                plans, usable, len(self.collection), query.k, selectivity,
+                span=span if obs.enabled else None,
+            )
+            span.set(
+                chosen=chosen.describe(),
+                candidates=len(plans),
+                selectivity=round(float(selectivity), 6),
+            )
+        if obs.enabled:
+            obs.metrics.counter(
+                "vdbms_plans_selected_total",
+                "Plans chosen by the selector, by strategy.",
+            ).inc(strategy=chosen.strategy)
         return chosen, plans
 
     def explain(self, query: SearchQuery) -> str:
@@ -219,6 +247,48 @@ class VectorDatabase:
         lines = [f"chosen: {chosen.describe()}", "candidates:"]
         lines.extend(f"  - {p.describe()}" for p in plans)
         return "\n".join(lines)
+
+    def explain_analyze(
+        self,
+        vector: np.ndarray | None = None,
+        k: int = 10,
+        c: float = 0.0,
+        predicate: Predicate | None = None,
+        entity: Any = None,
+        plan: QueryPlan | None = None,
+        **params: Any,
+    ) -> QueryProfile:
+        """Run one (c, k)-search under a private tracer and profile it.
+
+        Returns a :class:`~repro.observability.QueryProfile` whose
+        operator tree carries per-span :class:`SearchStats` deltas; the
+        *self* deltas partition the query's counters exactly
+        (``profile.attribution_residual()`` is all zeros).  The caller's
+        observability configuration is untouched — profiling swaps in a
+        tracing-only bundle for the duration of this one query.
+        """
+        query = SearchQuery(
+            self._vectorize(vector, entity), k, c=c, predicate=predicate,
+            params=params,
+        )
+        profiled = Observability(metrics=False)
+        previous = self.observability
+        self.set_observability(profiled)
+        try:
+            candidates: list[QueryPlan] = []
+            if plan is None:
+                plan, candidates = self.plan(query)
+            result = self._executor.execute(query, plan)
+        finally:
+            self.set_observability(previous)
+        roots = build_profile_tree(profiled.tracer.spans)
+        query_root = next((r for r in roots if r.name == "query"), roots[-1])
+        return QueryProfile(
+            result=result,
+            root=query_root,
+            plan=plan.describe(),
+            candidates=[p.describe() for p in candidates],
+        )
 
     # ---------------------------------------------------------------- queries
 
@@ -325,6 +395,8 @@ class VectorDatabase:
         Runs exact (brute-force) scans so the comparison reflects the
         scores, not index artifacts.
         """
+        import time
+
         from ..scores import available_scores, get_score
         from .operators import TableScan
 
@@ -335,10 +407,12 @@ class VectorDatabase:
         for name in names:
             score = get_score(name)
             stats = SearchStats(plan_name=f"multi_score:{name}")
+            start = time.perf_counter()
             scan = TableScan(
                 self.collection.vectors[live], live.astype(np.int64), score
             )
             hits = scan.run(query, k, stats=stats)
+            stats.elapsed_seconds = time.perf_counter() - start
             out[name] = SearchResult(hits=hits, stats=stats)
         return out
 

@@ -19,6 +19,8 @@ import numpy as np
 from ..hybrid.blockfirst import blocked_index_scan, prefilter_scan
 from ..hybrid.postfilter import adaptive_postfilter_scan, postfilter_scan
 from ..hybrid.visitfirst import visit_first_scan
+from ..observability.instrument import DISABLED, Observability
+from ..observability.tracing import NOOP_SPAN
 from ..scores import AggregateScore, Score
 from .collection import VectorCollection
 from .errors import PlanningError
@@ -29,7 +31,15 @@ from .types import SearchHit, SearchResult, SearchStats, topk_from_arrays
 
 
 class QueryExecutor:
-    """Executes plans over one collection and its indexes."""
+    """Executes plans over one collection and its indexes.
+
+    When ``observability`` is enabled, every execute path opens a root
+    span, each operator runs under a child span carrying its
+    :class:`SearchStats` delta, and per-query metrics / the slow-query
+    log are recorded.  The default is the shared no-op bundle: the
+    disabled path costs a handful of no-op calls per *query* (never per
+    node or per candidate), which the perf suite verifies is unmeasurable.
+    """
 
     def __init__(
         self,
@@ -37,6 +47,7 @@ class QueryExecutor:
         score: Score,
         indexes: dict[str, Any],
         partitioned: dict[str, Any] | None = None,
+        observability: Observability | None = None,
     ):
         self.collection = collection
         self.score = score
@@ -44,6 +55,7 @@ class QueryExecutor:
         # Keep the caller's dict object: the database registers partitioned
         # indexes after constructing the executor.
         self.partitioned = partitioned if partitioned is not None else {}
+        self.observability = observability if observability is not None else DISABLED
 
     # -------------------------------------------------------------- plumbing
 
@@ -67,88 +79,129 @@ class QueryExecutor:
 
     def execute(self, query: SearchQuery, plan: QueryPlan) -> SearchResult:
         """Run one (c,k)-search under the given plan."""
+        obs = self.observability
         stats = SearchStats(plan_name=plan.describe())
+        root = obs.tracer.start_span(
+            "query", kind="search", strategy=plan.strategy, plan=plan.describe(),
+            k=query.k, hybrid=query.is_hybrid,
+        ).attach_stats(stats)
         start = time.perf_counter()
-        hits = self._dispatch(query, plan, stats)
+        with root:
+            hits = self._dispatch(query, plan, stats, span=root)
+            root.set(hits=len(hits))
         stats.elapsed_seconds = time.perf_counter() - start
+        if obs.enabled:
+            obs.record_query("search", plan.strategy, stats)
         return SearchResult(hits=hits, stats=stats)
 
     def _dispatch(
-        self, query: SearchQuery, plan: QueryPlan, stats: SearchStats
+        self,
+        query: SearchQuery,
+        plan: QueryPlan,
+        stats: SearchStats,
+        span: Any = NOOP_SPAN,
     ) -> list[SearchHit]:
         params = {**plan.params, **query.params}
         strategy = plan.strategy
-        if strategy == "brute_force":
-            mask = None if query.predicate is None else self.collection.predicate_mask(
-                query.predicate
-            )
-            if mask is None:
-                mask = self.collection.alive
-            return self._live_table_scan().run(query.vector, query.k, mask=mask, stats=stats)
-        if strategy == "index_scan":
-            index = self._index_for(plan)
-            # Deleted rows must never surface even on a plain scan.
-            mask = self.collection.alive if not self.collection.alive.all() else None
-            return index.search(query.vector, query.k, allowed=mask, stats=stats, **params)
-        if strategy == "pre_filter":
-            return prefilter_scan(
-                self.collection, query.vector, query.k, query.predicate,
-                self.score, stats=stats,
-            )
-        if strategy == "block_first":
-            return blocked_index_scan(
-                self._index_for(plan), self.collection, query.vector, query.k,
-                query.predicate, stats=stats, **params,
-            )
-        if strategy == "post_filter":
-            if plan.oversample is None:
-                result = adaptive_postfilter_scan(
+        with span.child(
+            f"op:{strategy}", index=plan.index_name
+        ).attach_stats(stats) as op:
+            if strategy == "brute_force":
+                mask = None if query.predicate is None else self.collection.predicate_mask(
+                    query.predicate
+                )
+                if mask is None:
+                    mask = self.collection.alive
+                return self._live_table_scan().run(
+                    query.vector, query.k, mask=mask, stats=stats
+                )
+            if strategy == "index_scan":
+                index = self._index_for(plan)
+                # Deleted rows must never surface even on a plain scan.
+                mask = self.collection.alive if not self.collection.alive.all() else None
+                return index.search(
+                    query.vector, query.k, allowed=mask, stats=stats, span=op,
+                    **params,
+                )
+            if strategy == "pre_filter":
+                return prefilter_scan(
+                    self.collection, query.vector, query.k, query.predicate,
+                    self.score, stats=stats, span=op,
+                )
+            if strategy == "block_first":
+                return blocked_index_scan(
                     self._index_for(plan), self.collection, query.vector, query.k,
-                    query.predicate, stats=stats, **params,
+                    query.predicate, stats=stats, span=op, **params,
                 )
-                return result.hits
-            return postfilter_scan(
-                self._index_for(plan), self.collection, query.vector, query.k,
-                query.predicate, oversample=plan.oversample, stats=stats, **params,
-            )
-        if strategy == "visit_first":
-            return visit_first_scan(
-                self._index_for(plan), self.collection, query.vector, query.k,
-                query.predicate, stats=stats, **params,
-            )
-        if strategy == "partition":
-            part = self.partitioned.get(plan.index_name)
-            if part is None:
-                raise PlanningError(
-                    f"unknown partitioned index {plan.index_name!r}"
+            if strategy == "post_filter":
+                if plan.oversample is None:
+                    result = adaptive_postfilter_scan(
+                        self._index_for(plan), self.collection, query.vector,
+                        query.k, query.predicate, stats=stats, span=op, **params,
+                    )
+                    return result.hits
+                return postfilter_scan(
+                    self._index_for(plan), self.collection, query.vector, query.k,
+                    query.predicate, oversample=plan.oversample, stats=stats,
+                    span=op, **params,
                 )
-            return part.search(
-                query.vector, query.k, query.predicate, stats=stats, **params
-            )
-        raise PlanningError(f"executor cannot run strategy {strategy!r}")
+            if strategy == "visit_first":
+                return visit_first_scan(
+                    self._index_for(plan), self.collection, query.vector, query.k,
+                    query.predicate, stats=stats, span=op, **params,
+                )
+            if strategy == "partition":
+                part = self.partitioned.get(plan.index_name)
+                if part is None:
+                    raise PlanningError(
+                        f"unknown partitioned index {plan.index_name!r}"
+                    )
+                return part.search(
+                    query.vector, query.k, query.predicate, stats=stats, span=op,
+                    **params,
+                )
+            raise PlanningError(f"executor cannot run strategy {strategy!r}")
 
     # ----------------------------------------------------------- range query
 
     def execute_range(self, query: RangeQuery, plan: QueryPlan) -> SearchResult:
         """Range queries run on the plan's index (or exactly, brute force)."""
+        obs = self.observability
         stats = SearchStats(plan_name=f"range:{plan.describe()}")
+        root = obs.tracer.start_span(
+            "query", kind="range", strategy=plan.strategy, plan=plan.describe(),
+            radius=query.radius,
+        ).attach_stats(stats)
         start = time.perf_counter()
-        mask = self.collection.predicate_mask(query.predicate) if (
-            query.predicate is not None
-        ) else (None if self.collection.alive.all() else self.collection.alive)
-        if plan.strategy in ("brute_force", "pre_filter"):
-            from ..index.flat import FlatIndex
+        with root:
+            mask = self.collection.predicate_mask(query.predicate) if (
+                query.predicate is not None
+            ) else (None if self.collection.alive.all() else self.collection.alive)
+            if plan.strategy in ("brute_force", "pre_filter"):
+                from ..index.flat import FlatIndex
 
-            live = np.flatnonzero(self.collection.alive)
-            flat = FlatIndex(self.score)
-            flat.build(self.collection.vectors[live], ids=live.astype(np.int64))
-            hits = flat.range_search(query.vector, query.radius, allowed=mask, stats=stats)
-        else:
-            index = self._index_for(plan)
-            hits = index.range_search(
-                query.vector, query.radius, allowed=mask, stats=stats, **plan.params
-            )
+                with root.child("op:exact_range").attach_stats(stats):
+                    live = np.flatnonzero(self.collection.alive)
+                    flat = FlatIndex(self.score)
+                    flat.build(
+                        self.collection.vectors[live], ids=live.astype(np.int64)
+                    )
+                    hits = flat.range_search(
+                        query.vector, query.radius, allowed=mask, stats=stats
+                    )
+            else:
+                index = self._index_for(plan)
+                with root.child(
+                    "op:index_range", index=plan.index_name
+                ).attach_stats(stats):
+                    hits = index.range_search(
+                        query.vector, query.radius, allowed=mask, stats=stats,
+                        **plan.params,
+                    )
+            root.set(hits=len(hits))
         stats.elapsed_seconds = time.perf_counter() - start
+        if obs.enabled:
+            obs.record_query("range", plan.strategy, stats)
         return SearchResult(hits=hits, stats=stats)
 
     # ---------------------------------------------------------------- batch
@@ -156,40 +209,62 @@ class QueryExecutor:
     def execute_batch(self, batch: BatchQuery, plan: QueryPlan) -> list[SearchResult]:
         """Run a batch, sharing bitmask construction (and the distance
         kernel on brute-force plans) across all member queries."""
+        obs = self.observability
         stats_template = plan.describe()
+        root = obs.tracer.start_span(
+            "batch", kind="batch", strategy=plan.strategy, plan=stats_template,
+            size=len(batch), k=batch.k,
+        )
         if plan.strategy in ("brute_force", "pre_filter"):
             shared = SearchStats(plan_name=f"batch:{stats_template}")
+            root.attach_stats(shared)
             start = time.perf_counter()
-            mask = self.collection.predicate_mask(batch.predicate)
-            live = np.flatnonzero(mask)
-            per_query = batched_table_scan(
-                batch.vectors,
-                self.collection.vectors[live],
-                live.astype(np.int64),
-                self.score,
-                batch.k,
-                stats=shared,
-            )
+            with root:
+                with root.child(
+                    "op:batched_table_scan", size=len(batch)
+                ).attach_stats(shared):
+                    mask = self.collection.predicate_mask(batch.predicate)
+                    live = np.flatnonzero(mask)
+                    per_query = batched_table_scan(
+                        batch.vectors,
+                        self.collection.vectors[live],
+                        live.astype(np.int64),
+                        self.score,
+                        batch.k,
+                        stats=shared,
+                    )
             shared.elapsed_seconds = time.perf_counter() - start
+            # The shared stats object stands for the whole batch: keep the
+            # merged provenance so per-query averages stay computable.
+            shared.merged_count = len(batch)
+            if obs.enabled:
+                obs.record_query("batch", plan.strategy, shared)
             return [SearchResult(hits=h, stats=shared) for h in per_query]
         # Index plans: share the bitmask, run member scans individually.
         mask_cache: np.ndarray | None = None
         results = []
-        for query in batch.queries():
-            stats = SearchStats(plan_name=f"batch:{stats_template}")
-            start = time.perf_counter()
-            if batch.predicate is not None and plan.strategy == "block_first":
-                if mask_cache is None:
-                    mask_cache = self.collection.predicate_mask(batch.predicate)
-                index = self._index_for(plan)
-                hits = index.search(
-                    query.vector, batch.k, allowed=mask_cache, stats=stats,
-                    **plan.params,
-                )
-            else:
-                hits = self._dispatch(query, plan, stats)
-            stats.elapsed_seconds = time.perf_counter() - start
-            results.append(SearchResult(hits=hits, stats=stats))
+        with root:
+            for query in batch.queries():
+                stats = SearchStats(plan_name=f"batch:{stats_template}")
+                member = root.child("query", k=batch.k).attach_stats(stats)
+                start = time.perf_counter()
+                with member:
+                    if batch.predicate is not None and plan.strategy == "block_first":
+                        if mask_cache is None:
+                            mask_cache = self.collection.predicate_mask(
+                                batch.predicate
+                            )
+                        index = self._index_for(plan)
+                        hits = index.search(
+                            query.vector, batch.k, allowed=mask_cache, stats=stats,
+                            span=member, **plan.params,
+                        )
+                    else:
+                        hits = self._dispatch(query, plan, stats, span=member)
+                stats.elapsed_seconds = time.perf_counter() - start
+                if obs.enabled:
+                    obs.record_query("batch", plan.strategy, stats)
+                results.append(SearchResult(hits=hits, stats=stats))
         return results
 
     # ----------------------------------------------------------- multivector
@@ -206,39 +281,60 @@ class QueryExecutor:
         """
         from ..scores.aggregate import WeightedSumAggregator
 
+        obs = self.observability
         stats = SearchStats(plan_name=f"multivector:{plan.describe()}")
+        root = obs.tracer.start_span(
+            "query", kind="multivector", strategy=plan.strategy,
+            plan=plan.describe(), vectors=query.vectors.shape[0], k=query.k,
+        ).attach_stats(stats)
         start = time.perf_counter()
-        aggregator = (
-            WeightedSumAggregator(query.weights)
-            if query.weights is not None
-            else query.aggregator
-        )
-        agg = AggregateScore(self.score, aggregator)
-        mask = self.collection.predicate_mask(query.predicate)
+        with root:
+            aggregator = (
+                WeightedSumAggregator(query.weights)
+                if query.weights is not None
+                else query.aggregator
+            )
+            agg = AggregateScore(self.score, aggregator)
+            mask = self.collection.predicate_mask(query.predicate)
 
-        if plan.strategy in ("brute_force", "pre_filter") or plan.index_name is None:
-            candidates = np.flatnonzero(mask)
-        else:
-            index = self._index_for(plan)
-            fetch = max(query.k * 4, 32)
-            found: set[int] = set()
-            for vector in query.vectors:
-                for hit in index.search(
-                    vector, fetch, allowed=mask, stats=stats, **plan.params
+            with root.child(
+                "op:gather_candidates", index=plan.index_name
+            ).attach_stats(stats) as gather:
+                if plan.strategy in ("brute_force", "pre_filter") or (
+                    plan.index_name is None
                 ):
-                    found.add(hit.id)
-            candidates = np.fromiter(found, dtype=np.int64, count=len(found))
-        if candidates.size == 0:
-            stats.elapsed_seconds = time.perf_counter() - start
-            return SearchResult(hits=[], stats=stats)
-        block = self.score.pairwise(
-            query.vectors, self.collection.vectors[candidates]
-        )
-        stats.distance_computations += block.size
-        distances = self._aggregate_columns(agg, query, block)
-        hits = topk_from_arrays(candidates, distances, query.k)
-        stats.candidates_examined += candidates.size
+                    candidates = np.flatnonzero(mask)
+                else:
+                    index = self._index_for(plan)
+                    fetch = max(query.k * 4, 32)
+                    found: set[int] = set()
+                    for vector in query.vectors:
+                        for hit in index.search(
+                            vector, fetch, allowed=mask, stats=stats, span=gather,
+                            **plan.params,
+                        ):
+                            found.add(hit.id)
+                    candidates = np.fromiter(found, dtype=np.int64, count=len(found))
+                gather.set(candidates=int(candidates.size))
+            if candidates.size == 0:
+                stats.elapsed_seconds = time.perf_counter() - start
+                if obs.enabled:
+                    obs.record_query("multivector", plan.strategy, stats)
+                return SearchResult(hits=[], stats=stats)
+            with root.child(
+                "op:rerank", candidates=int(candidates.size)
+            ).attach_stats(stats):
+                block = self.score.pairwise(
+                    query.vectors, self.collection.vectors[candidates]
+                )
+                stats.distance_computations += block.size
+                distances = self._aggregate_columns(agg, query, block)
+                hits = topk_from_arrays(candidates, distances, query.k)
+                stats.candidates_examined += candidates.size
+            root.set(hits=len(hits))
         stats.elapsed_seconds = time.perf_counter() - start
+        if obs.enabled:
+            obs.record_query("multivector", plan.strategy, stats)
         return SearchResult(hits=hits, stats=stats)
 
     @staticmethod

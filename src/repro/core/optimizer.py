@@ -19,7 +19,13 @@ from .planner import QueryPlan
 
 
 class PlanSelector:
-    """Interface: pick one plan from the enumerated candidates."""
+    """Interface: pick one plan from the enumerated candidates.
+
+    ``span`` (optional, trailing) is an observability
+    :class:`~repro.observability.tracing.Span`; selectors record one
+    ``candidate`` event per considered plan and a ``chosen`` event for
+    the winner so EXPLAIN ANALYZE can show *why* a plan won.
+    """
 
     def select(
         self,
@@ -28,6 +34,7 @@ class PlanSelector:
         n: int,
         k: int,
         selectivity: float,
+        span: Any = None,
     ) -> QueryPlan:
         raise NotImplementedError
 
@@ -35,9 +42,11 @@ class PlanSelector:
 class FirstPlanSelector(PlanSelector):
     """Take the only/first plan (pairs with :class:`PredefinedPlanner`)."""
 
-    def select(self, plans, indexes, n, k, selectivity):
+    def select(self, plans, indexes, n, k, selectivity, span=None):
         if not plans:
             raise PlanningError("no plans to select from")
+        if span is not None:
+            span.event("chosen", plan=plans[0].describe(), rule="first")
         return plans[0]
 
 
@@ -66,24 +75,36 @@ class RuleBasedSelector(PlanSelector):
                     return plan
         return None
 
-    def select(self, plans, indexes, n, k, selectivity):
+    def select(self, plans, indexes, n, k, selectivity, span=None):
         if not plans:
             raise PlanningError("no plans to select from")
         if len(plans) == 1:
-            return plans[0]
-        if plans[0].strategy in ("brute_force", "index_scan"):
-            # Non-hybrid: prefer any index over brute force.
-            return self._pick(plans, "index_scan") or plans[0]
-        if selectivity < self.prefilter_below:
-            chosen = self._pick(plans, "partition", "pre_filter")
-        elif selectivity > self.postfilter_above:
-            chosen = self._pick(plans, "post_filter")
-        else:
-            chosen = self._pick(plans, "partition", "visit_first", "block_first")
-        if chosen is None:
             chosen = plans[0]
+        elif plans[0].strategy in ("brute_force", "index_scan"):
+            # Non-hybrid: prefer any index over brute force.
+            chosen = self._pick(plans, "index_scan") or plans[0]
+        else:
+            if selectivity < self.prefilter_below:
+                chosen = self._pick(plans, "partition", "pre_filter")
+            elif selectivity > self.postfilter_above:
+                chosen = self._pick(plans, "post_filter")
+            else:
+                chosen = self._pick(
+                    plans, "partition", "visit_first", "block_first"
+                )
+            if chosen is None:
+                chosen = plans[0]
         if chosen.strategy == "post_filter" and chosen.oversample is None:
             chosen.oversample = max(1.0, 1.0 / max(selectivity, 1e-6))
+        if span is not None:
+            for plan in plans:
+                span.event("candidate", plan=plan.describe())
+            span.event(
+                "chosen",
+                plan=chosen.describe(),
+                rule="selectivity_threshold",
+                selectivity=round(float(selectivity), 6),
+            )
         return chosen
 
 
@@ -93,7 +114,7 @@ class CostBasedSelector(PlanSelector):
     def __init__(self, cost_model: CostModel | None = None):
         self.cost_model = cost_model or CostModel()
 
-    def select(self, plans, indexes, n, k, selectivity):
+    def select(self, plans, indexes, n, k, selectivity, span=None):
         if not plans:
             raise PlanningError("no plans to select from")
         best: QueryPlan | None = None
@@ -104,6 +125,19 @@ class CostBasedSelector(PlanSelector):
             plan.estimated_cost = self.cost_model.estimate(
                 plan, index, n, k, selectivity
             )
+            if span is not None:
+                span.event(
+                    "candidate",
+                    plan=plan.describe(),
+                    cost=round(float(plan.estimated_cost), 3),
+                )
             if best is None or plan.estimated_cost < best.estimated_cost:
                 best = plan
+        if span is not None:
+            span.event(
+                "chosen",
+                plan=best.describe(),
+                rule="min_cost",
+                selectivity=round(float(selectivity), 6),
+            )
         return best

@@ -63,6 +63,16 @@ class QueryPlan:
         extra = f" a={self.oversample:g}" if self.oversample else ""
         return f"{self.strategy}{index}{extra}{cost}"
 
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-friendly view (used by EXPLAIN ANALYZE exports)."""
+        return {
+            "strategy": self.strategy,
+            "index_name": self.index_name,
+            "oversample": self.oversample,
+            "params": dict(self.params),
+            "estimated_cost": self.estimated_cost,
+        }
+
 
 def _is_graph(index) -> bool:
     return getattr(index, "family", "") == "graph"

@@ -138,6 +138,10 @@ class SearchStats:
     coverage_fraction: float = 1.0
     shards_ok: int = 0
     shards_failed: int = 0
+    # How many per-query stats objects were merged into this one (1 for a
+    # fresh object).  Batch provenance: merged counters are sums, so
+    # batch-level *averages* are ``counter / merged_count``.
+    merged_count: int = 1
 
     def merge(self, other: "SearchStats") -> None:
         """Accumulate another stats object into this one (for batches)."""
@@ -154,6 +158,48 @@ class SearchStats:
         )
         self.shards_ok += other.shards_ok
         self.shards_failed += other.shards_failed
+        self.merged_count += other.merged_count
+
+    def averages(self) -> dict[str, float]:
+        """Per-constituent-query means of the counter fields.
+
+        For a merged batch object this is the batch-level average; for a
+        fresh (``merged_count == 1``) object it is the counters as-is.
+        """
+        n = max(1, self.merged_count)
+        return {
+            "distance_computations": self.distance_computations / n,
+            "nodes_visited": self.nodes_visited / n,
+            "page_reads": self.page_reads / n,
+            "candidates_examined": self.candidates_examined / n,
+            "predicate_evaluations": self.predicate_evaluations / n,
+            "predicate_rejections": self.predicate_rejections / n,
+            "elapsed_seconds": self.elapsed_seconds / n,
+        }
+
+    def __repr__(self) -> str:
+        parts = []
+        if self.plan_name:
+            parts.append(f"plan={self.plan_name!r}")
+        for label, value in (
+            ("dist", self.distance_computations),
+            ("nodes", self.nodes_visited),
+            ("pages", self.page_reads),
+            ("cand", self.candidates_examined),
+            ("pred", self.predicate_evaluations),
+            ("rej", self.predicate_rejections),
+        ):
+            if value:
+                parts.append(f"{label}={value}")
+        if self.elapsed_seconds:
+            parts.append(f"elapsed={self.elapsed_seconds * 1e3:.3f}ms")
+        if self.partial:
+            parts.append(f"PARTIAL coverage={self.coverage_fraction:.2f}")
+        if self.shards_ok or self.shards_failed:
+            parts.append(f"shards={self.shards_ok}ok/{self.shards_failed}failed")
+        if self.merged_count > 1:
+            parts.append(f"merged={self.merged_count}")
+        return f"SearchStats({', '.join(parts)})"
 
 
 def topk_from_arrays(

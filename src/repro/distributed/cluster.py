@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass, field
+from typing import Any
 
 import numpy as np
 
@@ -35,11 +36,16 @@ from ..core.errors import (
     VdbmsError,
 )
 from ..core.types import SearchHit, SearchResult, SearchStats
+from ..observability.instrument import DISABLED, Observability
+from ..observability.tracing import NOOP_SPAN
 from ..reliability.breaker import CircuitBreaker, ClusterHealth, ReplicaHealth
 from ..reliability.faults import FaultInjector
 from ..reliability.retry import RetryPolicy
 from .node import NodeLatencyModel, SearchNode
 from .shard import ShardingStrategy, UniformSharding
+
+#: Histogram buckets for per-query shard coverage (0..1).
+_COVERAGE_BUCKETS = (0.0, 0.25, 0.5, 0.75, 0.9, 1.0)
 
 
 @dataclass
@@ -86,6 +92,13 @@ class DistributedSearchCluster:
     breaker_failure_threshold / breaker_cooldown_ops:
         Per-replica circuit-breaker tuning (consecutive failures to
         trip; denied operations before half-opening).
+    observability:
+        Optional :class:`~repro.observability.Observability` bundle; the
+        coordinator emits a ``distributed_search`` span with per-shard
+        children whose events record every retry, failover, breaker
+        skip/transition, and deadline abandonment (tagged with the
+        injected-fault reason when one applies), plus replica/fault
+        counters and a coverage histogram.
     """
 
     def __init__(
@@ -100,6 +113,7 @@ class DistributedSearchCluster:
         strict: bool = True,
         breaker_failure_threshold: int = 3,
         breaker_cooldown_ops: int = 8,
+        observability: Observability | None = None,
         **index_kwargs,
     ):
         self.sharding = sharding or UniformSharding(num_shards)
@@ -111,6 +125,7 @@ class DistributedSearchCluster:
         self.retry_policy = retry_policy or RetryPolicy()
         self.injector = injector
         self.strict = strict
+        self.observability = observability if observability is not None else DISABLED
         self._breaker_kwargs = dict(
             failure_threshold=breaker_failure_threshold,
             cooldown_ops=breaker_cooldown_ops,
@@ -317,6 +332,20 @@ class DistributedSearchCluster:
         start = self._rr % len(replicas)
         return replicas[start:] + replicas[:start]
 
+    def _breaker_event(self, span, node, breaker, before: str) -> None:
+        """Record a breaker state change as a span event + counter."""
+        if breaker.state == before:
+            return
+        span.event(
+            "breaker_transition", replica=node.node_id,
+            from_state=before, to=breaker.state,
+        )
+        if self.observability.enabled:
+            self.observability.metrics.counter(
+                "vdbms_breaker_transitions_total",
+                "Circuit-breaker state changes.",
+            ).inc(to=breaker.state)
+
     def _search_shard(
         self,
         shard: int,
@@ -325,6 +354,7 @@ class DistributedSearchCluster:
         dstats: DistributedQueryStats,
         deadline_seconds: float | None,
         params: dict,
+        span: Any = NOOP_SPAN,
     ) -> tuple[list[SearchHit] | None, float, SearchStats | None, bool]:
         """One shard's replica chain: breaker -> attempt -> retry -> failover.
 
@@ -334,36 +364,87 @@ class DistributedSearchCluster:
         (failover is sequential within a shard), so failover cost is
         visible in the query's wall clock.
         """
+        obs = self.observability
+        m = obs.metrics
         elapsed = 0.0
         for node in self._pick_replica(shard):
             breaker = self._breaker(node)
+            before = breaker.state
             if not breaker.allow():
                 dstats.breaker_skips += 1
+                span.event(
+                    "breaker_skip", replica=node.node_id, state=breaker.state
+                )
+                if obs.enabled:
+                    m.counter(
+                        "vdbms_breaker_skips_total",
+                        "Replica attempts denied by an open breaker.",
+                    ).inc()
                 continue
+            self._breaker_event(span, node, breaker, before)
             attempt = 0
             while True:
                 if deadline_seconds is not None and elapsed > deadline_seconds:
+                    span.event(
+                        "deadline_exceeded", replica=node.node_id,
+                        simulated_elapsed=elapsed, budget=deadline_seconds,
+                    )
                     return None, elapsed, None, True
                 dstats.replicas_tried += 1
+                before = breaker.state
                 try:
                     hits, latency, stats = node.search(query, k, **params)
                 except ConnectionError as exc:
                     elapsed += node.latency.failed_request_latency()
                     breaker.record_failure()
+                    self._breaker_event(span, node, breaker, before)
                     transient = getattr(exc, "transient", False)
+                    reason = getattr(exc, "reason", None) or str(exc)
+                    if obs.enabled:
+                        m.counter(
+                            "vdbms_replica_attempts_total", "Replica requests."
+                        ).inc(outcome="error")
                     attempt += 1
                     if transient and attempt < self.retry_policy.max_attempts:
                         # Same replica may answer next time: back off and
                         # retry, charging the wait to the shard's clock.
                         elapsed += self.retry_policy.backoff(attempt)
                         dstats.retries += 1
+                        span.event(
+                            "retry", replica=node.node_id, attempt=attempt,
+                            reason=reason, transient=True,
+                        )
+                        if obs.enabled:
+                            m.counter(
+                                "vdbms_replica_retries_total",
+                                "Same-replica retries after transient failures.",
+                            ).inc()
                         continue
                     dstats.failovers += 1
+                    span.event(
+                        "failover", replica=node.node_id, attempt=attempt,
+                        reason=reason, transient=transient,
+                    )
+                    if obs.enabled:
+                        m.counter(
+                            "vdbms_failovers_total",
+                            "Replica-chain failovers to the next replica.",
+                        ).inc()
                     break  # next replica
                 breaker.record_success()
+                self._breaker_event(span, node, breaker, before)
+                if obs.enabled:
+                    m.counter(
+                        "vdbms_replica_attempts_total", "Replica requests."
+                    ).inc(outcome="ok")
                 elapsed += latency
                 if deadline_seconds is not None and elapsed > deadline_seconds:
+                    span.event(
+                        "deadline_exceeded", replica=node.node_id,
+                        simulated_elapsed=elapsed, budget=deadline_seconds,
+                    )
                     return None, elapsed, None, True
+                span.set(replica=node.node_id, simulated_seconds=elapsed)
                 return hits, elapsed, stats, False
         return None, elapsed, None, False
 
@@ -396,47 +477,94 @@ class DistributedSearchCluster:
             raise VdbmsError("cluster has no data loaded")
         if strict is None:
             strict = self.strict
+        obs = self.observability
         self._rr += 1
         dstats = DistributedQueryStats()
         shard_latencies: list[float] = []
         merged: list[SearchHit] = []
         gather_stats = SearchStats(plan_name="scatter_gather")
-        for shard in self.sharding.route(np.asarray(query), route_nprobe):
-            dstats.shards_contacted += 1
-            hits, elapsed, stats, deadline_hit = self._search_shard(
-                shard, query, k, dstats, deadline_seconds, params
+        root = obs.tracer.start_span(
+            "distributed_search", kind="distributed", k=k, strict=strict,
+            shards=self.num_shards, replication=self.replication_factor,
+        ).attach_stats(gather_stats)
+        with root:
+            for shard in self.sharding.route(np.asarray(query), route_nprobe):
+                dstats.shards_contacted += 1
+                with root.child("shard", shard=shard) as shard_span:
+                    hits, elapsed, stats, deadline_hit = self._search_shard(
+                        shard, query, k, dstats, deadline_seconds, params,
+                        span=shard_span,
+                    )
+                    shard_latencies.append(elapsed)
+                    if hits is None:
+                        shard_span.set(
+                            ok=False,
+                            reason="deadline" if deadline_hit else "no_replica",
+                        )
+                        dstats.deadline_exceeded |= deadline_hit
+                        if strict:
+                            if deadline_hit:
+                                raise DeadlineExceededError(
+                                    deadline_seconds, elapsed
+                                )
+                            raise AllReplicasDownError(
+                                shard, dstats.replicas_tried
+                            )
+                        dstats.shards_failed += 1
+                        dstats.skipped_shards.append(shard)
+                        if obs.enabled:
+                            obs.metrics.counter(
+                                "vdbms_shard_failures_total",
+                                "Routed shards that could not answer.",
+                            ).inc()
+                        continue
+                    shard_span.set(ok=True, hits=len(hits))
+                dstats.shards_ok += 1
+                gather_stats.merge(stats)
+                dstats.total_distance_computations += stats.distance_computations
+                merged.extend(hits)
+            with root.child("merge", inputs=len(merged)):
+                merged.sort()
+                merged = merged[:k]
+            # Parallel fan-out: latency = slowest contacted node + merge cost.
+            merge_seconds = 1e-6 * max(1, len(merged))
+            dstats.simulated_latency_seconds = (
+                (max(shard_latencies) if shard_latencies else 0.0) + merge_seconds
             )
-            shard_latencies.append(elapsed)
-            if hits is None:
-                dstats.deadline_exceeded |= deadline_hit
-                if strict:
-                    if deadline_hit:
-                        raise DeadlineExceededError(deadline_seconds, elapsed)
-                    raise AllReplicasDownError(shard, dstats.replicas_tried)
-                dstats.shards_failed += 1
-                dstats.skipped_shards.append(shard)
-                continue
-            dstats.shards_ok += 1
-            gather_stats.merge(stats)
-            dstats.total_distance_computations += stats.distance_computations
-            merged.extend(hits)
-        merged.sort()
-        merged = merged[:k]
-        # Parallel fan-out: latency = slowest contacted node + merge cost.
-        merge_seconds = 1e-6 * max(1, len(merged))
-        dstats.simulated_latency_seconds = (
-            (max(shard_latencies) if shard_latencies else 0.0) + merge_seconds
-        )
-        dstats.coverage_fraction = (
-            dstats.shards_ok / dstats.shards_contacted
-            if dstats.shards_contacted else 1.0
-        )
-        dstats.partial = dstats.shards_failed > 0
-        gather_stats.elapsed_seconds = dstats.simulated_latency_seconds
-        gather_stats.shards_ok = dstats.shards_ok
-        gather_stats.shards_failed = dstats.shards_failed
-        gather_stats.coverage_fraction = dstats.coverage_fraction
-        gather_stats.partial = dstats.partial
+            dstats.coverage_fraction = (
+                dstats.shards_ok / dstats.shards_contacted
+                if dstats.shards_contacted else 1.0
+            )
+            dstats.partial = dstats.shards_failed > 0
+            gather_stats.elapsed_seconds = dstats.simulated_latency_seconds
+            gather_stats.shards_ok = dstats.shards_ok
+            gather_stats.shards_failed = dstats.shards_failed
+            gather_stats.coverage_fraction = dstats.coverage_fraction
+            gather_stats.partial = dstats.partial
+            root.set(
+                hits=len(merged),
+                shards_ok=dstats.shards_ok,
+                shards_failed=dstats.shards_failed,
+                coverage=round(dstats.coverage_fraction, 4),
+                simulated_seconds=dstats.simulated_latency_seconds,
+            )
+        if obs.enabled:
+            obs.record_query(
+                "distributed", "scatter_gather", gather_stats,
+                elapsed_seconds=dstats.simulated_latency_seconds,
+                simulated=True,
+            )
+            m = obs.metrics
+            m.histogram(
+                "vdbms_coverage_fraction",
+                "Per-query fraction of routed shards that answered.",
+                buckets=_COVERAGE_BUCKETS,
+            ).observe(dstats.coverage_fraction)
+            if dstats.partial:
+                m.counter(
+                    "vdbms_degraded_queries_total",
+                    "Queries answered with partial shard coverage.",
+                ).inc()
         if dstats.partial:
             warnings.warn(
                 f"query answered with partial coverage"

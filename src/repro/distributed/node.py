@@ -109,6 +109,10 @@ class SearchNode:
         self.queries_served += 1
         stats = SearchStats()
         if self.index is None or len(self.index) == 0:
-            return [], slowdown * self.latency.network_seconds, stats
+            latency = slowdown * self.latency.network_seconds
+            stats.elapsed_seconds = latency
+            return [], latency, stats
         hits = self.index.search(query, k, stats=stats, **params)
-        return hits, slowdown * self.latency.request_latency(stats), stats
+        latency = slowdown * self.latency.request_latency(stats)
+        stats.elapsed_seconds = latency
+        return hits, latency, stats

@@ -22,6 +22,7 @@ import numpy as np
 from ..core.operators import TableScan
 from ..core.types import SearchHit, SearchStats
 from ..hybrid.predicates import Predicate
+from ..observability.tracing import NOOP_SPAN
 
 
 def online_bitmask(collection, predicate: Predicate | None) -> np.ndarray:
@@ -36,13 +37,17 @@ def blocked_index_scan(
     k: int,
     predicate: Predicate | None,
     stats: SearchStats | None = None,
+    span=None,
     **params,
 ) -> list[SearchHit]:
     """Online block-first scan: bitmask + masked index traversal."""
     stats = stats if stats is not None else SearchStats()
-    mask = online_bitmask(collection, predicate)
-    stats.predicate_evaluations += collection.capacity
-    return index.search(query, k, allowed=mask, stats=stats, **params)
+    span = span if span is not None else NOOP_SPAN
+    with span.child("bitmask").attach_stats(stats) as mask_span:
+        mask = online_bitmask(collection, predicate)
+        stats.predicate_evaluations += collection.capacity
+        mask_span.set(selectivity=round(float(mask.mean()), 6) if mask.size else 0.0)
+    return index.search(query, k, allowed=mask, stats=stats, span=span, **params)
 
 
 def prefilter_scan(
@@ -52,6 +57,7 @@ def prefilter_scan(
     predicate: Predicate | None,
     score,
     stats: SearchStats | None = None,
+    span=None,
 ) -> list[SearchHit]:
     """Strict pre-filtering: predicate first, exact scan of survivors.
 
@@ -59,10 +65,16 @@ def prefilter_scan(
     exact results — unbeatable when s is tiny, hopeless when s ~ 1.
     """
     stats = stats if stats is not None else SearchStats()
-    mask = online_bitmask(collection, predicate)
-    stats.predicate_evaluations += collection.capacity
-    positions = np.flatnonzero(mask)
+    span = span if span is not None else NOOP_SPAN
+    with span.child("bitmask").attach_stats(stats) as mask_span:
+        mask = online_bitmask(collection, predicate)
+        stats.predicate_evaluations += collection.capacity
+        positions = np.flatnonzero(mask)
+        mask_span.set(survivors=int(positions.size))
     if positions.size == 0:
         return []
-    scan = TableScan(collection.vectors[positions], positions.astype(np.int64), score)
-    return scan.run(query, k, stats=stats)
+    with span.child("table_scan", survivors=int(positions.size)).attach_stats(stats):
+        scan = TableScan(
+            collection.vectors[positions], positions.astype(np.int64), score
+        )
+        return scan.run(query, k, stats=stats)

@@ -78,9 +78,12 @@ class AttributePartitionedIndex:
         k: int,
         predicate: Predicate,
         stats: SearchStats | None = None,
+        span: Any = None,
         **params: Any,
     ) -> list[SearchHit]:
         """Search only the partitions the predicate selects."""
+        from ..observability.tracing import NOOP_SPAN
+
         if not self._built:
             raise PlanningError("AttributePartitionedIndex has not been built")
         if not self.covers(predicate):
@@ -89,12 +92,18 @@ class AttributePartitionedIndex:
                 f" {self.attribute!r}; use online blocking instead"
             )
         stats = stats if stats is not None else SearchStats()
+        span = span if span is not None else NOOP_SPAN
         hits: list[SearchHit] = []
         for value in self._target_values(predicate):
             index = self._partitions.get(value)
             if index is None:
                 continue
-            hits.extend(index.search(query, k, stats=stats, **params))
+            with span.child(
+                "partition", partition=value, attribute=self.attribute
+            ).attach_stats(stats) as part_span:
+                hits.extend(
+                    index.search(query, k, stats=stats, span=part_span, **params)
+                )
         hits.sort()
         return hits[:k]
 

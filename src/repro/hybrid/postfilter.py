@@ -22,6 +22,7 @@ import numpy as np
 
 from ..core.types import SearchHit, SearchStats
 from ..hybrid.predicates import Predicate
+from ..observability.tracing import NOOP_SPAN
 
 
 def _filter_hits(
@@ -45,6 +46,7 @@ def postfilter_scan(
     predicate: Predicate | None,
     oversample: float = 1.0,
     stats: SearchStats | None = None,
+    span=None,
     **params,
 ) -> list[SearchHit]:
     """Unrestricted index scan of ceil(a*k), then filter.
@@ -53,10 +55,16 @@ def postfilter_scan(
     tutorial highlights (acceptable for e-commerce per Vearch [12, 54]).
     """
     stats = stats if stats is not None else SearchStats()
+    span = span if span is not None else NOOP_SPAN
     fetch = int(np.ceil(max(1.0, oversample) * k))
-    hits = index.search(query, fetch, stats=stats, **params)
-    mask = collection.predicate_mask(predicate)
-    return _filter_hits(hits, mask, stats)[:k]
+    hits = index.search(query, fetch, stats=stats, span=span, **params)
+    with span.child(
+        "filter", fetched=len(hits), oversample=round(float(oversample), 4)
+    ).attach_stats(stats) as filter_span:
+        mask = collection.predicate_mask(predicate)
+        kept = _filter_hits(hits, mask, stats)[:k]
+        filter_span.set(kept=len(kept))
+    return kept
 
 
 @dataclass
@@ -75,10 +83,12 @@ def adaptive_postfilter_scan(
     selectivity_hint: float | None = None,
     max_attempts: int = 6,
     stats: SearchStats | None = None,
+    span=None,
     **params,
 ) -> AdaptiveResult:
     """Retry with doubling a until k results survive the filter."""
     stats = stats if stats is not None else SearchStats()
+    span = span if span is not None else NOOP_SPAN
     n = len(collection)
     mask = collection.predicate_mask(predicate)
     if selectivity_hint is None:
@@ -89,9 +99,17 @@ def adaptive_postfilter_scan(
     while attempts < max_attempts:
         attempts += 1
         fetch = min(n, int(np.ceil(oversample * k)))
-        raw = index.search(query, fetch, stats=stats, **params)
-        hits = _filter_hits(raw, mask, stats)
+        with span.child(
+            "attempt",
+            attempt=attempts,
+            oversample=round(float(oversample), 4),
+            fetch=fetch,
+        ).attach_stats(stats) as attempt_span:
+            raw = index.search(query, fetch, stats=stats, span=attempt_span, **params)
+            hits = _filter_hits(raw, mask, stats)
+            attempt_span.set(kept=len(hits))
         if len(hits) >= k or fetch >= n:
             break
         oversample *= 2.0
+    span.set(attempts=attempts, final_oversample=round(float(oversample), 4))
     return AdaptiveResult(hits[:k], attempts, oversample)

@@ -155,21 +155,31 @@ def visit_first_scan(
     ef: int = 64,
     penalty: float = 1.5,
     stats: SearchStats | None = None,
+    span=None,
 ) -> list[SearchHit]:
     """Single-stage filtered search on a graph index."""
+    from ..observability.tracing import NOOP_SPAN
+
     stats = stats if stats is not None else SearchStats()
-    neighbors_of, entries = graph_entry_and_adjacency(index)
-    mask = collection.predicate_mask(predicate)
-    return visit_first_search(
-        index._vectors,
-        neighbors_of,
-        entries,
-        index._ids,
-        mask,
-        query,
-        k,
-        index.score,
-        ef=ef,
-        penalty=penalty,
-        stats=stats,
-    )
+    span = span if span is not None else NOOP_SPAN
+    with span.child("bitmask").attach_stats(stats):
+        neighbors_of, entries = graph_entry_and_adjacency(index)
+        mask = collection.predicate_mask(predicate)
+    with span.child(
+        "traversal", ef=ef, penalty=penalty, index=index.name
+    ).attach_stats(stats) as walk_span:
+        hits = visit_first_search(
+            index._vectors,
+            neighbors_of,
+            entries,
+            index._ids,
+            mask,
+            query,
+            k,
+            index.score,
+            ef=ef,
+            penalty=penalty,
+            stats=stats,
+        )
+        walk_span.set(hits=len(hits))
+    return hits

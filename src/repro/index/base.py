@@ -98,6 +98,7 @@ class VectorIndex(abc.ABC):
         k: int,
         allowed: np.ndarray | None = None,
         stats: SearchStats | None = None,
+        span: Any = None,
         **params: Any,
     ) -> list[SearchHit]:
         """Return up to k nearest hits (ascending distance).
@@ -105,6 +106,10 @@ class VectorIndex(abc.ABC):
         ``params`` are index-specific search-time knobs (``nprobe``,
         ``ef_search``, ``beam_width``, ...); unknown ones raise TypeError
         inside the concrete ``_search`` so typos fail loudly.
+
+        ``span`` (a :class:`repro.observability.Span`, or None) makes
+        the scan emit a child span carrying this index's name/family and
+        the :class:`SearchStats` delta attributed to the traversal.
         """
         self._require_built()
         if k <= 0:
@@ -113,7 +118,19 @@ class VectorIndex(abc.ABC):
         if allowed is not None:
             allowed = np.asarray(allowed, dtype=bool)
         stats = stats if stats is not None else SearchStats()
-        return self._search(query, k, allowed, stats, **params)
+        if span is None:
+            return self._search(query, k, allowed, stats, **params)
+        with span.child(
+            f"index:{self.name}", **self._span_attributes(k, params)
+        ).attach_stats(stats) as scan_span:
+            hits = self._search(query, k, allowed, stats, **params)
+            scan_span.set(hits=len(hits))
+            return hits
+
+    def _span_attributes(self, k: int, params: dict[str, Any]) -> dict[str, Any]:
+        """Attributes stamped on this index's search span; subclasses
+        extend with their own knobs (see :class:`GraphIndex`)."""
+        return {"family": self.family, "n": len(self), "k": k, **params}
 
     @abc.abstractmethod
     def _search(

@@ -76,6 +76,12 @@ class GraphIndex(VectorIndex):
         """Seed nodes for a search; subclasses may randomize/multi-seed."""
         return [self._entry_point]
 
+    def _span_attributes(self, k: int, params: dict[str, Any]) -> dict[str, Any]:
+        attrs = super()._span_attributes(k, params)
+        attrs.setdefault("ef", params.get("ef_search", self.ef_search))
+        attrs["entry"] = self._entry_point
+        return attrs
+
     def _search(
         self,
         query: np.ndarray,

@@ -1,0 +1,80 @@
+"""Observability: tracing, metrics, and query profiling (whole query path).
+
+The measurement substrate the survey's empirical questions need:
+
+* :mod:`~repro.observability.tracing` — explicit-propagation spans
+  with per-span :class:`~repro.core.types.SearchStats` attribution;
+* :mod:`~repro.observability.metrics` — named counters / gauges /
+  fixed-bucket histograms with a Prometheus-style text dump;
+* :mod:`~repro.observability.profiler` — EXPLAIN ANALYZE plan trees
+  whose per-operator self-stats partition the query's cost exactly;
+* :mod:`~repro.observability.export` — JSONL trace export and a
+  configurable slow-query log;
+* :mod:`~repro.observability.instrument` — the
+  :class:`Observability` bundle components carry, and the
+  :data:`DISABLED` no-op default (negligible overhead when off).
+
+Enable on any database::
+
+    from repro import VectorDatabase
+    from repro.observability import Observability
+
+    db = VectorDatabase(dim=32, observability=Observability())
+    ...
+    print(db.observability.metrics.render_prometheus())
+    profile = db.explain_analyze(vector=q, k=10, predicate=Field("c") == 1)
+    print(profile.render())
+"""
+
+from .export import (
+    SlowQuery,
+    SlowQueryLog,
+    spans_to_jsonl,
+    write_metrics_text,
+    write_trace_jsonl,
+)
+from .instrument import DISABLED, Observability
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NOOP_METRIC,
+    NOOP_METRICS,
+)
+from .profiler import ProfileNode, QueryProfile, build_profile_tree
+from .tracing import (
+    NOOP_SPAN,
+    NOOP_TRACER,
+    STAT_FIELDS,
+    Span,
+    SpanEvent,
+    Tracer,
+    validate_span_tree,
+)
+
+__all__ = [
+    "Counter",
+    "DISABLED",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NOOP_METRIC",
+    "NOOP_METRICS",
+    "NOOP_SPAN",
+    "NOOP_TRACER",
+    "Observability",
+    "ProfileNode",
+    "QueryProfile",
+    "STAT_FIELDS",
+    "SlowQuery",
+    "SlowQueryLog",
+    "Span",
+    "SpanEvent",
+    "Tracer",
+    "build_profile_tree",
+    "spans_to_jsonl",
+    "validate_span_tree",
+    "write_metrics_text",
+    "write_trace_jsonl",
+]

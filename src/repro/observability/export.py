@@ -1,0 +1,146 @@
+"""Exporters: JSON-lines traces, Prometheus metric dumps, slow-query log.
+
+Machine-readable output is the point of the observability subsystem —
+the bench harness and CI consume these artifacts instead of scraping
+stdout:
+
+* :func:`spans_to_jsonl` / :func:`write_trace_jsonl` — one JSON object
+  per finished span (ids, parent ids, wall interval, attributes,
+  events, attributed ``SearchStats`` delta).
+* :func:`write_metrics_text` — the registry in Prometheus text format.
+* :class:`SlowQueryLog` — a bounded ring of queries whose elapsed time
+  (simulated where a simulated clock exists, wall otherwise) crossed a
+  configurable threshold, with their plan and stats snapshot.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from .metrics import MetricsRegistry
+from .tracing import STAT_FIELDS, Span
+
+__all__ = [
+    "SlowQuery",
+    "SlowQueryLog",
+    "spans_to_jsonl",
+    "write_metrics_text",
+    "write_trace_jsonl",
+]
+
+
+def spans_to_jsonl(spans: Iterable[Span]) -> str:
+    """Serialize finished spans as JSON lines (one span per line)."""
+    return "".join(
+        json.dumps(span.to_dict(), default=_jsonable) + "\n" for span in spans
+    )
+
+
+def _jsonable(value: Any):
+    """Fallback encoder: numpy scalars and arbitrary objects to builtins."""
+    if hasattr(value, "item"):
+        return value.item()
+    return str(value)
+
+
+def write_trace_jsonl(spans: Iterable[Span], path) -> int:
+    """Write spans as JSONL; returns the number of spans written."""
+    text = spans_to_jsonl(spans)
+    with open(path, "w") as fh:
+        fh.write(text)
+    return text.count("\n")
+
+
+def write_metrics_text(registry: MetricsRegistry, path) -> None:
+    """Write a Prometheus-style text dump of every registered metric."""
+    with open(path, "w") as fh:
+        fh.write(registry.render_prometheus())
+
+
+@dataclass
+class SlowQuery:
+    """One slow-query record: what ran, how long, and what it cost."""
+
+    kind: str
+    plan: str
+    elapsed_seconds: float
+    threshold_seconds: float
+    stats: dict[str, int] = field(default_factory=dict)
+    simulated: bool = False
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "plan": self.plan,
+            "elapsed_seconds": self.elapsed_seconds,
+            "threshold_seconds": self.threshold_seconds,
+            "simulated": self.simulated,
+            "stats": self.stats,
+        }
+
+    def __repr__(self) -> str:
+        clock = "sim" if self.simulated else "wall"
+        return (
+            f"SlowQuery({self.kind} {self.plan!r}"
+            f" {self.elapsed_seconds * 1e3:.2f}ms {clock},"
+            f" threshold {self.threshold_seconds * 1e3:.2f}ms)"
+        )
+
+
+class SlowQueryLog:
+    """Bounded log of queries slower than a threshold.
+
+    The threshold applies to whichever elapsed value the caller reports:
+    executors pass wall time, the distributed coordinator passes the
+    simulated scatter-gather latency (flagged ``simulated=True``).
+    """
+
+    def __init__(self, threshold_seconds: float = 0.1, capacity: int = 256):
+        if threshold_seconds < 0:
+            raise ValueError("threshold_seconds must be >= 0")
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.threshold_seconds = threshold_seconds
+        self.entries: deque[SlowQuery] = deque(maxlen=capacity)
+        self.observed = 0
+        self.recorded = 0
+
+    def observe(
+        self,
+        kind: str,
+        plan: str,
+        elapsed_seconds: float,
+        stats: Any = None,
+        simulated: bool = False,
+    ) -> bool:
+        """Consider one finished query; True when it was logged as slow."""
+        self.observed += 1
+        if elapsed_seconds < self.threshold_seconds:
+            return False
+        snapshot = (
+            {f: getattr(stats, f) for f in STAT_FIELDS} if stats is not None else {}
+        )
+        self.entries.append(SlowQuery(
+            kind=kind,
+            plan=plan,
+            elapsed_seconds=elapsed_seconds,
+            threshold_seconds=self.threshold_seconds,
+            stats=snapshot,
+            simulated=simulated,
+        ))
+        self.recorded += 1
+        return True
+
+    def render(self) -> str:
+        if not self.entries:
+            return "(no slow queries)"
+        return "\n".join(repr(entry) for entry in self.entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)

@@ -1,0 +1,162 @@
+"""The observability bundle components carry: tracer + metrics + slow log.
+
+One :class:`Observability` object is threaded through the database,
+executor, distributed coordinator, and paged storage.  The default for
+every component is the shared :data:`DISABLED` singleton, whose tracer
+and registry are the no-op fast paths — an uninstrumented query pays a
+handful of attribute lookups and nothing else (verified by the perf
+smoke suite).
+
+Metric catalog (all names are created lazily on first use; see
+``docs/observability.md`` for labels and semantics):
+
+========================================  =========  =======================
+name                                      type       labels
+========================================  =========  =======================
+vdbms_queries_total                       counter    kind, strategy
+vdbms_query_seconds                       histogram  kind
+vdbms_distance_computations_total         counter    kind
+vdbms_nodes_visited_total                 counter    kind
+vdbms_query_page_reads_total              counter    kind
+vdbms_partial_results_total               counter    kind
+vdbms_plans_selected_total                counter    strategy
+vdbms_slow_queries_total                  counter    kind
+vdbms_replica_attempts_total              counter    outcome
+vdbms_replica_retries_total               counter    —
+vdbms_failovers_total                     counter    —
+vdbms_breaker_skips_total                 counter    —
+vdbms_breaker_transitions_total           counter    to
+vdbms_shard_failures_total                counter    —
+vdbms_degraded_queries_total              counter    —
+vdbms_coverage_fraction                   histogram  —
+vdbms_storage_page_reads_total            counter    —
+vdbms_storage_page_read_retries_total     counter    —
+vdbms_buffer_pool_requests_total          counter    outcome
+========================================  =========  =======================
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from .export import SlowQueryLog
+from .metrics import MetricsRegistry, NOOP_METRICS, NoopMetricsRegistry
+from .tracing import NOOP_TRACER, NoopTracer, Tracer
+
+__all__ = ["DISABLED", "Observability"]
+
+#: Histogram buckets for coverage fractions (0..1).
+_COVERAGE_BUCKETS = (0.0, 0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1.0)
+
+
+class Observability:
+    """Tracing + metrics + slow-query logging, enabled as a unit.
+
+    Parameters
+    ----------
+    tracing / metrics:
+        Enable the respective layer; a disabled layer is replaced by its
+        no-op twin, so call sites never branch.
+    slow_query_seconds:
+        When set, queries at least this slow (wall or simulated,
+        whichever the component reports) land in :attr:`slow_log`.
+    clock:
+        Clock for span timestamps (defaults to ``time.perf_counter``).
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        tracing: bool = True,
+        metrics: bool = True,
+        slow_query_seconds: float | None = None,
+        clock: Callable[[], float] | None = None,
+        slow_log_capacity: int = 256,
+    ):
+        self.tracer: Tracer | NoopTracer = (
+            Tracer(clock=clock) if tracing else NOOP_TRACER
+        )
+        self.metrics: MetricsRegistry | NoopMetricsRegistry = (
+            MetricsRegistry() if metrics else NOOP_METRICS
+        )
+        self.slow_log: SlowQueryLog | None = (
+            SlowQueryLog(slow_query_seconds, slow_log_capacity)
+            if slow_query_seconds is not None
+            else None
+        )
+
+    # ------------------------------------------------------------ recording
+
+    def record_query(
+        self,
+        kind: str,
+        strategy: str,
+        stats: Any,
+        elapsed_seconds: float | None = None,
+        simulated: bool = False,
+    ) -> None:
+        """Standard per-query rollup: counters, latency, slow-query log.
+
+        ``stats`` is a :class:`~repro.core.types.SearchStats`;
+        ``elapsed_seconds`` overrides ``stats.elapsed_seconds`` (the
+        distributed coordinator passes simulated latency).
+        """
+        elapsed = (
+            elapsed_seconds if elapsed_seconds is not None else stats.elapsed_seconds
+        )
+        m = self.metrics
+        m.counter("vdbms_queries_total", "Queries executed").inc(
+            kind=kind, strategy=strategy
+        )
+        m.histogram("vdbms_query_seconds", "Per-query latency").observe(
+            elapsed, kind=kind
+        )
+        m.counter(
+            "vdbms_distance_computations_total", "Similarity computations"
+        ).inc(stats.distance_computations, kind=kind)
+        m.counter("vdbms_nodes_visited_total", "Index nodes expanded").inc(
+            stats.nodes_visited, kind=kind
+        )
+        m.counter(
+            "vdbms_query_page_reads_total", "Disk pages read by queries"
+        ).inc(stats.page_reads, kind=kind)
+        if stats.partial:
+            m.counter(
+                "vdbms_partial_results_total", "Queries answered partially"
+            ).inc(kind=kind)
+        if self.slow_log is not None and self.slow_log.observe(
+            kind, stats.plan_name or strategy, elapsed, stats, simulated=simulated
+        ):
+            m.counter("vdbms_slow_queries_total", "Queries over threshold").inc(
+                kind=kind
+            )
+
+    def __repr__(self) -> str:
+        slow = (
+            f"{self.slow_log.threshold_seconds:g}s"
+            if self.slow_log is not None
+            else "off"
+        )
+        return (
+            f"Observability(enabled={self.enabled},"
+            f" tracing={self.tracer.enabled},"
+            f" metrics={self.metrics.enabled}, slow_query={slow})"
+        )
+
+
+class _DisabledObservability(Observability):
+    """The shared default: every layer is the no-op twin."""
+
+    enabled = False
+
+    def __init__(self):
+        self.tracer = NOOP_TRACER
+        self.metrics = NOOP_METRICS
+        self.slow_log = None
+
+    def record_query(self, *args: Any, **kwargs: Any) -> None:
+        pass
+
+
+DISABLED = _DisabledObservability()

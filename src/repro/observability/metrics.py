@@ -1,0 +1,345 @@
+"""System-wide metrics: counters, gauges, fixed-bucket histograms.
+
+A tiny Prometheus-shaped metrics layer.  Instruments are created
+lazily through a :class:`MetricsRegistry` and identified by name;
+samples carry label sets (``counter.inc(kind="search")``).  Rendering
+follows the Prometheus text exposition format closely enough that the
+dump is scrapeable (``# HELP`` / ``# TYPE`` comments, ``_bucket`` /
+``_sum`` / ``_count`` histogram series with cumulative ``le`` buckets).
+
+The disabled path mirrors the tracing layer: :data:`NOOP_METRICS`
+returns a shared :data:`NOOP_METRIC` whose ``inc``/``set``/``observe``
+do nothing, so instrumented call sites never branch on an enabled flag.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterator
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "NOOP_METRIC",
+    "NOOP_METRICS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NoopMetric",
+    "NoopMetricsRegistry",
+]
+
+#: Default histogram buckets, tuned for per-query latencies (seconds).
+DEFAULT_LATENCY_BUCKETS = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+    0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5,
+)
+
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict[str, Any]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _render_labels(key: LabelKey, extra: tuple[tuple[str, str], ...] = ()) -> str:
+    items = key + extra
+    if not items:
+        return ""
+    body = ",".join(f'{name}="{value}"' for name, value in items)
+    return "{" + body + "}"
+
+
+class _Metric:
+    """Shared identity/bookkeeping for the three instrument kinds."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+
+    def render(self) -> list[str]:
+        raise NotImplementedError
+
+    def _header(self) -> list[str]:
+        lines = []
+        if self.help:
+            lines.append(f"# HELP {self.name} {self.help}")
+        lines.append(f"# TYPE {self.name} {self.kind}")
+        return lines
+
+
+class Counter(_Metric):
+    """A monotonically increasing sum, per label set."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = ""):
+        super().__init__(name, help)
+        self._values: dict[LabelKey, float] = {}
+
+    def inc(self, value: float = 1.0, **labels: Any) -> None:
+        if value < 0:
+            raise ValueError(f"counter {self.name} cannot decrease (got {value})")
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0.0) + value
+
+    def value(self, **labels: Any) -> float:
+        return self._values.get(_label_key(labels), 0.0)
+
+    def total(self) -> float:
+        return sum(self._values.values())
+
+    def samples(self) -> Iterator[tuple[LabelKey, float]]:
+        yield from sorted(self._values.items())
+
+    def render(self) -> list[str]:
+        lines = self._header()
+        for key, value in self.samples():
+            lines.append(f"{self.name}{_render_labels(key)} {value:g}")
+        return lines
+
+
+class Gauge(_Metric):
+    """A value that can go up and down, per label set."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = ""):
+        super().__init__(name, help)
+        self._values: dict[LabelKey, float] = {}
+
+    def set(self, value: float, **labels: Any) -> None:
+        self._values[_label_key(labels)] = float(value)
+
+    def inc(self, value: float = 1.0, **labels: Any) -> None:
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0.0) + value
+
+    def dec(self, value: float = 1.0, **labels: Any) -> None:
+        self.inc(-value, **labels)
+
+    def value(self, **labels: Any) -> float:
+        return self._values.get(_label_key(labels), 0.0)
+
+    def samples(self) -> Iterator[tuple[LabelKey, float]]:
+        yield from sorted(self._values.items())
+
+    def render(self) -> list[str]:
+        lines = self._header()
+        for key, value in self.samples():
+            lines.append(f"{self.name}{_render_labels(key)} {value:g}")
+        return lines
+
+
+class Histogram(_Metric):
+    """Fixed-bucket histogram with cumulative bucket rendering."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS,
+    ):
+        super().__init__(name, help)
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ValueError("histogram buckets must be a sorted, non-empty tuple")
+        self.buckets = tuple(float(b) for b in buckets)
+        # Per label set: per-bucket counts (+inf implicit), sum, count.
+        self._counts: dict[LabelKey, list[int]] = {}
+        self._sums: dict[LabelKey, float] = {}
+        self._totals: dict[LabelKey, int] = {}
+
+    def observe(self, value: float, **labels: Any) -> None:
+        key = _label_key(labels)
+        counts = self._counts.get(key)
+        if counts is None:
+            counts = self._counts[key] = [0] * (len(self.buckets) + 1)
+            self._sums[key] = 0.0
+            self._totals[key] = 0
+        # First bucket whose upper bound admits the value; last is +inf.
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                counts[i] += 1
+                break
+        else:
+            counts[-1] += 1
+        self._sums[key] += value
+        self._totals[key] += 1
+
+    def count(self, **labels: Any) -> int:
+        return self._totals.get(_label_key(labels), 0)
+
+    def sum(self, **labels: Any) -> float:
+        return self._sums.get(_label_key(labels), 0.0)
+
+    def quantile(self, q: float, **labels: Any) -> float:
+        """Bucket-resolution quantile estimate (upper bound of the bucket
+        holding the q-th observation); +inf bucket reports the last bound."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        key = _label_key(labels)
+        counts = self._counts.get(key)
+        total = self._totals.get(key, 0)
+        if not counts or total == 0:
+            return math.nan
+        rank = q * total
+        seen = 0
+        for i, bound in enumerate(self.buckets):
+            seen += counts[i]
+            if seen >= rank:
+                return bound
+        return self.buckets[-1]
+
+    def samples(self) -> Iterator[tuple[LabelKey, list[int], float, int]]:
+        for key in sorted(self._counts):
+            yield key, self._counts[key], self._sums[key], self._totals[key]
+
+    def render(self) -> list[str]:
+        lines = self._header()
+        for key, counts, total_sum, total in self.samples():
+            cumulative = 0
+            for i, bound in enumerate(self.buckets):
+                cumulative += counts[i]
+                le = (("le", f"{bound:g}"),)
+                lines.append(
+                    f"{self.name}_bucket{_render_labels(key, le)} {cumulative}"
+                )
+            lines.append(
+                f'{self.name}_bucket{_render_labels(key, (("le", "+Inf"),))} {total}'
+            )
+            lines.append(f"{self.name}_sum{_render_labels(key)} {total_sum:g}")
+            lines.append(f"{self.name}_count{_render_labels(key)} {total}")
+        return lines
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use, rendered as one dump."""
+
+    enabled = True
+
+    def __init__(self):
+        self._metrics: dict[str, _Metric] = {}
+
+    def _get(self, cls, name: str, help: str, **kwargs) -> _Metric:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = self._metrics[name] = cls(name, help, **kwargs)
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as {metric.kind},"
+                f" not {cls.kind}"
+            )
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get(Gauge, name, help)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS,
+    ) -> Histogram:
+        return self._get(Histogram, name, help, buckets=buckets)
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def get(self, name: str) -> _Metric | None:
+        return self._metrics.get(name)
+
+    def render_prometheus(self) -> str:
+        """The whole registry in Prometheus text exposition format."""
+        lines: list[str] = []
+        for name in sorted(self._metrics):
+            lines.extend(self._metrics[name].render())
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def to_dict(self) -> dict[str, Any]:
+        """Machine-readable dump (tests, JSON artifacts)."""
+        out: dict[str, Any] = {}
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if isinstance(metric, Histogram):
+                out[name] = {
+                    "type": metric.kind,
+                    "series": [
+                        {
+                            "labels": dict(key),
+                            "count": total,
+                            "sum": total_sum,
+                        }
+                        for key, _, total_sum, total in metric.samples()
+                    ],
+                }
+            else:
+                out[name] = {
+                    "type": metric.kind,
+                    "series": [
+                        {"labels": dict(key), "value": value}
+                        for key, value in metric.samples()
+                    ],
+                }
+        return out
+
+
+class NoopMetric:
+    """Disabled-path instrument: accepts any recording call, does nothing."""
+
+    __slots__ = ()
+
+    def inc(self, value: float = 1.0, **labels: Any) -> None:
+        pass
+
+    def dec(self, value: float = 1.0, **labels: Any) -> None:
+        pass
+
+    def set(self, value: float, **labels: Any) -> None:
+        pass
+
+    def observe(self, value: float, **labels: Any) -> None:
+        pass
+
+    def value(self, **labels: Any) -> float:
+        return 0.0
+
+    def count(self, **labels: Any) -> int:
+        return 0
+
+
+class NoopMetricsRegistry:
+    """Disabled-path registry: every instrument is :data:`NOOP_METRIC`."""
+
+    enabled = False
+
+    def counter(self, name: str, help: str = "") -> NoopMetric:
+        return NOOP_METRIC
+
+    def gauge(self, name: str, help: str = "") -> NoopMetric:
+        return NOOP_METRIC
+
+    def histogram(self, name: str, help: str = "", buckets=None) -> NoopMetric:
+        return NOOP_METRIC
+
+    def names(self) -> list[str]:
+        return []
+
+    def get(self, name: str) -> None:
+        return None
+
+    def render_prometheus(self) -> str:
+        return ""
+
+    def to_dict(self) -> dict[str, Any]:
+        return {}
+
+
+NOOP_METRIC = NoopMetric()
+NOOP_METRICS = NoopMetricsRegistry()

@@ -1,0 +1,237 @@
+"""Query profiling: EXPLAIN ANALYZE over the span tree.
+
+:meth:`repro.VectorDatabase.explain_analyze` runs one query under a
+private tracer and hands the finished spans here.  The profiler folds
+them into a :class:`ProfileNode` tree annotated with two stats views
+per operator:
+
+* ``total`` — the :class:`SearchStats` delta over the span's interval
+  (everything that happened inside it, children included);
+* ``self`` — ``total`` minus the children's totals: the work the
+  operator did *itself*.
+
+Because every span on the query path attaches the same stats object,
+the self-deltas telescope: summed over the whole tree they equal the
+root's totals **exactly** — the per-operator attribution is a true
+partition of the query's cost, not an estimate (asserted in tests).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from .tracing import STAT_FIELDS, Span
+
+__all__ = ["ProfileNode", "QueryProfile", "build_profile_tree"]
+
+#: Compact labels for rendered stats columns.
+_ABBREV = {
+    "distance_computations": "dist",
+    "nodes_visited": "nodes",
+    "page_reads": "pages",
+    "candidates_examined": "cand",
+    "predicate_evaluations": "pred",
+    "predicate_rejections": "rej",
+}
+
+
+def _fmt_stats(stats: dict[str, int] | None) -> str:
+    if stats is None:
+        return "-"
+    parts = [f"{_ABBREV[f]}={stats[f]}" for f in STAT_FIELDS if stats.get(f)]
+    return " ".join(parts) if parts else "0"
+
+
+@dataclass
+class ProfileNode:
+    """One operator in the profiled plan tree."""
+
+    name: str
+    span_id: int
+    attributes: dict[str, Any]
+    start: float
+    end: float
+    stats_total: dict[str, int] | None
+    stats_self: dict[str, int] | None = None
+    events: list[dict[str, Any]] = field(default_factory=list)
+    error: str | None = None
+    children: list["ProfileNode"] = field(default_factory=list)
+
+    @property
+    def duration_seconds(self) -> float:
+        return self.end - self.start
+
+    def walk(self) -> Iterable["ProfileNode"]:
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> "ProfileNode | None":
+        """First node (preorder) whose name matches exactly."""
+        for node in self.walk():
+            if node.name == name:
+                return node
+        return None
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "name": self.name,
+            "span_id": self.span_id,
+            "duration_seconds": self.duration_seconds,
+            "attributes": self.attributes,
+            "stats_total": self.stats_total,
+            "stats_self": self.stats_self,
+        }
+        if self.events:
+            out["events"] = self.events
+        if self.error is not None:
+            out["error"] = self.error
+        if self.children:
+            out["children"] = [c.to_dict() for c in self.children]
+        return out
+
+
+def _self_stats(node: ProfileNode) -> None:
+    """Fill ``stats_self`` = total - sum(children totals), recursively."""
+    for child in node.children:
+        _self_stats(child)
+    if node.stats_total is None:
+        node.stats_self = None
+        return
+    own = dict(node.stats_total)
+    for child in node.children:
+        if child.stats_total is None:
+            continue
+        for f in STAT_FIELDS:
+            own[f] -= child.stats_total.get(f, 0)
+    node.stats_self = own
+
+
+def build_profile_tree(spans: Iterable[Span]) -> list[ProfileNode]:
+    """Fold finished spans into profile trees (one per root span)."""
+    nodes: dict[int, ProfileNode] = {}
+    ordered: list[Span] = sorted(spans, key=lambda s: (s.start, s.span_id))
+    for span in ordered:
+        nodes[span.span_id] = ProfileNode(
+            name=span.name,
+            span_id=span.span_id,
+            attributes=dict(span.attributes),
+            start=span.start,
+            end=span.end if span.end is not None else span.start,
+            stats_total=(
+                dict(span.stats_delta) if span.stats_delta is not None else None
+            ),
+            events=[e.to_dict() for e in span.events],
+            error=span.error,
+        )
+    roots: list[ProfileNode] = []
+    for span in ordered:
+        node = nodes[span.span_id]
+        parent = nodes.get(span.parent_id) if span.parent_id is not None else None
+        if parent is None:
+            roots.append(node)
+        else:
+            parent.children.append(node)
+    for root in roots:
+        _self_stats(root)
+    return roots
+
+
+@dataclass
+class QueryProfile:
+    """The result of EXPLAIN ANALYZE: the answer plus its cost anatomy."""
+
+    result: Any  # SearchResult (kept untyped: no core import cycle)
+    root: ProfileNode
+    plan: str = ""
+    candidates: list[str] = field(default_factory=list)
+
+    # ------------------------------------------------------------- checking
+
+    def attribution_residual(self) -> dict[str, int]:
+        """Root totals minus the sum of per-node self stats (0 everywhere
+        when the attribution partitions the query's cost exactly)."""
+        residual = {f: 0 for f in STAT_FIELDS}
+        if self.root.stats_total is None:
+            return residual
+        for f in STAT_FIELDS:
+            residual[f] = self.root.stats_total[f]
+        for node in self.root.walk():
+            if node.stats_self is None:
+                continue
+            for f in STAT_FIELDS:
+                residual[f] -= node.stats_self[f]
+        return residual
+
+    # ------------------------------------------------------------ rendering
+
+    def render(self) -> str:
+        """Human-readable EXPLAIN ANALYZE output (text tree)."""
+        lines = [f"EXPLAIN ANALYZE  plan: {self.plan}"]
+        if self.candidates:
+            lines.append("candidates considered:")
+            lines.extend(f"  - {c}" for c in self.candidates)
+        hits = len(self.result.hits) if self.result is not None else 0
+        lines.append(
+            f"{hits} hits in {self.root.duration_seconds * 1e3:.3f} ms"
+            f" · totals: {_fmt_stats(self.root.stats_total)}"
+        )
+        lines.append("")
+        self._render_node(self.root, lines, prefix="", is_last=True, is_root=True)
+        return "\n".join(lines)
+
+    def _render_node(
+        self,
+        node: ProfileNode,
+        lines: list[str],
+        prefix: str,
+        is_last: bool,
+        is_root: bool = False,
+    ) -> None:
+        if is_root:
+            head, child_prefix = "", ""
+        else:
+            head = prefix + ("└─ " if is_last else "├─ ")
+            child_prefix = prefix + ("   " if is_last else "│  ")
+        label = node.name
+        interesting = {
+            k: v for k, v in node.attributes.items()
+            if v is not None
+            and k in ("index", "strategy", "partition", "shard", "attempt", "ef")
+        }
+        if interesting:
+            label += " " + " ".join(f"{k}={v}" for k, v in interesting.items())
+        line = (
+            f"{head}{label:<40} {node.duration_seconds * 1e3:9.3f} ms"
+            f"  total: {_fmt_stats(node.stats_total)}"
+        )
+        if node.children and node.stats_total is not None:
+            line += f"  self: {_fmt_stats(node.stats_self)}"
+        if node.error:
+            line += f"  ERROR: {node.error}"
+        lines.append(line)
+        for event in node.events:
+            lines.append(
+                f"{child_prefix}· event {event['name']} {event.get('attributes', {})}"
+            )
+        for i, child in enumerate(node.children):
+            self._render_node(
+                child, lines, child_prefix, is_last=(i == len(node.children) - 1)
+            )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "plan": self.plan,
+            "candidates": self.candidates,
+            "hits": self.result.ids if self.result is not None else [],
+            "elapsed_seconds": (
+                self.result.stats.elapsed_seconds if self.result is not None else 0.0
+            ),
+            "tree": self.root.to_dict(),
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """Machine-readable EXPLAIN ANALYZE output."""
+        return json.dumps(self.to_dict(), indent=indent, default=str)

@@ -1,0 +1,364 @@
+"""Explicit-propagation tracing for the query path.
+
+The survey frames operator crossovers and plan selection as *empirical*
+questions: answering them needs to know where inside a plan the
+per-query quantities (distance computations, nodes visited, page reads,
+predicate work) are spent, not just their totals.  This module provides
+the span layer that attributes those quantities to operators:
+
+* :class:`Span` — one timed unit of work with a name, attributes,
+  point-in-time events, and (optionally) the delta of a
+  :class:`~repro.core.types.SearchStats` object over the span's
+  lifetime.  Spans are context managers; nesting is *explicit* — a
+  child is created via :meth:`Span.child` (no thread-local ambient
+  context), so the propagation path is visible in the code.
+* :class:`Tracer` — creates spans, assigns ids, collects finished
+  spans, and owns the clock (``time.perf_counter`` by default; a
+  simulated clock can be injected where one exists).
+* :data:`NOOP_SPAN` / :data:`NOOP_TRACER` — the disabled fast path.
+  Every instrumented call site works against these singletons when
+  observability is off; each call is one attribute lookup plus a no-op
+  method call, so the query path pays no measurable cost
+  (``benchmarks/bench_perf_suite.py`` verifies this).
+
+Span-tree well-formedness (every span's parent exists, no cycles,
+child intervals nested inside the parent's) is checkable via
+:func:`validate_span_tree`; the property tests drive it.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Iterable
+
+__all__ = [
+    "NOOP_SPAN",
+    "NOOP_TRACER",
+    "STAT_FIELDS",
+    "NoopSpan",
+    "NoopTracer",
+    "Span",
+    "SpanEvent",
+    "Tracer",
+    "validate_span_tree",
+]
+
+#: The SearchStats counters a span can attribute to itself.  Kept as a
+#: name tuple (not an import of core.types) so this module stays
+#: import-cycle-free under ``repro.core`` -> optimizer -> observability.
+STAT_FIELDS = (
+    "distance_computations",
+    "nodes_visited",
+    "page_reads",
+    "candidates_examined",
+    "predicate_evaluations",
+    "predicate_rejections",
+)
+
+
+class SpanEvent:
+    """A point-in-time annotation on a span (retry, failover, ...)."""
+
+    __slots__ = ("name", "timestamp", "attributes")
+
+    def __init__(self, name: str, timestamp: float, attributes: dict[str, Any]):
+        self.name = name
+        self.timestamp = timestamp
+        self.attributes = attributes
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "timestamp": self.timestamp,
+            "attributes": self.attributes,
+        }
+
+    def __repr__(self) -> str:
+        return f"SpanEvent({self.name!r}, t={self.timestamp:.6f}, {self.attributes})"
+
+
+class Span:
+    """One timed, attributed unit of work inside a trace."""
+
+    __slots__ = (
+        "tracer",
+        "name",
+        "span_id",
+        "parent_id",
+        "start",
+        "end",
+        "attributes",
+        "events",
+        "error",
+        "_stats",
+        "_stats_at_start",
+        "stats_delta",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        span_id: int,
+        parent_id: int | None,
+        start: float,
+        attributes: dict[str, Any],
+    ):
+        self.tracer = tracer
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start = start
+        self.end: float | None = None
+        self.attributes = attributes
+        self.events: list[SpanEvent] = []
+        self.error: str | None = None
+        self._stats = None
+        self._stats_at_start: tuple[int, ...] | None = None
+        self.stats_delta: dict[str, int] | None = None
+
+    # ------------------------------------------------------------- recording
+
+    def child(self, name: str, **attributes: Any) -> "Span":
+        """Start a child span (explicit propagation — no ambient context)."""
+        return self.tracer.start_span(name, parent=self, **attributes)
+
+    def set(self, **attributes: Any) -> "Span":
+        self.attributes.update(attributes)
+        return self
+
+    def event(self, name: str, **attributes: Any) -> "Span":
+        """Record a point-in-time event (retry, failover, breaker trip...)."""
+        self.events.append(SpanEvent(name, self.tracer.now(), attributes))
+        return self
+
+    def attach_stats(self, stats: Any) -> "Span":
+        """Snapshot ``stats`` now; the delta to span end is attributed here.
+
+        The attached object is any :class:`SearchStats`-shaped object;
+        only the :data:`STAT_FIELDS` counters are read.  Multiple spans
+        may attach the same object — the profiler's *self* accounting
+        (total minus children) then partitions the counters exactly.
+        """
+        self._stats = stats
+        self._stats_at_start = tuple(getattr(stats, f) for f in STAT_FIELDS)
+        return self
+
+    def finish(self) -> "Span":
+        if self.end is None:
+            self.end = self.tracer.now()
+            if self._stats is not None:
+                now = tuple(getattr(self._stats, f) for f in STAT_FIELDS)
+                self.stats_delta = {
+                    f: now[i] - self._stats_at_start[i]
+                    for i, f in enumerate(STAT_FIELDS)
+                }
+            self.tracer._collect(self)
+        return self
+
+    # ------------------------------------------------------- context manager
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc is not None:
+            self.error = f"{type(exc).__name__}: {exc}"
+        self.finish()
+        return False
+
+    # ----------------------------------------------------------------- views
+
+    @property
+    def duration_seconds(self) -> float:
+        return 0.0 if self.end is None else self.end - self.start
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-able form (one trace-export line)."""
+        out: dict[str, Any] = {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "duration_seconds": self.duration_seconds,
+            "attributes": self.attributes,
+        }
+        if self.stats_delta is not None:
+            out["stats"] = self.stats_delta
+        if self.events:
+            out["events"] = [e.to_dict() for e in self.events]
+        if self.error is not None:
+            out["error"] = self.error
+        return out
+
+    def __repr__(self) -> str:
+        state = "open" if self.end is None else f"{self.duration_seconds * 1e3:.3f}ms"
+        return f"Span(#{self.span_id} {self.name!r} parent={self.parent_id} {state})"
+
+
+class Tracer:
+    """Creates, times, and collects spans for one trace session.
+
+    Parameters
+    ----------
+    clock:
+        Zero-arg callable returning monotonically non-decreasing floats.
+        Defaults to ``time.perf_counter``; the distributed layer injects
+        simulated-clock readings as span *attributes* instead (wall
+        nesting stays truthful, simulated time rides along).
+    """
+
+    enabled = True
+
+    def __init__(self, clock: Callable[[], float] | None = None):
+        self._clock = clock if clock is not None else time.perf_counter
+        self._next_id = 1
+        self.spans: list[Span] = []  # finished spans, in finish order
+
+    def now(self) -> float:
+        return self._clock()
+
+    def start_span(
+        self, name: str, parent: "Span | None" = None, **attributes: Any
+    ) -> Span:
+        span = Span(
+            tracer=self,
+            name=name,
+            span_id=self._next_id,
+            parent_id=None if parent is None else parent.span_id,
+            start=self.now(),
+            attributes=attributes,
+        )
+        self._next_id += 1
+        return span
+
+    def _collect(self, span: Span) -> None:
+        self.spans.append(span)
+
+    def clear(self) -> None:
+        self.spans = []
+
+    def roots(self) -> list[Span]:
+        return [s for s in self.spans if s.parent_id is None]
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+
+class NoopSpan:
+    """The disabled-path span: every operation is a cheap no-op."""
+
+    __slots__ = ()
+
+    # Mirror the Span read surface so rendering code never branches.
+    tracer = None
+    name = "noop"
+    span_id = 0
+    parent_id = None
+    start = 0.0
+    end = 0.0
+    attributes: dict[str, Any] = {}
+    events: tuple = ()
+    error = None
+    stats_delta = None
+    duration_seconds = 0.0
+
+    def child(self, name: str, **attributes: Any) -> "NoopSpan":
+        return self
+
+    def set(self, **attributes: Any) -> "NoopSpan":
+        return self
+
+    def event(self, name: str, **attributes: Any) -> "NoopSpan":
+        return self
+
+    def attach_stats(self, stats: Any) -> "NoopSpan":
+        return self
+
+    def finish(self) -> "NoopSpan":
+        return self
+
+    def __enter__(self) -> "NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+class NoopTracer:
+    """The disabled-path tracer: hands out :data:`NOOP_SPAN` forever."""
+
+    enabled = False
+    spans: tuple = ()
+
+    def now(self) -> float:
+        return 0.0
+
+    def start_span(self, name: str, parent=None, **attributes: Any) -> NoopSpan:
+        return NOOP_SPAN
+
+    def clear(self) -> None:
+        pass
+
+    def roots(self) -> list:
+        return []
+
+    def __len__(self) -> int:
+        return 0
+
+
+NOOP_SPAN = NoopSpan()
+NOOP_TRACER = NoopTracer()
+
+
+def validate_span_tree(spans: Iterable[Span]) -> list[str]:
+    """Check well-formedness of a set of finished spans.
+
+    Returns a list of human-readable problems (empty = well-formed):
+
+    * every span's ``parent_id`` refers to a span in the set;
+    * the parent relation is acyclic;
+    * every span is finished and its interval is non-negative;
+    * each child's ``[start, end]`` nests inside its parent's.
+    """
+    problems: list[str] = []
+    by_id: dict[int, Span] = {}
+    for span in spans:
+        if span.span_id in by_id:
+            problems.append(f"duplicate span id {span.span_id}")
+        by_id[span.span_id] = span
+    for span in by_id.values():
+        if span.end is None:
+            problems.append(f"span #{span.span_id} {span.name!r} never finished")
+            continue
+        if span.end < span.start:
+            problems.append(f"span #{span.span_id} {span.name!r} ends before it starts")
+        if span.parent_id is None:
+            continue
+        parent = by_id.get(span.parent_id)
+        if parent is None:
+            problems.append(
+                f"span #{span.span_id} {span.name!r} has unknown parent"
+                f" #{span.parent_id}"
+            )
+            continue
+        if parent.end is not None and not (
+            parent.start <= span.start and span.end <= parent.end
+        ):
+            problems.append(
+                f"span #{span.span_id} {span.name!r} interval"
+                f" [{span.start}, {span.end}] escapes parent #{parent.span_id}"
+                f" [{parent.start}, {parent.end}]"
+            )
+    # Cycle check over the parent relation.
+    for span in by_id.values():
+        seen: set[int] = set()
+        current: Span | None = span
+        while current is not None and current.parent_id is not None:
+            if current.span_id in seen:
+                problems.append(f"cycle through span #{span.span_id}")
+                break
+            seen.add(current.span_id)
+            current = by_id.get(current.parent_id)
+    return problems

@@ -16,6 +16,7 @@ import numpy as np
 
 from ..core.errors import PageReadError, StorageError
 from ..core.types import VECTOR_DTYPE, as_matrix
+from ..observability.instrument import DISABLED, Observability
 from ..reliability.retry import RetryPolicy
 from .disk import SimulatedDisk
 
@@ -68,6 +69,7 @@ class PagedVectorStore:
         disk: SimulatedDisk | None = None,
         buffer_pool_pages: int = 0,
         retry_policy: RetryPolicy | None = None,
+        observability: Observability | None = None,
     ):
         if dim <= 0:
             raise ValueError("dim must be positive")
@@ -78,6 +80,7 @@ class PagedVectorStore:
         # under this policy; ``read_retries`` counts the extra attempts.
         self.retry_policy = retry_policy or RetryPolicy()
         self.read_retries = 0
+        self._obs = observability if observability is not None else DISABLED
         self._vector_bytes = dim * np.dtype(VECTOR_DTYPE).itemsize
         if self._vector_bytes > self.disk.page_size:
             raise StorageError(
@@ -123,8 +126,13 @@ class PagedVectorStore:
         page_id = self._page_ids[page_index]
         cached = self.pool.get(page_id)
         if cached is not None:
+            if self._obs.enabled:
+                self._obs.metrics.counter(
+                    "vdbms_buffer_pool_requests_total", "Buffer-pool lookups."
+                ).inc(outcome="hit")
             return cached
         attempt = 0
+        retries = 0
         while True:
             try:
                 data = self.disk.read_page(page_id)
@@ -133,9 +141,23 @@ class PagedVectorStore:
                 if attempt >= self.retry_policy.max_attempts:
                     raise
                 self.read_retries += 1
+                retries += 1
                 continue
             break
         self.pool.put(page_id, data)
+        if self._obs.enabled:
+            m = self._obs.metrics
+            m.counter(
+                "vdbms_buffer_pool_requests_total", "Buffer-pool lookups."
+            ).inc(outcome="miss")
+            m.counter(
+                "vdbms_storage_page_reads_total", "Pages read from disk."
+            ).inc()
+            if retries:
+                m.counter(
+                    "vdbms_storage_page_read_retries_total",
+                    "Page reads retried after transient I/O faults.",
+                ).inc(retries)
         return data
 
     def get(self, slot: int) -> np.ndarray:
