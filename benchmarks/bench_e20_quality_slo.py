@@ -1,0 +1,209 @@
+"""E20 (quality observatory): audited recall drift under index degradation.
+
+The silent-failure mode this experiment reproduces: an IVF index keeps
+answering quickly while deletes empty exactly the cells the workload
+probes — the centroids do not move, so the planner keeps routing to the
+same (now hollow) inverted lists and recall collapses with **no error,
+no latency change, and no stale-index flag**.  Latency monitoring alone
+cannot see it; the online recall auditor can.
+
+Three phases over one database, all through the public query path:
+
+1. **Healthy** — every query audited (fraction 1.0, fixed seed); the
+   audited recall@10 window sits at ~1.0 and ``Database.health()`` is OK.
+2. **Degrade** — tombstone every vector in the cells the workload
+   probes (`delete`, no rebuild).  Nothing is flagged stale.
+3. **Drifted** — the same queries re-run; audited recall collapses, the
+   ``recall@10 >= 0.9`` SLO burns through its budget, the multi-window
+   burn-rate alert fires, and the breach is visible both in
+   ``Database.health()`` and as an ``slo_alert`` trace span.
+
+Fidelity gate (mirrors the tier-1 test): the *online* audited recall
+must match the *offline* bench-path recall (exact ground truth over the
+live rows) within +/-0.05 in both phases.
+
+Artifacts: ``results/e20_quality_slo.txt`` (phase table + fidelity
+numbers) and ``results/e20_health.txt`` (the rendered health report CI
+uploads).
+"""
+
+import numpy as np
+import pytest
+
+from _util import RESULTS_DIR, emit
+from repro import SLO, Field, Observability, VectorDatabase
+from repro.bench.metrics import exact_ground_truth, recall_at_k
+from repro.bench.reporting import format_table
+from repro.core.planner import QueryPlan
+from repro.scores import EuclideanScore
+
+K = 10
+PLAN = QueryPlan("index_scan", "ivf")
+
+
+def _offline_recall(db, queries, results):
+    """Bench-path recall: exact truth over live rows, per-query overlap.
+
+    Deliberately independent of the auditor's implementation — this is
+    the yardstick the auditor is being graded against.
+    """
+    live = np.flatnonzero(db.collection.alive)
+    truth = live[
+        exact_ground_truth(db.collection.vectors[live], queries, K,
+                           EuclideanScore())
+    ]
+    return float(np.mean([
+        recall_at_k([h.id for h in r.hits], truth[i])
+        for i, r in enumerate(results)
+    ]))
+
+
+@pytest.fixture(scope="module")
+def e20_scenario(workload):
+    db = VectorDatabase(
+        dim=workload.dim,
+        observability=Observability(
+            audit_fraction=1.0, audit_k=K, audit_seed=7,
+            slos=[SLO("recall@10", "recall", 0.9, budget=0.05,
+                      description="audited top-10 overlap vs exact scan")],
+        ),
+    )
+    db.insert_many(workload.train)
+    db.create_index("ivf", "ivf_flat", nlist=32, nprobe=2, seed=0)
+    queries = workload.queries
+    auditor = db.observability.auditor
+
+    # Phase 1: healthy serving.
+    healthy_results = [db.search(q, k=K, plan=PLAN) for q in queries]
+    healthy = {
+        "audited": auditor.window_mean_recall(),
+        "offline": _offline_recall(db, queries, healthy_results),
+        "health_ok": db.health().ok,
+    }
+
+    # Phase 2: empty the probed cells — delete, never rebuild.
+    index = db.indexes["ivf"]
+    victim_cells = set()
+    for q in queries:
+        victim_cells.update(int(c) for c in index._probe_cells(q, 2))
+    victims = np.unique(np.concatenate(
+        [index._ids[index._cells[c]] for c in sorted(victim_cells)]
+    ))
+    for vid in victims:
+        db.delete(int(vid))
+
+    # Phase 3: the same workload against the hollowed index.
+    drifted_results = [db.search(q, k=K, plan=PLAN) for q in queries]
+    drifted_records = list(auditor.recent)[-len(queries):]
+    drifted = {
+        "audited": float(np.mean([r.recall for r in drifted_records])),
+        "offline": _offline_recall(db, queries, drifted_results),
+        "health_ok": db.health().ok,
+    }
+    return {
+        "db": db,
+        "queries": queries,
+        "healthy": healthy,
+        "drifted": drifted,
+        "deleted": int(victims.size),
+        "cells_emptied": len(victim_cells),
+    }
+
+
+def test_e20_degradation_is_silent_without_auditing(e20_scenario):
+    """The failure the auditor exists for: nothing else complains."""
+    db = e20_scenario["db"]
+    assert not db.has_stale_indexes
+    log = db.observability.slow_log
+    assert log is None or log.recorded == 0
+    assert e20_scenario["drifted"]["offline"] < 0.5  # yet recall collapsed
+
+
+def test_e20_audited_recall_matches_offline(e20_scenario):
+    """Fidelity gate: online auditor == offline bench path, +/-0.05."""
+    for phase in ("healthy", "drifted"):
+        audited = e20_scenario[phase]["audited"]
+        offline = e20_scenario[phase]["offline"]
+        assert abs(audited - offline) <= 0.05, (
+            f"{phase}: audited {audited:.4f} vs offline {offline:.4f}"
+        )
+    assert e20_scenario["healthy"]["audited"] >= 0.9
+    assert e20_scenario["drifted"]["audited"] < 0.5
+
+
+def test_e20_burn_rate_alert_reaches_health_and_trace(e20_scenario):
+    db = e20_scenario["db"]
+    assert e20_scenario["healthy"]["health_ok"]
+    report = db.health()
+    assert not report.ok
+    alerts = [a for a in report.alerts if a.active]
+    assert any(a.slo == "recall@10" for a in alerts)
+    spans = [s for s in db.observability.tracer.spans if s.name == "slo_alert"]
+    assert any(
+        e.name == "burn_rate_alert" for s in spans for e in s.events
+    )
+
+
+def test_e20_audit_cost_is_segregated(e20_scenario):
+    """Every audit scan is charged to audit_*; the query path's own
+    distance accounting is untouched by the re-execution."""
+    db = e20_scenario["db"]
+    metrics = db.observability.metrics
+    n_queries = 2 * len(e20_scenario["queries"])
+    assert metrics.get("vdbms_audit_queries_total").total() == n_queries
+    assert metrics.get("vdbms_audit_distance_computations_total").total() > 0
+    audit_recall = metrics.get("vdbms_audit_recall")
+    assert audit_recall.count(
+        collection="default", strategy="index_scan", index="ivf"
+    ) == n_queries
+    # The query-path counter only saw the (cheap) nprobe-limited scans.
+    assert (metrics.get("vdbms_distance_computations_total").total()
+            < metrics.get("vdbms_audit_distance_computations_total").total())
+
+
+def test_e20_artifacts(e20_scenario):
+    db = e20_scenario["db"]
+    rows = []
+    for phase in ("healthy", "drifted"):
+        data = e20_scenario[phase]
+        rows.append({
+            "phase": phase,
+            "audited_recall@10": f"{data['audited']:.4f}",
+            "offline_recall@10": f"{data['offline']:.4f}",
+            "delta": f"{abs(data['audited'] - data['offline']):.4f}",
+            "health": "OK" if data["health_ok"] else "ALERTING",
+        })
+    table = format_table(
+        rows,
+        "E20: audited recall drift under silent IVF degradation "
+        f"({e20_scenario['deleted']} deletes emptied "
+        f"{e20_scenario['cells_emptied']} probed cells, no rebuild)",
+    )
+    summary = db.observability.auditor.summary()
+    lines = [
+        table,
+        "",
+        f"auditor: fraction={summary['fraction']} seed={summary['seed']} "
+        f"considered={summary['considered']} audited={summary['audited']}",
+    ]
+    emit("e20_quality_slo", "\n".join(lines))
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "e20_health.txt").write_text(db.health().render() + "\n")
+    assert "ALERTING" in (RESULTS_DIR / "e20_health.txt").read_text()
+
+
+def test_e20_audited_query_overhead(benchmark, workload):
+    """pytest-benchmark timing: a fully-audited filtered query (the
+    worst case — every query pays one exact re-scan)."""
+    db = VectorDatabase(
+        dim=workload.dim,
+        observability=Observability(audit_fraction=1.0, audit_k=K),
+    )
+    attributes = [{"category": i % 8} for i in range(len(workload.train))]
+    db.insert_many(workload.train, attributes)
+    db.create_index("ivf", "ivf_flat", nlist=32, nprobe=4, seed=0)
+    q = workload.queries[0]
+    pred = Field("category") == 1
+
+    result = benchmark(lambda: db.search(q, k=K, predicate=pred, plan=PLAN))
+    assert result.stats.elapsed_seconds > 0

@@ -13,15 +13,35 @@ which are kept in-tree as references:
 * batched graph search (shared routes) vs a per-query search loop;
 * observability overhead — the disabled (no-op singleton) query path vs
   raw operator dispatch (no span plumbing at all) and vs fully-enabled
-  tracing+metrics; the disabled path must be within noise of raw.
+  tracing+metrics; the disabled path must be within noise of raw;
+* recall probes — fully deterministic recall@10 of a fixed-seed HNSW
+  and a fixed-seed IVF (low nprobe) build against exact ground truth,
+  so quality regressions gate CI alongside latency regressions.
 
 Writes a machine-readable ``BENCH_PERF.json`` at the repo root.  Every
 timed pair is also checked for result identity — a mismatch exits
 non-zero, so CI's quick mode doubles as a smoke test.
 
+Regression gate (``--check``): compares the current run against the
+committed ``BENCH_PERF.json`` baseline, matching entries by
+``(name, n)`` and comparing only scale-free quantities so the gate
+works across machines of different absolute speed:
+
+* speedup ratios must stay >= ``0.5 x`` baseline (a true kernel
+  regression halves the ratio on any machine; scheduler noise does not);
+* recall must stay within ``0.05`` of baseline (the probes are seeded
+  and deterministic, so this is pure safety margin);
+* the disabled-observability overhead must stay under
+  ``max(15%, baseline + 15%)``.
+
+Each real run (not ``--replay``) is appended to ``BENCH_TRAJECTORY.json``
+— a compact per-run history of every scale-free number, so performance
+drift is visible across commits, not just vs. one baseline.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_perf_suite.py [--quick] [--out PATH]
+        [--check] [--baseline PATH] [--replay PATH] [--trajectory PATH]
 """
 
 from __future__ import annotations
@@ -35,10 +55,13 @@ import time
 
 import numpy as np
 
+from repro.bench.metrics import exact_ground_truth, mean_recall
 from repro.core.batched import batched_graph_search
 from repro.index._graph import beam_search, beam_search_reference
 from repro.index._kernels import CSRAdjacency, topk_indices
 from repro.index.graph_base import GraphIndex
+from repro.index.hnsw import HnswIndex
+from repro.index.ivf import IvfFlatIndex
 from repro.quantization.ivfadc import IvfAdc
 from repro.scores import EuclideanScore
 
@@ -331,6 +354,136 @@ def bench_observability_overhead(n: int, queries: int, rng) -> dict:
     }
 
 
+def bench_recall_probe(
+    name: str, n: int, seed: int, make_index_fn
+) -> dict:
+    """Deterministic recall@10 of a seeded index vs exact ground truth.
+
+    Everything is seeded — data, queries, and the index build — so the
+    number is reproducible bit-for-bit on any machine: a change means a
+    code change, not noise.  Queries are perturbed database points
+    (clustered workload), which keeps recall meaningfully below 1.0 for
+    the IVF probe so regressions are visible in both directions.
+    """
+    dim, k, nq = 32, 10, 50
+    rng = np.random.default_rng(seed)
+    vectors = clustered_vectors(n, dim, rng)
+    base = vectors[rng.integers(0, n, size=nq)]
+    queries = (base + 0.05 * rng.standard_normal((nq, dim))).astype(np.float32)
+    score = EuclideanScore()
+    truth = exact_ground_truth(vectors, queries, k, score)
+    index = make_index_fn(score).build(vectors)
+    results = [index.search(q, k) for q in queries]
+    return {
+        "name": name,
+        "n": n,
+        "k": k,
+        "seed": seed,
+        "recall": float(mean_recall(results, truth)),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Regression gate: compare scale-free quantities against a committed baseline.
+
+#: (metric key, kind) per comparable quantity.  Only scale-free numbers
+#: are gated — absolute times differ across machines, ratios don't.
+_GATE_SPEEDUP_FLOOR = 0.5       # current speedup >= 0.5 x baseline speedup
+_GATE_RECALL_SLACK = 0.05       # current recall >= baseline - 0.05
+_GATE_OVERHEAD_SLACK = 15.0     # overhead <= max(15%, baseline + 15%)
+
+
+def compare_to_baseline(entries: list[dict], baseline: dict) -> tuple[list[str], int]:
+    """Noise-tolerant comparison; returns (failures, entries compared)."""
+    by_key = {(e["name"], e["n"]): e for e in baseline.get("entries", [])}
+    failures: list[str] = []
+    compared = 0
+    for entry in entries:
+        key = (entry["name"], entry["n"])
+        base = by_key.get(key)
+        if base is None:
+            print(f"  [check] {key[0]}@{key[1]:,}: no baseline entry, skipped")
+            continue
+        label = f"{key[0]}@{key[1]:,}"
+        if "speedup" in entry and "speedup" in base:
+            compared += 1
+            floor = _GATE_SPEEDUP_FLOOR * base["speedup"]
+            status = "ok" if entry["speedup"] >= floor else "FAIL"
+            print(
+                f"  [check] {label}: speedup {entry['speedup']:.2f}x vs"
+                f" baseline {base['speedup']:.2f}x (floor {floor:.2f}x) {status}"
+            )
+            if entry["speedup"] < floor:
+                failures.append(
+                    f"{label}: speedup {entry['speedup']:.2f}x <"
+                    f" {floor:.2f}x (0.5 x baseline {base['speedup']:.2f}x)"
+                )
+        if "recall" in entry and "recall" in base:
+            compared += 1
+            floor = base["recall"] - _GATE_RECALL_SLACK
+            status = "ok" if entry["recall"] >= floor else "FAIL"
+            print(
+                f"  [check] {label}: recall {entry['recall']:.4f} vs"
+                f" baseline {base['recall']:.4f} (floor {floor:.4f}) {status}"
+            )
+            if entry["recall"] < floor:
+                failures.append(
+                    f"{label}: recall {entry['recall']:.4f} <"
+                    f" {floor:.4f} (baseline {base['recall']:.4f} - "
+                    f"{_GATE_RECALL_SLACK})"
+                )
+        if "disabled_overhead_pct" in entry and "disabled_overhead_pct" in base:
+            compared += 1
+            ceiling = max(
+                _GATE_OVERHEAD_SLACK,
+                base["disabled_overhead_pct"] + _GATE_OVERHEAD_SLACK,
+            )
+            current = entry["disabled_overhead_pct"]
+            status = "ok" if current <= ceiling else "FAIL"
+            print(
+                f"  [check] {label}: disabled overhead {current:+.1f}% vs"
+                f" baseline {base['disabled_overhead_pct']:+.1f}%"
+                f" (ceiling {ceiling:.1f}%) {status}"
+            )
+            if current > ceiling:
+                failures.append(
+                    f"{label}: disabled overhead {current:.1f}% >"
+                    f" {ceiling:.1f}%"
+                )
+    return failures, compared
+
+
+def _scale_free(entry: dict) -> dict:
+    """The gate-relevant scalars of one entry, for trajectory history."""
+    keep = {"name": entry["name"], "n": entry["n"]}
+    for field in ("speedup", "recall", "disabled_overhead_pct",
+                  "enabled_overhead_pct"):
+        if field in entry:
+            keep[field] = round(entry[field], 4)
+    return keep
+
+
+def append_trajectory(payload: dict, path: pathlib.Path) -> int:
+    """Append this run's scale-free summary to the history file."""
+    history = {"schema": 1, "runs": []}
+    if path.exists():
+        try:
+            history = json.loads(path.read_text())
+        except (ValueError, OSError):
+            print(f"[trajectory at {path} unreadable; starting fresh]",
+                  file=sys.stderr)
+    history.setdefault("runs", []).append({
+        "unix_time": int(time.time()),
+        "quick": payload["quick"],
+        "python": payload["python"],
+        "numpy": payload["numpy"],
+        "machine": payload["machine"],
+        "entries": [_scale_free(e) for e in payload["entries"]],
+    })
+    path.write_text(json.dumps(history, indent=2) + "\n")
+    return len(history["runs"])
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -338,20 +491,61 @@ def main(argv=None) -> int:
         help="small sizes for CI smoke runs (seconds, not minutes)",
     )
     parser.add_argument(
-        "--out", type=pathlib.Path, default=REPO_ROOT / "BENCH_PERF.json",
-        help="output path for the machine-readable results",
+        "--out", type=pathlib.Path, default=None,
+        help="output path for the machine-readable results (default:"
+             " BENCH_PERF.json, or BENCH_PERF.current.json under --check"
+             " so the baseline being compared against is never clobbered)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="compare this run against the committed baseline and exit"
+             " non-zero on a latency/recall regression",
+    )
+    parser.add_argument(
+        "--baseline", type=pathlib.Path, default=REPO_ROOT / "BENCH_PERF.json",
+        help="baseline file for --check (default: committed BENCH_PERF.json)",
+    )
+    parser.add_argument(
+        "--replay", type=pathlib.Path, default=None,
+        help="re-compare a previous run's results file instead of"
+             " re-running the benchmarks (no output/trajectory writes)",
+    )
+    parser.add_argument(
+        "--trajectory", type=pathlib.Path,
+        default=REPO_ROOT / "BENCH_TRAJECTORY.json",
+        help="per-run history file appended to after each real run",
     )
     args = parser.parse_args(argv)
     rng = np.random.default_rng(0)
+
+    if args.replay is not None:
+        payload = json.loads(args.replay.read_text())
+        print(f"[replaying {len(payload['entries'])} entries from {args.replay}]")
+        if not args.check:
+            print("--replay without --check has nothing to do", file=sys.stderr)
+            return 2
+        baseline = json.loads(args.baseline.read_text())
+        failures, compared = compare_to_baseline(payload["entries"], baseline)
+        if compared == 0:
+            print("CHECK FAILED: baseline has no comparable entries",
+                  file=sys.stderr)
+            return 1
+        if failures:
+            print("REGRESSIONS: " + "; ".join(failures), file=sys.stderr)
+            return 1
+        print(f"[check ok: {compared} comparisons, no regressions]")
+        return 0
 
     if args.quick:
         beam_sizes = [(5_000, 3)]
         flat_n, ivf_n, sel_repeats = 100_000, 32_000, 5
         adc_n, batch_n, batch_q, batch_gs = 4_000, 5_000, 32, 8
+        recall_n = 4_000
     else:
         beam_sizes = [(10_000, 8), (50_000, 8)]
         flat_n, ivf_n, sel_repeats = 500_000, 64_000, 10
         adc_n, batch_n, batch_q, batch_gs = 20_000, 20_000, 128, 16
+        recall_n = 16_000
 
     entries = []
     for n, queries in beam_sizes:
@@ -378,9 +572,22 @@ def main(argv=None) -> int:
     print(f"observability        n={entry['n']:>7,}  raw {entry['raw_dispatch_s']*1e3:8.1f} ms  "
           f"off {entry['disabled_s']*1e3:8.1f} ms ({entry['disabled_overhead_pct']:+5.1f}%)  "
           f"on {entry['enabled_s']*1e3:8.1f} ms ({entry['enabled_overhead_pct']:+5.1f}%)")
+    # Quality probes: deterministic, so any delta past float noise is a
+    # code change.  Dedicated seeds keep them decoupled from the timing
+    # benches above.
+    for name, seed, factory in (
+        ("recall_hnsw", 101,
+         lambda score: HnswIndex(score, m=16, ef_search=48, seed=7)),
+        ("recall_ivf", 202,
+         lambda score: IvfFlatIndex(score, nlist=64, nprobe=4, seed=3)),
+    ):
+        entry = bench_recall_probe(name, recall_n, seed, factory)
+        entries.append(entry)
+        print(f"{name:<20} n={entry['n']:>7,}  recall@{entry['k']} ="
+              f" {entry['recall']:.4f}")
 
     payload = {
-        "schema": 1,
+        "schema": 2,
         "suite": "vectorized-kernels",
         "quick": args.quick,
         "python": platform.python_version(),
@@ -388,8 +595,30 @@ def main(argv=None) -> int:
         "machine": platform.machine(),
         "entries": entries,
     }
-    args.out.write_text(json.dumps(payload, indent=2) + "\n")
-    print(f"[written to {args.out}]")
+    out = args.out or (
+        REPO_ROOT / ("BENCH_PERF.current.json" if args.check else "BENCH_PERF.json")
+    )
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"[written to {out}]")
+    runs = append_trajectory(payload, args.trajectory)
+    print(f"[trajectory: run {runs} appended to {args.trajectory}]")
+
+    if args.check:
+        try:
+            baseline = json.loads(args.baseline.read_text())
+        except (OSError, ValueError) as exc:
+            print(f"CHECK FAILED: cannot read baseline {args.baseline}: {exc}",
+                  file=sys.stderr)
+            return 1
+        failures, compared = compare_to_baseline(entries, baseline)
+        if compared == 0:
+            print("CHECK FAILED: baseline has no comparable entries",
+                  file=sys.stderr)
+            return 1
+        if failures:
+            print("REGRESSIONS: " + "; ".join(failures), file=sys.stderr)
+            return 1
+        print(f"[check ok: {compared} comparisons, no regressions]")
 
     # Acceptance targets (full mode): >=3x beam @ 50k, >=2x flat/IVF top-k.
     failures = []

@@ -53,8 +53,13 @@ from .core import (
 from .hybrid import Field, Predicate
 from .index import VectorIndex, available_indexes, make_index
 from .observability import (
+    HealthReport,
     Observability,
+    QuantileSketch,
     QueryProfile,
+    RecallAuditor,
+    SLO,
+    SLOMonitor,
     SlowQueryLog,
     validate_span_tree,
     write_metrics_text,
@@ -81,12 +86,17 @@ __all__ = [
     "Field",
     "IncrementalSearcher",
     "MultiVectorEntityCollection",
+    "HealthReport",
     "MultiVectorQuery",
     "Observability",
     "Predicate",
+    "QuantileSketch",
     "QueryPlan",
     "QueryProfile",
     "RangeQuery",
+    "RecallAuditor",
+    "SLO",
+    "SLOMonitor",
     "SlowQueryLog",
     "Score",
     "SearchHit",

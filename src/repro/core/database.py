@@ -214,6 +214,26 @@ class VectorDatabase:
         index scans (brute-force plans always see everything)."""
         return self._stale
 
+    def health(self):
+        """Operational health report (see ``docs/observability.md``).
+
+        Combines the observability bundle's view — streaming latency
+        quantiles, audited recall, SLO status, and any active burn-rate
+        alerts — with database-level facts (size, index staleness).
+        ``report.ok`` is False exactly when a burn-rate alert is
+        currently firing; ``report.render()`` is the human view and
+        ``report.to_dict()`` the machine one.  Works (trivially) on a
+        database with observability disabled.
+        """
+        report = self.observability.health()
+        report.database = {
+            "items": len(self.collection),
+            "indexes": len(self.indexes),
+            "partitioned": len(self.partitioned),
+            "stale_indexes": self._stale,
+        }
+        return report
+
     # ----------------------------------------------------------------- plans
 
     def plan(self, query: SearchQuery) -> tuple[QueryPlan, list[QueryPlan]]:

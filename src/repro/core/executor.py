@@ -92,6 +92,18 @@ class QueryExecutor:
         stats.elapsed_seconds = time.perf_counter() - start
         if obs.enabled:
             obs.record_query("search", plan.strategy, stats)
+            # The audit hook sits strictly after the query's stats and
+            # metrics are finalized: an audited query's SearchStats,
+            # latency histogram sample, and sketch sample are identical
+            # to an unaudited one's, and all audit work lands in the
+            # dedicated audit_* namespace.
+            if obs.auditor is not None:
+                obs.auditor.consider(
+                    query.vector, query.k, hits,
+                    collection=self.collection, score=self.score,
+                    predicate=query.predicate, strategy=plan.strategy,
+                    index=plan.index_name,
+                )
         return SearchResult(hits=hits, stats=stats)
 
     def _dispatch(

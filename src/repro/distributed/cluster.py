@@ -37,6 +37,7 @@ from ..core.errors import (
 )
 from ..core.types import SearchHit, SearchResult, SearchStats
 from ..observability.instrument import DISABLED, Observability
+from ..observability.sketch import DEFAULT_QUANTILES, QuantileSketch
 from ..observability.tracing import NOOP_SPAN
 from ..reliability.breaker import CircuitBreaker, ClusterHealth, ReplicaHealth
 from ..reliability.faults import FaultInjector
@@ -131,6 +132,10 @@ class DistributedSearchCluster:
             cooldown_ops=breaker_cooldown_ops,
         )
         self._breakers: dict[str, CircuitBreaker] = {}
+        # Per-shard streaming latency sketches (simulated seconds per
+        # shard chain, failed attempts and backoff included); folded
+        # into one cluster view by latency_sketch()/latency_quantiles().
+        self._shard_sketches: dict[int, QuantileSketch] = {}
         self.nodes: list[list[SearchNode]] = [
             [
                 SearchNode(
@@ -274,6 +279,7 @@ class DistributedSearchCluster:
             for s in range(new_num_shards)
         ]
         self._breakers = {}
+        self._shard_sketches = {}
         for shard in range(new_num_shards):
             member = new_assignment == shard
             for replica in self.nodes[shard]:
@@ -496,6 +502,8 @@ class DistributedSearchCluster:
                         span=shard_span,
                     )
                     shard_latencies.append(elapsed)
+                    if obs.enabled:
+                        self._shard_sketch(shard).observe(elapsed)
                     if hits is None:
                         shard_span.set(
                             ok=False,
@@ -574,6 +582,37 @@ class DistributedSearchCluster:
                 stacklevel=2,
             )
         return SearchResult(hits=merged, stats=gather_stats), dstats
+
+    # ----------------------------------------------------- latency sketches
+
+    def _shard_sketch(self, shard: int) -> QuantileSketch:
+        sketch = self._shard_sketches.get(shard)
+        if sketch is None:
+            sketch = self._shard_sketches[shard] = QuantileSketch(
+                DEFAULT_QUANTILES
+            )
+        return sketch
+
+    def latency_sketch(self) -> QuantileSketch:
+        """Cluster-level latency sketch: the per-shard sketches folded
+        into one, exactly the gather-side merge a coordinator performs
+        (each shard streams its own P² sketch; the coordinator never
+        sees raw per-query samples)."""
+        merged = QuantileSketch(DEFAULT_QUANTILES)
+        for shard in sorted(self._shard_sketches):
+            merged.merge(self._shard_sketches[shard])
+        return merged
+
+    def latency_quantiles(self) -> dict[str, float]:
+        """Merged per-shard latency quantiles (empty dict before any
+        observed query or with observability disabled)."""
+        merged = self.latency_sketch()
+        if merged.count == 0:
+            return {}
+        out = {"count": float(merged.count)}
+        for q, value in merged.quantiles_snapshot().items():
+            out[f"p{q * 100:g}"] = value
+        return out
 
     def throughput_estimate(self, per_query: DistributedQueryStats) -> float:
         """Aggregate QPS bound: each query busies only contacted shards,

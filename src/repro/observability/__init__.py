@@ -10,6 +10,13 @@ The measurement substrate the survey's empirical questions need:
   whose per-operator self-stats partition the query's cost exactly;
 * :mod:`~repro.observability.export` — JSONL trace export and a
   configurable slow-query log;
+* :mod:`~repro.observability.sketch` — mergeable P² streaming quantile
+  sketches for grid-free latency p50/p95/p99;
+* :mod:`~repro.observability.quality` — the online recall auditor
+  (seeded sampling of live queries re-executed exactly, charged to
+  dedicated ``audit_*`` metrics);
+* :mod:`~repro.observability.slo` — declarative SLOs with multi-window
+  burn-rate alerting and the ``Database.health()`` report;
 * :mod:`~repro.observability.instrument` — the
   :class:`Observability` bundle components carry, and the
   :data:`DISABLED` no-op default (negligible overhead when off).
@@ -43,6 +50,23 @@ from .metrics import (
     NOOP_METRICS,
 )
 from .profiler import ProfileNode, QueryProfile, build_profile_tree
+from .quality import AuditRecord, RecallAuditor
+from .sketch import (
+    DEFAULT_QUANTILES,
+    NOOP_SKETCH,
+    NoopSketch,
+    P2Quantile,
+    QuantileSketch,
+)
+from .slo import (
+    DEFAULT_BURN_POLICIES,
+    BurnRatePolicy,
+    HealthReport,
+    SLO,
+    SLOAlert,
+    SLOMonitor,
+    SLOStatus,
+)
 from .tracing import (
     NOOP_SPAN,
     NOOP_TRACER,
@@ -54,18 +78,32 @@ from .tracing import (
 )
 
 __all__ = [
+    "AuditRecord",
+    "BurnRatePolicy",
     "Counter",
+    "DEFAULT_BURN_POLICIES",
+    "DEFAULT_QUANTILES",
     "DISABLED",
     "Gauge",
+    "HealthReport",
     "Histogram",
     "MetricsRegistry",
     "NOOP_METRIC",
     "NOOP_METRICS",
+    "NOOP_SKETCH",
     "NOOP_SPAN",
     "NOOP_TRACER",
+    "NoopSketch",
     "Observability",
+    "P2Quantile",
     "ProfileNode",
+    "QuantileSketch",
     "QueryProfile",
+    "RecallAuditor",
+    "SLO",
+    "SLOAlert",
+    "SLOMonitor",
+    "SLOStatus",
     "STAT_FIELDS",
     "SlowQuery",
     "SlowQueryLog",

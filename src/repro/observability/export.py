@@ -96,17 +96,65 @@ class SlowQueryLog:
     The threshold applies to whichever elapsed value the caller reports:
     executors pass wall time, the distributed coordinator passes the
     simulated scatter-gather latency (flagged ``simulated=True``).
+
+    Eviction policy (``keep``):
+
+    * ``"newest"`` (default) — a ring buffer of the most recent N slow
+      queries, the classic slow-query-log shape.
+    * ``"slowest"`` — keep the N slowest seen so far: at capacity, a new
+      entry replaces the current fastest entry only if it is slower.
+      Use this when hunting worst-case outliers over long runs, where
+      newest-N would rotate the record-holders out.
+
+    ``threshold_provider`` makes the threshold dynamic: a zero-argument
+    callable consulted on every ``observe`` (e.g. the streaming p99 from
+    a latency sketch — ``Observability(slow_query_seconds="auto")``).
+    Each logged entry records the threshold that was in force when it
+    was admitted.
     """
 
-    def __init__(self, threshold_seconds: float = 0.1, capacity: int = 256):
+    def __init__(
+        self,
+        threshold_seconds: float = 0.1,
+        capacity: int = 256,
+        keep: str = "newest",
+        threshold_provider: Any = None,
+    ):
         if threshold_seconds < 0:
             raise ValueError("threshold_seconds must be >= 0")
         if capacity <= 0:
             raise ValueError("capacity must be positive")
+        if keep not in ("newest", "slowest"):
+            raise ValueError(f"keep must be 'newest' or 'slowest', got {keep!r}")
         self.threshold_seconds = threshold_seconds
-        self.entries: deque[SlowQuery] = deque(maxlen=capacity)
+        self.keep = keep
+        self.threshold_provider = threshold_provider
+        self.entries: deque[SlowQuery] = deque(
+            maxlen=capacity if keep == "newest" else None
+        )
+        self.capacity = capacity
         self.observed = 0
         self.recorded = 0
+
+    def current_threshold(self) -> float:
+        """The threshold in force right now (provider wins when set)."""
+        return self._threshold()[0]
+
+    def _threshold(self) -> tuple[float, bool]:
+        """(threshold, came-from-provider).
+
+        Admission is ``>=`` against a static threshold ("at least this
+        slow") but strictly ``>`` against a provider-supplied one: the
+        provider reports a quantile of the live stream (e.g. p99), and a
+        query exactly *at* the quantile is by definition not an outlier
+        — with ``>=`` a perfectly uniform workload would flag every
+        query once warmup ends.
+        """
+        if self.threshold_provider is not None:
+            dynamic = self.threshold_provider()
+            if dynamic == dynamic:  # provider may return NaN during warmup
+                return float(dynamic), True
+        return self.threshold_seconds, False
 
     def observe(
         self,
@@ -118,19 +166,30 @@ class SlowQueryLog:
     ) -> bool:
         """Consider one finished query; True when it was logged as slow."""
         self.observed += 1
-        if elapsed_seconds < self.threshold_seconds:
+        threshold, dynamic = self._threshold()
+        if elapsed_seconds < threshold or (dynamic and elapsed_seconds == threshold):
             return False
         snapshot = (
             {f: getattr(stats, f) for f in STAT_FIELDS} if stats is not None else {}
         )
-        self.entries.append(SlowQuery(
+        entry = SlowQuery(
             kind=kind,
             plan=plan,
             elapsed_seconds=elapsed_seconds,
-            threshold_seconds=self.threshold_seconds,
+            threshold_seconds=threshold,
             stats=snapshot,
             simulated=simulated,
-        ))
+        )
+        if self.keep == "slowest" and len(self.entries) >= self.capacity:
+            fastest = min(
+                range(len(self.entries)),
+                key=lambda i: self.entries[i].elapsed_seconds,
+            )
+            if entry.elapsed_seconds <= self.entries[fastest].elapsed_seconds:
+                self.recorded += 1  # it *was* slow; it just isn't a keeper
+                return True
+            del self.entries[fastest]
+        self.entries.append(entry)
         self.recorded += 1
         return True
 

@@ -1,4 +1,5 @@
-"""The observability bundle components carry: tracer + metrics + slow log.
+"""The observability bundle components carry: tracer + metrics + slow log
++ latency sketches + recall auditor + SLO monitor.
 
 One :class:`Observability` object is threaded through the database,
 executor, distributed coordinator, and paged storage.  The default for
@@ -32,15 +33,30 @@ vdbms_coverage_fraction                   histogram  —
 vdbms_storage_page_reads_total            counter    —
 vdbms_storage_page_read_retries_total     counter    —
 vdbms_buffer_pool_requests_total          counter    outcome
+vdbms_buffer_pool_hit_ratio               gauge      —
+vdbms_audit_queries_total                 counter    collection, strategy, index
+vdbms_audit_distance_computations_total   counter    collection, strategy, index
+vdbms_audit_seconds_total                 counter    collection, strategy, index
+vdbms_audit_recall                        histogram  collection, strategy, index
+vdbms_slo_breaches_total                  counter    slo, severity
+vdbms_slo_good_fraction                   gauge      slo
 ========================================  =========  =======================
+
+The ``audit_*`` namespace is the cost-isolation contract: every
+distance computation and second spent by the online recall auditor is
+charged there, never to the query-path counters above it.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable
+import math
+from typing import Any, Callable, Sequence
 
 from .export import SlowQueryLog
 from .metrics import MetricsRegistry, NOOP_METRICS, NoopMetricsRegistry
+from .quality import RecallAuditor
+from .sketch import DEFAULT_QUANTILES, NOOP_SKETCH, QuantileSketch
+from .slo import DEFAULT_BURN_POLICIES, HealthReport, SLO, SLOMonitor
 from .tracing import NOOP_TRACER, NoopTracer, Tracer
 
 __all__ = ["DISABLED", "Observability"]
@@ -48,9 +64,13 @@ __all__ = ["DISABLED", "Observability"]
 #: Histogram buckets for coverage fractions (0..1).
 _COVERAGE_BUCKETS = (0.0, 0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1.0)
 
+#: Samples a latency sketch needs before the "auto" slow-query
+#: threshold starts trusting its p99.
+_AUTO_SLOW_WARMUP = 30
+
 
 class Observability:
-    """Tracing + metrics + slow-query logging, enabled as a unit.
+    """Tracing + metrics + slow-query logging + quality, enabled as a unit.
 
     Parameters
     ----------
@@ -58,8 +78,26 @@ class Observability:
         Enable the respective layer; a disabled layer is replaced by its
         no-op twin, so call sites never branch.
     slow_query_seconds:
-        When set, queries at least this slow (wall or simulated,
-        whichever the component reports) land in :attr:`slow_log`.
+        When a number, queries at least this slow (wall or simulated,
+        whichever the component reports) land in :attr:`slow_log`.  The
+        string ``"auto"`` sets the threshold dynamically to the
+        streaming p99 of all query latency observed so far (after a
+        short warmup) — the log then captures exactly the tail.
+    slow_log_keep:
+        Eviction policy for the slow log: ``"newest"`` (ring buffer) or
+        ``"slowest"`` (keep record-holders).
+    audit_fraction / audit_k / audit_seed:
+        When ``audit_fraction > 0``, an online :class:`RecallAuditor`
+        samples that fraction of vector queries and re-executes them
+        exactly, feeding recall@``audit_k`` into the ``audit_*`` metrics
+        and the ``"recall"`` SLO signal.  Sampling is seeded and
+        deterministic in query order.
+    slos:
+        Declarative :class:`~repro.observability.slo.SLO` objectives; a
+        :class:`SLOMonitor` evaluates them over sliding windows with
+        multi-window burn-rate alerting as signals arrive
+        (``"latency"``/``"coverage"`` from ``record_query``,
+        ``"recall"`` from the auditor).
     clock:
         Clock for span timestamps (defaults to ``time.perf_counter``).
     """
@@ -70,9 +108,15 @@ class Observability:
         self,
         tracing: bool = True,
         metrics: bool = True,
-        slow_query_seconds: float | None = None,
+        slow_query_seconds: float | str | None = None,
         clock: Callable[[], float] | None = None,
         slow_log_capacity: int = 256,
+        slow_log_keep: str = "newest",
+        audit_fraction: float = 0.0,
+        audit_k: int = 10,
+        audit_seed: int = 0,
+        slos: Sequence[SLO] | None = None,
+        slo_policies=DEFAULT_BURN_POLICIES,
     ):
         self.tracer: Tracer | NoopTracer = (
             Tracer(clock=clock) if tracing else NOOP_TRACER
@@ -80,11 +124,77 @@ class Observability:
         self.metrics: MetricsRegistry | NoopMetricsRegistry = (
             MetricsRegistry() if metrics else NOOP_METRICS
         )
-        self.slow_log: SlowQueryLog | None = (
-            SlowQueryLog(slow_query_seconds, slow_log_capacity)
-            if slow_query_seconds is not None
+        self._sketches: dict[str, QuantileSketch] = {}
+        self.slo: SLOMonitor | None = (
+            SLOMonitor(slos, metrics=self.metrics, tracer=self.tracer,
+                       policies=slo_policies)
+            if slos
             else None
         )
+        self.auditor: RecallAuditor | None = (
+            RecallAuditor(
+                audit_fraction, k=audit_k, seed=audit_seed,
+                metrics=self.metrics, tracer=self.tracer, slo=self.slo,
+            )
+            if audit_fraction > 0.0
+            else None
+        )
+        if slow_query_seconds == "auto":
+            self.slow_log: SlowQueryLog | None = SlowQueryLog(
+                threshold_seconds=0.0,
+                capacity=slow_log_capacity,
+                keep=slow_log_keep,
+                threshold_provider=self._auto_slow_threshold,
+            )
+            # Until warmup, the provider returns NaN and the static
+            # threshold takes over; make that "log nothing".
+            self.slow_log.threshold_seconds = math.inf
+        elif slow_query_seconds is not None:
+            self.slow_log = SlowQueryLog(
+                float(slow_query_seconds), slow_log_capacity, keep=slow_log_keep
+            )
+        else:
+            self.slow_log = None
+
+    # ------------------------------------------------------------- sketches
+
+    def sketch(self, name: str) -> QuantileSketch:
+        """Get-or-create the streaming latency sketch for one query kind."""
+        found = self._sketches.get(name)
+        if found is None:
+            found = self._sketches[name] = QuantileSketch(DEFAULT_QUANTILES)
+        return found
+
+    def latency_quantile(self, q: float, kind: str | None = None) -> float:
+        """Streaming quantile of query latency (NaN while empty).
+
+        ``kind=None`` merges every kind's sketch into one answer.
+        """
+        if kind is not None:
+            found = self._sketches.get(kind)
+            return found.quantile(q) if found is not None else math.nan
+        merged: QuantileSketch | None = None
+        for sk in self._sketches.values():
+            if merged is None:
+                merged = QuantileSketch(sk.quantiles)
+            merged.merge(sk)
+        return merged.quantile(q) if merged is not None else math.nan
+
+    def latency_snapshots(self) -> dict[str, dict[str, float]]:
+        """Per-kind quantile snapshots for health reporting."""
+        out: dict[str, dict[str, float]] = {}
+        for kind, sk in self._sketches.items():
+            snap: dict[str, float] = {"count": float(sk.count)}
+            for q, value in sk.quantiles_snapshot().items():
+                snap[f"p{q * 100:g}"] = value
+            out[kind] = snap
+        return out
+
+    def _auto_slow_threshold(self) -> float:
+        merged_count = sum(sk.count for sk in self._sketches.values())
+        if merged_count < _AUTO_SLOW_WARMUP:
+            return math.nan
+        return self.latency_quantile(0.99)
 
     # ------------------------------------------------------------ recording
 
@@ -112,6 +222,8 @@ class Observability:
         m.histogram("vdbms_query_seconds", "Per-query latency").observe(
             elapsed, kind=kind
         )
+        if elapsed == elapsed:  # skip NaN (no elapsed reported)
+            self.sketch(kind).observe(elapsed)
         m.counter(
             "vdbms_distance_computations_total", "Similarity computations"
         ).inc(stats.distance_computations, kind=kind)
@@ -125,6 +237,12 @@ class Observability:
             m.counter(
                 "vdbms_partial_results_total", "Queries answered partially"
             ).inc(kind=kind)
+        if self.slo is not None:
+            if elapsed == elapsed:
+                self.slo.observe("latency", elapsed)
+            coverage = getattr(stats, "coverage_fraction", None)
+            if coverage is not None:
+                self.slo.observe("coverage", coverage)
         if self.slow_log is not None and self.slow_log.observe(
             kind, stats.plan_name or strategy, elapsed, stats, simulated=simulated
         ):
@@ -132,16 +250,47 @@ class Observability:
                 kind=kind
             )
 
+    # --------------------------------------------------------------- health
+
+    def health(self) -> HealthReport:
+        """Operational summary: latency, audited quality, SLOs, alerts."""
+        report = HealthReport(
+            enabled=True,
+            ok=self.slo.ok if self.slo is not None else True,
+            latency=self.latency_snapshots(),
+        )
+        if self.slow_log is not None:
+            threshold = self.slow_log.current_threshold()
+            report.slow_queries = {
+                "observed": self.slow_log.observed,
+                "recorded": self.slow_log.recorded,
+                "threshold": (
+                    f"{threshold * 1e3:.3f}ms"
+                    if threshold == threshold and threshold != math.inf
+                    else "warming up"
+                ),
+            }
+        if self.auditor is not None:
+            report.audit = self.auditor.summary()
+        if self.slo is not None:
+            report.slos = self.slo.status()
+            report.alerts = list(self.slo.alerts)
+        return report
+
     def __repr__(self) -> str:
         slow = (
-            f"{self.slow_log.threshold_seconds:g}s"
+            "auto"
+            if self.slow_log is not None and self.slow_log.threshold_provider
+            else f"{self.slow_log.threshold_seconds:g}s"
             if self.slow_log is not None
             else "off"
         )
         return (
             f"Observability(enabled={self.enabled},"
             f" tracing={self.tracer.enabled},"
-            f" metrics={self.metrics.enabled}, slow_query={slow})"
+            f" metrics={self.metrics.enabled}, slow_query={slow},"
+            f" audit={'on' if self.auditor else 'off'},"
+            f" slos={len(self.slo.slos) if self.slo else 0})"
         )
 
 
@@ -154,9 +303,21 @@ class _DisabledObservability(Observability):
         self.tracer = NOOP_TRACER
         self.metrics = NOOP_METRICS
         self.slow_log = None
+        self.auditor = None
+        self.slo = None
+        self._sketches = {}
 
     def record_query(self, *args: Any, **kwargs: Any) -> None:
         pass
+
+    def sketch(self, name: str):
+        return NOOP_SKETCH
+
+    def latency_quantile(self, q: float, kind: str | None = None) -> float:
+        return math.nan
+
+    def health(self) -> HealthReport:
+        return HealthReport(enabled=False, ok=True)
 
 
 DISABLED = _DisabledObservability()

@@ -42,11 +42,24 @@ def _label_key(labels: dict[str, Any]) -> LabelKey:
     return tuple(sorted((k, str(v)) for k, v in labels.items()))
 
 
+def _escape_label_value(value: str) -> str:
+    """Prometheus text-format label escaping: ``\\`` → ``\\\\``, ``"`` →
+    ``\\"``, newline → ``\\n`` (in that order, so escapes don't compound)."""
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _escape_help(text: str) -> str:
+    """HELP-line escaping: only backslash and newline are special."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _render_labels(key: LabelKey, extra: tuple[tuple[str, str], ...] = ()) -> str:
     items = key + extra
     if not items:
         return ""
-    body = ",".join(f'{name}="{value}"' for name, value in items)
+    body = ",".join(
+        f'{name}="{_escape_label_value(value)}"' for name, value in items
+    )
     return "{" + body + "}"
 
 
@@ -65,7 +78,7 @@ class _Metric:
     def _header(self) -> list[str]:
         lines = []
         if self.help:
-            lines.append(f"# HELP {self.name} {self.help}")
+            lines.append(f"# HELP {self.name} {_escape_help(self.help)}")
         lines.append(f"# TYPE {self.name} {self.kind}")
         return lines
 
@@ -178,7 +191,21 @@ class Histogram(_Metric):
 
     def quantile(self, q: float, **labels: Any) -> float:
         """Bucket-resolution quantile estimate (upper bound of the bucket
-        holding the q-th observation); +inf bucket reports the last bound."""
+        holding the q-th observation); +inf bucket reports the last bound.
+
+        **Error bound**: the true quantile lies somewhere inside the
+        reported bucket, so the error is up to the full width of that
+        bucket — and *unbounded above* when the rank lands in the
+        implicit +inf bucket, since any observation past the largest
+        finite bound is clamped to it.  This makes fixed-bucket p99s
+        systematically misleading at the tail (p99 of a workload whose
+        tail exceeds the grid reports the last bound no matter how slow
+        the tail really is).  For tail quantiles use the grid-free
+        streaming estimate instead:
+        :meth:`Observability.latency_quantile` /
+        :class:`~repro.observability.sketch.QuantileSketch`, which the
+        slow-query ``"auto"`` threshold and ``bench_e19`` use.
+        """
         if not 0.0 <= q <= 1.0:
             raise ValueError("q must be in [0, 1]")
         key = _label_key(labels)

@@ -1,0 +1,433 @@
+"""Streaming quantile sketches: the P² estimator, made mergeable.
+
+Fixed-bucket histograms (:class:`~repro.observability.metrics.Histogram`)
+answer "how many queries were faster than X" exactly, but their
+*quantiles* are only as good as the bucket grid — at the tail (p99) the
+error is the full width of whatever bucket the rank lands in, and any
+observation past the largest finite bucket is clamped to it, so the
+reported p99 can understate the true value without bound.
+
+This module provides the complementary primitive: a constant-memory
+streaming estimate of arbitrary quantiles with no grid to choose.
+
+* :class:`P2Quantile` — the classic P² ("P-square") algorithm of Jain &
+  Chlamtac (CACM 1985): five markers per tracked quantile, adjusted with
+  a piecewise-parabolic interpolation on every observation.  O(1) time
+  and memory per observation.
+* :class:`QuantileSketch` — the production wrapper: a small exact buffer
+  (default 512 samples) that answers quantiles by order-statistic
+  interpolation while it lasts, spilling into one P² estimator per
+  tracked quantile when it overflows.  Sketches are **mergeable**, which
+  is what the distributed coordinator needs: per-shard sketches are
+  folded into one cluster-level sketch at gather time.
+
+Accuracy (the tolerances the tests pin):
+
+* **Exact regime** (total observations fit the buffer): ``quantile(q)``
+  is the standard linear interpolation between adjacent order
+  statistics — identical to ``numpy.quantile(..., method="linear")`` —
+  and merging is exact (buffers concatenate).
+* **P² regime**: estimates always lie inside ``[min, max]`` of the
+  observed data and are monotone in ``q``, but carry no worst-case
+  guarantee; empirically the rank error is ~1–2% on smooth unimodal
+  data.  The documented tolerance, asserted by the test-suite across
+  k-shard merges on smooth workloads, is **rank error <= 0.05**: the
+  estimate falls between the exact quantiles at ranks ``q ± 0.05`` of
+  the concatenated sample.
+* **Merging spilled sketches** reconstructs the donor's distribution
+  from its piecewise-linear CDF (min, tracked quantiles, max) with up to
+  ``merge_points`` synthetic samples, so a merge adds reconstruction
+  error on top of P² error; the 0.05 rank tolerance above covers the
+  combination.  ``count``/``min``/``max`` are always exact.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+__all__ = [
+    "DEFAULT_QUANTILES",
+    "NOOP_SKETCH",
+    "NoopSketch",
+    "P2Quantile",
+    "QuantileSketch",
+]
+
+#: The quantiles a sketch tracks by default (latency-report shaped).
+DEFAULT_QUANTILES = (0.5, 0.9, 0.95, 0.99)
+
+
+class P2Quantile:
+    """Single-quantile P² estimator (Jain & Chlamtac, 1985).
+
+    Keeps five markers whose heights approximate the min, the q/2, q and
+    (1+q)/2 quantiles, and the max; marker heights are nudged toward
+    their desired rank positions with a piecewise-parabolic (hence "P
+    squared") formula, falling back to linear when the parabola would
+    violate monotonicity.  The first five observations are stored
+    verbatim, so estimates are exact until then.
+    """
+
+    __slots__ = ("q", "count", "_heights", "_positions", "_desired", "_rates")
+
+    def __init__(self, q: float):
+        if not 0.0 < q < 1.0:
+            raise ValueError(f"q must be in (0, 1), got {q}")
+        self.q = float(q)
+        self.count = 0
+        self._heights: list[float] = []  # first 5 raw values, then markers
+        self._positions: list[float] | None = None
+        self._desired: list[float] | None = None
+        self._rates: tuple[float, ...] | None = None
+
+    def observe(self, value: float) -> None:
+        x = float(value)
+        self.count += 1
+        if self._positions is None:
+            self._heights.append(x)
+            if len(self._heights) == 5:
+                self._heights.sort()
+                q = self.q
+                self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+                self._desired = [
+                    1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0,
+                ]
+                self._rates = (0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0)
+            return
+        h, n, d = self._heights, self._positions, self._desired
+        # Locate the cell [h[cell], h[cell+1]) containing x, extending
+        # the extreme markers when x falls outside the observed range.
+        if x < h[0]:
+            h[0] = x
+            cell = 0
+        elif x >= h[4]:
+            h[4] = x
+            cell = 3
+        else:
+            cell = 0
+            for i in range(1, 4):
+                if x >= h[i]:
+                    cell = i
+        for i in range(cell + 1, 5):
+            n[i] += 1.0
+        for i in range(5):
+            d[i] += self._rates[i]
+        # Adjust the three interior markers toward their desired ranks.
+        for i in range(1, 4):
+            delta = d[i] - n[i]
+            if (delta >= 1.0 and n[i + 1] - n[i] > 1.0) or (
+                delta <= -1.0 and n[i - 1] - n[i] < -1.0
+            ):
+                step = 1.0 if delta >= 1.0 else -1.0
+                candidate = self._parabolic(i, step)
+                if h[i - 1] < candidate < h[i + 1]:
+                    h[i] = candidate
+                else:
+                    h[i] = self._linear(i, step)
+                n[i] += step
+
+    def _parabolic(self, i: int, step: float) -> float:
+        h, n = self._heights, self._positions
+        return h[i] + step / (n[i + 1] - n[i - 1]) * (
+            (n[i] - n[i - 1] + step) * (h[i + 1] - h[i]) / (n[i + 1] - n[i])
+            + (n[i + 1] - n[i] - step) * (h[i] - h[i - 1]) / (n[i] - n[i - 1])
+        )
+
+    def _linear(self, i: int, step: float) -> float:
+        h, n = self._heights, self._positions
+        j = i + int(step)
+        return h[i] + step * (h[j] - h[i]) / (n[j] - n[i])
+
+    def estimate(self) -> float:
+        """Current quantile estimate (exact while count < 5; NaN if empty)."""
+        if self.count == 0:
+            return math.nan
+        if self._positions is None:
+            return _interpolate_sorted(sorted(self._heights), self.q)
+        return self._heights[2]
+
+    def markers(self) -> list[tuple[float, float]]:
+        """All five markers as ``(rank, value)`` pairs, rank in [0, 1].
+
+        The outer markers track the running min/max and the interior
+        ones approximate the q/2, q and (1+q)/2 order statistics, so a
+        single estimator describes five points of the empirical CDF —
+        :class:`QuantileSketch` pools the markers of every tracked
+        estimator to interpolate untracked quantiles and to reconstruct
+        donor samples during a merge.
+        """
+        if self.count == 0:
+            return []
+        if self._positions is None:
+            ordered = sorted(self._heights)
+            n = len(ordered)
+            if n == 1:
+                return [(0.0, ordered[0]), (1.0, ordered[0])]
+            return [(i / (n - 1), v) for i, v in enumerate(ordered)]
+        n = self.count
+        return [
+            ((pos - 1.0) / (n - 1), height)
+            for pos, height in zip(self._positions, self._heights)
+        ]
+
+    def __repr__(self) -> str:
+        return f"P2Quantile(q={self.q}, n={self.count}, est={self.estimate():g})"
+
+
+def _interpolate_sorted(ordered: Sequence[float], q: float) -> float:
+    """numpy.quantile(method='linear') over an already-sorted sequence."""
+    n = len(ordered)
+    if n == 0:
+        return math.nan
+    if n == 1:
+        return ordered[0]
+    rank = q * (n - 1)
+    lo = int(math.floor(rank))
+    hi = min(lo + 1, n - 1)
+    frac = rank - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
+class QuantileSketch:
+    """Mergeable streaming quantiles: exact buffer, then P² markers.
+
+    Parameters
+    ----------
+    quantiles:
+        The quantiles tracked exactly by one P² estimator each after the
+        sketch spills; other ``q`` values are answered by interpolating
+        between tracked estimates (anchored at min/max).
+    buffer_size:
+        Observations kept verbatim before spilling to P² markers.  While
+        the buffer lasts, ``quantile`` is exact (linear interpolation
+        between order statistics) and merging is lossless.
+    merge_points:
+        Maximum synthetic samples used to fold an already-spilled donor
+        sketch into this one (inverse-CDF reconstruction).
+
+    See the module docstring for the accuracy contract.
+    """
+
+    def __init__(
+        self,
+        quantiles: Sequence[float] = DEFAULT_QUANTILES,
+        buffer_size: int = 512,
+        merge_points: int = 128,
+    ):
+        qs = tuple(sorted({float(q) for q in quantiles}))
+        if not qs:
+            raise ValueError("at least one tracked quantile is required")
+        for q in qs:
+            if not 0.0 < q < 1.0:
+                raise ValueError(f"tracked quantiles must be in (0, 1), got {q}")
+        if buffer_size < 8:
+            raise ValueError("buffer_size must be >= 8")
+        self.quantiles = qs
+        self.buffer_size = buffer_size
+        self.merge_points = merge_points
+        self._buffer: list[float] | None = []
+        self._estimators: dict[float, P2Quantile] | None = None
+        self._count = 0
+        self._min = math.inf
+        self._max = -math.inf
+
+    # ------------------------------------------------------------- recording
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def min(self) -> float:
+        return self._min if self._count else math.nan
+
+    @property
+    def max(self) -> float:
+        return self._max if self._count else math.nan
+
+    @property
+    def spilled(self) -> bool:
+        """True once the exact buffer has been folded into P² markers."""
+        return self._buffer is None
+
+    def observe(self, value: float) -> None:
+        x = float(value)
+        if math.isnan(x):
+            raise ValueError("cannot observe NaN")
+        self._count += 1
+        if x < self._min:
+            self._min = x
+        if x > self._max:
+            self._max = x
+        if self._buffer is not None:
+            self._buffer.append(x)
+            if len(self._buffer) > self.buffer_size:
+                self._spill()
+        else:
+            for estimator in self._estimators.values():
+                estimator.observe(x)
+
+    def _spill(self) -> None:
+        self._estimators = {q: P2Quantile(q) for q in self.quantiles}
+        for x in self._buffer:
+            for estimator in self._estimators.values():
+                estimator.observe(x)
+        self._buffer = None
+
+    # --------------------------------------------------------------- queries
+
+    def quantile(self, q: float) -> float:
+        """Estimate the q-th quantile of everything observed (NaN if empty)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        if self._count == 0:
+            return math.nan
+        if q == 0.0:
+            return self._min
+        if q == 1.0:
+            return self._max
+        if self._buffer is not None:
+            return _interpolate_sorted(sorted(self._buffer), q)
+        # Interpolate on the anchored, monotone-enforced marker cloud.
+        anchors_q, anchors_v = self._anchors()
+        for i in range(1, len(anchors_q)):
+            if q <= anchors_q[i]:
+                span = anchors_q[i] - anchors_q[i - 1]
+                frac = 0.0 if span <= 0 else (q - anchors_q[i - 1]) / span
+                return anchors_v[i - 1] * (1.0 - frac) + anchors_v[i] * frac
+        return anchors_v[-1]
+
+    def _anchors(self) -> tuple[list[float], list[float]]:
+        """(rank, value) anchor lists spanning [0, 1].
+
+        Pools *every* marker of every tracked P² estimator — not just
+        the central estimates — so the piecewise-linear CDF has anchors
+        at ranks q/2, q and (1+q)/2 for each tracked q.  Without the
+        half-rank markers the region below the lowest tracked quantile
+        would be a single chord from min to p50, which badly biases
+        merge reconstruction on skewed data.  Values are clamped to the
+        exact observed range and forced monotone in rank.
+        """
+        pairs = sorted(
+            pair
+            for estimator in self._estimators.values()
+            for pair in estimator.markers()
+        )
+        anchors_q = [0.0]
+        anchors_v = [self._min]
+        running = self._min
+        for rank, value in pairs:
+            value = min(max(value, self._min), self._max)
+            running = max(running, value)
+            if rank <= anchors_q[-1] + 1e-12:
+                anchors_v[-1] = max(anchors_v[-1], running)
+                continue
+            anchors_q.append(min(rank, 1.0))
+            anchors_v.append(running)
+        if anchors_q[-1] < 1.0:
+            anchors_q.append(1.0)
+            anchors_v.append(self._max)
+        else:
+            anchors_v[-1] = max(anchors_v[-1], self._max)
+        return anchors_q, anchors_v
+
+    def quantiles_snapshot(self) -> dict[float, float]:
+        """Current estimate for every tracked quantile."""
+        return {q: self.quantile(q) for q in self.quantiles}
+
+    # ----------------------------------------------------------------- merge
+
+    def merge(self, other: "QuantileSketch") -> "QuantileSketch":
+        """Fold ``other`` into this sketch (``other`` is left untouched).
+
+        Exact when both sketches still hold raw buffers that fit into
+        this sketch's buffer; otherwise the donor is replayed into the
+        P² estimators (raw samples when it still has them, an
+        inverse-CDF reconstruction of up to ``merge_points`` synthetic
+        samples when it has spilled).  Counts and extrema stay exact.
+        """
+        if other._count == 0:
+            return self
+        if (
+            self._buffer is not None
+            and other._buffer is not None
+            and len(self._buffer) + len(other._buffer) <= self.buffer_size
+        ):
+            self._buffer.extend(other._buffer)
+        else:
+            if self._buffer is not None:
+                self._spill()
+            for x in self._donor_samples(other):
+                for estimator in self._estimators.values():
+                    estimator.observe(x)
+        self._count += other._count
+        self._min = min(self._min, other._min)
+        self._max = max(self._max, other._max)
+        return self
+
+    @staticmethod
+    def _donor_samples(other: "QuantileSketch") -> Iterable[float]:
+        if other._buffer is not None:
+            return list(other._buffer)
+        m = max(8, min(other.merge_points, other._count))
+        # Visit the reconstruction ranks in golden-stride order, not
+        # ascending: P² marker adjustment is biased by monotone input
+        # streams (an ascending replay drags every interior marker
+        # upward), while a scrambled-but-deterministic order behaves
+        # like the random arrival the estimator is designed for.
+        step = max(1, round(m * 0.618))
+        while math.gcd(step, m) != 1:
+            step += 1
+        return [
+            other.quantile(((j * step) % m + 0.5) / m) for j in range(m)
+        ]
+
+    # ----------------------------------------------------------------- views
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self._count,
+            "min": None if not self._count else self._min,
+            "max": None if not self._count else self._max,
+            "spilled": self.spilled,
+            "quantiles": {
+                f"p{q * 100:g}": self.quantile(q) for q in self.quantiles
+            },
+        }
+
+    def __repr__(self) -> str:
+        qs = ", ".join(
+            f"p{q * 100:g}={self.quantile(q):g}" for q in self.quantiles
+        )
+        return f"QuantileSketch(n={self._count}, {qs})"
+
+
+class NoopSketch:
+    """Disabled-path sketch: accepts observations, reports nothing."""
+
+    __slots__ = ()
+
+    count = 0
+    min = math.nan
+    max = math.nan
+    spilled = False
+    quantiles: tuple[float, ...] = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def quantile(self, q: float) -> float:
+        return math.nan
+
+    def quantiles_snapshot(self) -> dict:
+        return {}
+
+    def merge(self, other) -> "NoopSketch":
+        return self
+
+    def to_dict(self) -> dict:
+        return {}
+
+
+NOOP_SKETCH = NoopSketch()

@@ -130,6 +130,7 @@ class PagedVectorStore:
                 self._obs.metrics.counter(
                     "vdbms_buffer_pool_requests_total", "Buffer-pool lookups."
                 ).inc(outcome="hit")
+                self._record_hit_ratio()
             return cached
         attempt = 0
         retries = 0
@@ -158,7 +159,22 @@ class PagedVectorStore:
                     "vdbms_storage_page_read_retries_total",
                     "Page reads retried after transient I/O faults.",
                 ).inc(retries)
+            self._record_hit_ratio()
         return data
+
+    def _record_hit_ratio(self) -> None:
+        """Keep the buffer-pool hit ratio queryable as a gauge (the
+        counters alone force scrape-side math)."""
+        counter = self._obs.metrics.counter(
+            "vdbms_buffer_pool_requests_total", "Buffer-pool lookups."
+        )
+        hits = counter.value(outcome="hit")
+        total = hits + counter.value(outcome="miss")
+        if total:
+            self._obs.metrics.gauge(
+                "vdbms_buffer_pool_hit_ratio",
+                "Fraction of buffer-pool lookups served from memory.",
+            ).set(hits / total)
 
     def get(self, slot: int) -> np.ndarray:
         """Fetch one vector (one page read unless cached)."""
@@ -176,6 +192,10 @@ class PagedVectorStore:
         for pos, slot in enumerate(slots):
             page_index, offset = self._locate(slot)
             by_page.setdefault(page_index, []).append((pos, offset))
+        if self._obs.enabled and slots:
+            # Pages touched per batched fetch: the locality signal that
+            # predicts I/O cost (1.0 page/batch = perfect coalescing).
+            self._obs.sketch("page_batch_span").observe(len(by_page))
         for page_index, entries in by_page.items():
             data = self._read_page_raw(page_index)
             arr = np.frombuffer(data, dtype=VECTOR_DTYPE).reshape(-1, self.dim)
