@@ -21,7 +21,6 @@ from repro.bench.datasets import multi_vector_entities
 from repro.bench.reporting import format_table
 from repro.core.database import VectorDatabase
 from repro.core.planner import QueryPlan
-from repro.scores import AggregateScore, EuclideanScore
 
 
 @pytest.fixture(scope="module")

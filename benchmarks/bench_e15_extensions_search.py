@@ -89,8 +89,6 @@ def e15_incremental_table(workload):
     pages = 6
     page_size = 10
     inc_cum, restart_cum = [], []
-    inc_total = 0.0
-    restart_total = 0.0
     for q in workload.queries[:10]:
         inc = IncrementalSearcher(index, q)
         restart = RestartIncrementalSearcher(index, q)

@@ -16,13 +16,11 @@ import pytest
 
 from _util import emit, recall_of
 from repro.bench.reporting import format_table
-from repro.index.flat import FlatIndex
 from repro.quantization import (
     AnisotropicQuantizer,
     ProductQuantizer,
     ResidualQuantizer,
 )
-from repro.scores import EuclideanScore
 from repro.security import DcpeKey, SecureKnnClient, SecureSearchServer
 
 

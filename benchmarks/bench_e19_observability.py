@@ -18,7 +18,6 @@ Two traced scenarios, both exported as CI artifacts:
 
 import warnings
 
-import numpy as np
 import pytest
 
 from _util import emit
@@ -210,11 +209,11 @@ def test_e19_latency_p99_through_sketch(traced_db):
     lines = [
         "E19: p99 latency, streaming sketch vs fixed-bucket histogram",
         f"queries observed      {sketch.count}",
-        f"sketch p50/p95/p99    "
+        "sketch p50/p95/p99    "
         + "  ".join(f"{sketch.quantile(q) * 1e3:.3f}ms"
                     for q in (0.5, 0.95, 0.99)),
         f"bucket-grid p99       {p99_bucket * 1e3:.3f}ms"
-        f"  (snapped to histogram bound)",
+        "  (snapped to histogram bound)",
         f"observed min/max      {sketch.min * 1e3:.3f}ms /"
         f" {sketch.max * 1e3:.3f}ms",
     ]

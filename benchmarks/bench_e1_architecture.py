@@ -10,7 +10,7 @@ what it costs.
 import numpy as np
 import pytest
 
-from _util import emit, recall_of
+from _util import emit
 from repro.bench.reporting import format_table
 from repro.hybrid.predicates import Field
 from repro.systems import build_preset_index, mostly_mixed, mostly_vector, relational

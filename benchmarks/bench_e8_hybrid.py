@@ -13,7 +13,6 @@ import numpy as np
 import pytest
 
 from _util import emit, recall_of
-from repro.bench.metrics import exact_ground_truth
 from repro.bench.reporting import format_table
 from repro.core.collection import VectorCollection
 from repro.core.types import SearchStats

@@ -26,7 +26,6 @@ from repro.core.database import VectorDatabase
 from repro.core.optimizer import CostBasedSelector, RuleBasedSelector
 from repro.core.planner import QueryPlan
 from repro.core.query import SearchQuery
-from repro.core.types import SearchStats
 from repro.hybrid.predicates import Field
 
 SELECTIVITIES = (0.01, 0.1, 0.3, 0.7)

@@ -637,7 +637,7 @@ def main(argv=None) -> int:
         if (e["name"] == "observability_overhead"
                 and e["disabled_overhead_pct"] > 15.0):
             print(
-                f"NO-OP OVERHEAD TOO HIGH: disabled path"
+                "NO-OP OVERHEAD TOO HIGH: disabled path"
                 f" {e['disabled_overhead_pct']:.1f}% over raw dispatch (>15%)",
                 file=sys.stderr,
             )

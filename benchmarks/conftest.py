@@ -1,7 +1,7 @@
 """Bench-session fixtures: one shared workload per size class."""
 
-import sys
 import pathlib
+import sys
 
 import pytest
 

@@ -89,7 +89,7 @@ def distributed_serving(dataset, truth):
     for shard in range(4):
         cluster.fail_node(shard, 0)
     after, dstats = cluster.search(dataset.queries[0], 5)
-    print(f"  failure drill: results identical after killing 4 replicas:"
+    print("  failure drill: results identical after killing 4 replicas:"
           f" {after.ids == before.ids} (failovers={dstats.failovers})")
 
 

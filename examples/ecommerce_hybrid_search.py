@@ -95,7 +95,7 @@ def main() -> None:
     )
     print("--- offline blocking (category-partitioned HNSW) ---")
     print(f"  partition sizes: {db.partitioned['by_category'].partition_sizes()}")
-    print(f"  sneakers-only search touched"
+    print("  sneakers-only search touched"
           f" {result.stats.distance_computations} vectors"
           f" ({len(result)} results)")
 

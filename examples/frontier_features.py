@@ -109,7 +109,7 @@ def main() -> None:
     print(f"  exact entity top-5:       {exact.ids}")
     print(f"  index-accelerated top-5:  {accel.ids}")
     print(f"  (aggregated {accel.stats.candidates_examined} of {len(coll)}"
-          f" entities)")
+          " entities)")
 
 
 if __name__ == "__main__":

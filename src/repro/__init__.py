@@ -12,27 +12,32 @@ Quickstart::
     import numpy as np
     from repro import VectorDatabase, Field
 
+    rng = np.random.default_rng(0)   # seeded: every run is reproducible
     db = VectorDatabase(dim=32, score="l2")
-    db.insert_many(np.random.rand(1000, 32),
+    db.insert_many(rng.random((1000, 32), dtype=np.float32),
                    [{"category": i % 5, "price": float(i), "rating": 3}
                     for i in range(1000)])
     db.create_index("main", "hnsw", m=16)
-    result = db.search(np.random.rand(32), k=5,
+    result = db.search(rng.random(32, dtype=np.float32), k=5,
                        predicate=(Field("category") == 2) & (Field("price") < 500))
     for hit in result:
         print(hit.id, hit.distance)
 """
 
 from .core import (
+    AllReplicasDownError,
     BatchQuery,
     BufferedVectorIndex,
     CostModel,
+    DeadlineExceededError,
     EmpiricalCostModel,
     IncrementalSearcher,
     MultiVectorEntityCollection,
     MultiVectorQuery,
+    PartialResultWarning,
     QueryPlan,
     RangeQuery,
+    ReplicaUnavailableError,
     SearchHit,
     SearchQuery,
     SearchResult,
@@ -44,21 +49,15 @@ from .core import (
     execute_sql,
     parse_sql,
 )
-from .core import (
-    AllReplicasDownError,
-    DeadlineExceededError,
-    PartialResultWarning,
-    ReplicaUnavailableError,
-)
 from .hybrid import Field, Predicate
 from .index import VectorIndex, available_indexes, make_index
 from .observability import (
+    SLO,
     HealthReport,
     Observability,
     QuantileSketch,
     QueryProfile,
     RecallAuditor,
-    SLO,
     SLOMonitor,
     SlowQueryLog,
     validate_span_tree,

@@ -1,0 +1,39 @@
+"""vdblint — AST-based invariant checker for the repro codebase.
+
+Static analysis grounded in the VDBMS bug studies (Xie et al. 2025;
+Wang et al. 2025): vector-database defects cluster in *silent contract
+violations* — nondeterministic tie-breaking, wrong stats accounting,
+dtype/layout mismatches at kernel boundaries, leaked instrumentation
+state.  This package machine-checks the contracts PRs 1–4 established
+informally; the declarations live in :mod:`repro.analysis.contracts`,
+the rule implementations under :mod:`repro.analysis.rules`, and the
+grandfathered-violation baseline in ``analysis/baseline.toml``.
+
+Run it::
+
+    python -m repro.analysis --check      # the CI gate
+    vdblint --list-rules                  # the rule catalog
+    vdblint src/repro/index --select VDB401
+
+This package deliberately imports nothing from the rest of ``repro``
+(enforced by its own layering rule), so the linter can analyze a tree
+too broken to import.
+"""
+
+from .baseline import Baseline, Suppression
+from .driver import analyze_paths, analyze_source, main
+from .registry import Finding, Module, Rule, all_rules, get_rule, register
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "Module",
+    "Rule",
+    "Suppression",
+    "all_rules",
+    "analyze_paths",
+    "analyze_source",
+    "get_rule",
+    "main",
+    "register",
+]

@@ -1,0 +1,8 @@
+"""``python -m repro.analysis`` — the vdblint command line."""
+
+import sys
+
+from .driver import main
+
+if __name__ == "__main__":
+    sys.exit(main())

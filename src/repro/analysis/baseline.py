@@ -1,0 +1,140 @@
+"""The suppressions baseline: grandfathered findings, tracked in TOML.
+
+``analysis/baseline.toml`` holds the findings the team has explicitly
+decided to tolerate.  New violations fail the build; baselined ones are
+counted and reported as suppressed.  Every entry carries a mandatory
+``justification`` — a baseline entry without one is itself an error.
+
+Entries match on ``(rule, path, context)`` where ``context`` is the
+stripped source line, so suppressions survive unrelated line-number
+drift but die with the code they covered (a stale entry is reported so
+the baseline shrinks monotonically).
+"""
+
+from __future__ import annotations
+
+import tomllib
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .registry import Finding
+
+#: Default location, relative to the repository root.
+DEFAULT_BASELINE_PATH = "analysis/baseline.toml"
+
+_HEADER = """\
+# vdblint suppressions baseline.
+#
+# Every entry grandfathers ONE existing violation; new violations fail
+# `python -m repro.analysis --check` regardless of this file.  Entries
+# match on (rule, path, context = the stripped source line), so they
+# survive line drift but go stale when the code they covered changes —
+# stale entries are reported and must be pruned.
+#
+# [[suppress]]
+# rule = "VDB301"
+# path = "src/repro/foo.py"
+# context = "stats.nodes_visited += 1"
+# justification = "why this one violation is tolerated"
+
+version = 1
+"""
+
+
+@dataclass(frozen=True)
+class Suppression:
+    rule: str
+    path: str
+    context: str = ""
+    justification: str = ""
+
+    def matches(self, finding: Finding) -> bool:
+        return (
+            self.rule == finding.rule
+            and self.path == finding.path
+            and (not self.context or self.context == finding.context)
+        )
+
+
+@dataclass
+class Baseline:
+    path: Path | None = None
+    suppressions: list[Suppression] = field(default_factory=list)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        path = Path(path)
+        if not path.exists():
+            return cls(path=path)
+        with open(path, "rb") as fh:
+            doc = tomllib.load(fh)
+        suppressions = []
+        for entry in doc.get("suppress", []):
+            if not entry.get("justification", "").strip():
+                raise ValueError(
+                    f"{path}: baseline entry for {entry.get('rule')} / "
+                    f"{entry.get('path')} has no justification — every "
+                    "suppression must say why"
+                )
+            suppressions.append(
+                Suppression(
+                    rule=entry["rule"],
+                    path=entry["path"],
+                    context=entry.get("context", ""),
+                    justification=entry["justification"],
+                )
+            )
+        return cls(path=path, suppressions=suppressions)
+
+    # --------------------------------------------------------------- filter
+
+    def split(
+        self, findings: list[Finding]
+    ) -> tuple[list[Finding], list[Finding], list[Suppression]]:
+        """(new, suppressed, stale) partition of ``findings``."""
+        new: list[Finding] = []
+        suppressed: list[Finding] = []
+        used: set[int] = set()
+        for finding in findings:
+            hit = None
+            for i, sup in enumerate(self.suppressions):
+                if sup.matches(finding):
+                    hit = i
+                    break
+            if hit is None:
+                new.append(finding)
+            else:
+                used.add(hit)
+                suppressed.append(finding)
+        stale = [
+            sup
+            for i, sup in enumerate(self.suppressions)
+            if i not in used
+        ]
+        return new, suppressed, stale
+
+    # ---------------------------------------------------------------- write
+
+    def write(self, findings: list[Finding], reason: str) -> None:
+        """Regenerate the baseline file from ``findings`` (used by
+        ``--write-baseline``; every entry gets ``reason``)."""
+        if self.path is None:
+            raise ValueError("baseline has no path")
+        chunks = [_HEADER]
+        for finding in sorted(
+            findings, key=lambda f: (f.path, f.line, f.rule)
+        ):
+            chunks.append(
+                "\n[[suppress]]\n"
+                f'rule = "{finding.rule}"\n'
+                f'path = "{finding.path}"\n'
+                f'context = {_toml_str(finding.context)}\n'
+                f"justification = {_toml_str(reason)}\n"
+            )
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.path.write_text("".join(chunks))
+
+
+def _toml_str(value: str) -> str:
+    escaped = value.replace("\\", "\\\\").replace('"', '\\"')
+    return f'"{escaped}"'

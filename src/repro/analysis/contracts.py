@@ -1,0 +1,314 @@
+"""The machine-checked contracts `vdblint` enforces.
+
+Every table in this module is a *declaration* of an invariant the
+codebase already relies on informally; the rule modules under
+:mod:`repro.analysis.rules` turn them into findings.  The provenance of
+each contract (which PR introduced it, and why) is catalogued in
+``docs/static-analysis.md``.
+
+Keeping the declarations in one module — instead of scattering literals
+through the rules — makes a contract change a one-line, reviewable
+diff, exactly like the suppressions baseline.
+"""
+
+from __future__ import annotations
+
+# --------------------------------------------------------------------------
+# Determinism (VDB1xx).
+#
+# The repo's north star is reproducible experiments: every stochastic
+# choice flows from a seeded ``np.random.Generator`` (or seeded
+# ``random.Random`` instance), and the only *time source* is the
+# simulated clock (reliability/distributed) or an injected ``clock``
+# callable (observability).  ``time.perf_counter`` is deliberately NOT
+# banned: it measures durations for observability and never feeds a
+# decision.
+
+#: Wall-clock *sources* (dotted call suffixes) banned everywhere under
+#: ``src/repro``.  Durations must come from ``time.perf_counter`` /
+#: an injected clock; timestamps must come from the simulated clock.
+WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.clock_gettime",
+        "datetime.now",
+        "datetime.utcnow",
+        "datetime.today",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "date.today",
+        "datetime.date.today",
+    }
+)
+
+#: Legacy module-level numpy RNG entry points (global hidden state).
+NP_RANDOM_LEGACY = frozenset(
+    {
+        "beta",
+        "binomial",
+        "bytes",
+        "choice",
+        "dirichlet",
+        "exponential",
+        "gamma",
+        "geometric",
+        "integers",
+        "laplace",
+        "multivariate_normal",
+        "normal",
+        "permutation",
+        "poisson",
+        "rand",
+        "randint",
+        "randn",
+        "random",
+        "random_sample",
+        "ranf",
+        "sample",
+        "seed",
+        "shuffle",
+        "standard_normal",
+        "uniform",
+    }
+)
+
+#: stdlib ``random`` module-level functions (global hidden state).
+#: ``random.Random(seed)`` — a *seeded instance* — is the approved form.
+STDLIB_RANDOM_FNS = frozenset(
+    {
+        "betavariate",
+        "choice",
+        "choices",
+        "expovariate",
+        "gauss",
+        "getrandbits",
+        "paretovariate",
+        "randbytes",
+        "randint",
+        "random",
+        "randrange",
+        "sample",
+        "seed",
+        "shuffle",
+        "triangular",
+        "uniform",
+        "vonmisesvariate",
+    }
+)
+
+# --------------------------------------------------------------------------
+# Import layering (VDB2xx).
+#
+# Allowed repro-internal import *prefixes* per top-level package
+# (module-scope imports).  A target is allowed when it equals a prefix
+# or extends it on a dot boundary.  ``None`` means "anything" (the
+# package sits at the top of the stack).  Lazy (function-scope) imports
+# get the union of the module-scope set and LAYERING_LAZY_EXTRA — the
+# documented cycle-breakers.
+
+LAYERING: dict[str, tuple[str, ...] | None] = {
+    # repro/__init__.py and any future top-level module: the facade.
+    "": None,
+    "analysis": (),  # the linter imports nothing from the system under test
+    "scores": ("repro.core.types", "repro.core.errors"),
+    "embed": ("repro.core.types", "repro.core.errors", "repro.scores"),
+    "quantization": (
+        "repro.core.types",
+        "repro.core.errors",
+        "repro.index._kernels",
+    ),
+    "index": (
+        "repro.core.types",
+        "repro.core.errors",
+        "repro.scores",
+        "repro.quantization",
+        "repro.storage.disk",
+    ),
+    "storage": (
+        "repro.core.types",
+        "repro.core.errors",
+        "repro.observability.instrument",
+        "repro.reliability",
+    ),
+    "observability": ("repro.index._kernels",),
+    "hybrid": (
+        "repro.core.types",
+        "repro.core.errors",
+        "repro.core.operators",
+        "repro.index",
+        "repro.scores",
+        "repro.observability.tracing",
+    ),
+    "reliability": ("repro.core.types", "repro.core.errors"),
+    "core": (
+        "repro.scores",
+        "repro.index",
+        "repro.hybrid",
+        "repro.quantization",
+        "repro.storage",
+        "repro.embed",
+        "repro.observability",
+    ),
+    "distributed": (
+        "repro.core",
+        "repro.index",
+        "repro.scores",
+        "repro.quantization",
+        "repro.hybrid",
+        "repro.storage",
+        "repro.observability",
+        "repro.reliability",
+    ),
+    "security": ("repro.core", "repro.index", "repro.scores"),
+    "bench": (
+        "repro.core",
+        "repro.index",
+        "repro.scores",
+        "repro.quantization",
+        "repro.hybrid",
+        "repro.systems",
+        "repro.observability",
+    ),
+    "systems": None,
+}
+
+#: Additional prefixes allowed only for *function-scope* (lazy) imports:
+#: the documented cycle-breakers.  Everything else stays forbidden even
+#: when imported lazily — laziness hides a cycle, not a layering hole.
+LAYERING_LAZY_EXTRA: dict[str, tuple[str, ...]] = {
+    "storage": ("repro.core.collection", "repro.core.database"),
+    "observability": ("repro.index._kernels",),
+    "index": ("repro.core",),
+    "scores": ("repro.core",),
+}
+
+#: Observability modules whose objects are no-op-able (they ship a
+#: DISABLED / NOOP_* twin) and may therefore be imported at module scope
+#: from the rest of the system.  The heavyweight modules (profiler,
+#: export, quality, slo) must be imported lazily by the method that
+#: needs them — core must stay importable and fast with observability
+#: effectively absent.
+OBSERVABILITY_NOOPABLE = frozenset(
+    {
+        "repro.observability.instrument",
+        "repro.observability.tracing",
+        "repro.observability.metrics",
+        "repro.observability.sketch",
+    }
+)
+
+# --------------------------------------------------------------------------
+# Stats accounting (VDB3xx).
+#
+# ``SearchStats`` is the cost model's and the profiler's ground truth:
+# ``attribution_residual() == 0`` only holds if counters are charged in
+# the approved places.  The field list is kept in lockstep with
+# ``repro.core.types.SearchStats`` (a test asserts equality).
+
+SEARCH_STATS_FIELDS = frozenset(
+    {
+        "distance_computations",
+        "nodes_visited",
+        "page_reads",
+        "candidates_examined",
+        "predicate_evaluations",
+        "predicate_rejections",
+        "plan_name",
+        "elapsed_seconds",
+        "partial",
+        "coverage_fraction",
+        "shards_ok",
+        "shards_failed",
+        "merged_count",
+    }
+)
+
+#: fnmatch globs (posix, repo-relative) of the modules approved to
+#: mutate SearchStats-named counters.  Everything else — notably the
+#: whole observability package (audit-isolation contract: the recall
+#: auditor must never touch query-path stats), scores, quantization
+#: (except the ADC searcher, which owns its stats twin), bench, embed —
+#: must route accounting through these layers.
+STATS_MUTATION_ALLOWLIST = (
+    "src/repro/core/types.py",
+    "src/repro/core/cost.py",  # the cost model *predicts* counters
+    "src/repro/core/executor.py",
+    "src/repro/core/operators.py",
+    "src/repro/core/batched.py",
+    "src/repro/core/multivector.py",
+    "src/repro/core/incremental.py",
+    "src/repro/core/updates.py",
+    "src/repro/core/database.py",
+    "src/repro/index/*.py",
+    "src/repro/hybrid/*.py",
+    "src/repro/storage/*.py",
+    "src/repro/distributed/*.py",
+    "src/repro/quantization/ivfadc.py",
+)
+
+#: Base-class names that mark a class as part of the index `search`
+#: contract: its ``search`` / ``_search`` / ``range_search`` overrides
+#: must declare and thread a ``stats`` parameter.
+INDEX_BASE_NAMES = frozenset({"VectorIndex", "GraphIndex", "TreeIndex"})
+
+#: Duck-typed searchers outside repro/index that opted into the same
+#: stats-threading contract: (module, class name).
+STATS_THREADING_CLASSES = frozenset(
+    {
+        ("repro.core.updates", "BufferedVectorIndex"),
+        ("repro.hybrid.partitioned", "AttributePartitionedIndex"),
+    }
+)
+
+# --------------------------------------------------------------------------
+# Kernel boundary (VDB4xx).
+#
+# The vectorized kernels assume float32 C-contiguous inputs
+# (``ensure_f32c`` layout); violating that silently upcasts or strides
+# the hot path.  Any call to these entry points must pass a matrix that
+# is *blessed*: produced by ``ensure_f32c`` in the same function,
+# stored on a ``._vectors`` / ``.vectors`` attribute (the build/ingest
+# paths enforce the layout there), or derived from such a value.
+
+#: kernel entry point name -> positional index of the vector-matrix arg
+#: (keyword name is always ``vectors``).
+KERNEL_ENTRYPOINTS: dict[str, int] = {
+    "beam_search": 1,
+    "beam_search_reference": 1,
+    "greedy_walk": 1,
+}
+
+#: Attribute names whose values the ingest paths guarantee to be
+#: float32 C-contiguous (``VectorIndex.build``, collection ingest).
+BLESSED_VECTOR_ATTRS = frozenset({"_vectors", "vectors"})
+
+#: Modules that *define* the kernels (exempt from VDB401 — they are the
+#: boundary).
+KERNEL_DEFINING_MODULES = frozenset(
+    {"repro.index._kernels", "repro.index._graph"}
+)
+
+# --------------------------------------------------------------------------
+# Exception-safe observability (VDB5xx).
+
+#: Methods that create a span; their result must be ``with``-scoped (or
+#: explicitly ``.finish()``-ed) in the creating function, returned to
+#: the caller, or handed to another call that owns it.
+SPAN_FACTORY_METHODS = frozenset({"start_span", "child"})
+
+#: Span methods that chain (return the same span) — climbing through
+#: these finds the expression that must be scoped.
+SPAN_CHAINING_METHODS = frozenset({"attach_stats", "set"})
+
+#: Attribute names that hold the no-op-able metric/tracing components.
+#: Outside repro/observability they must never appear in a conditional
+#: test — the no-op twins exist so call sites never branch.
+OBSERVABILITY_COMPONENT_ATTRS = frozenset({"metrics", "tracer"})
+
+#: Names that mark the approved normalization idiom
+#: (``x if x is not None else NOOP_*``) and exempt it from VDB502.
+NOOP_SENTINEL_MARKERS = ("NOOP", "DISABLED")

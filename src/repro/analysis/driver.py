@@ -1,0 +1,240 @@
+"""The vdblint driver: file discovery, rule execution, baseline gating.
+
+Public entry points:
+
+* :func:`analyze_source` — run the rules over one source string with a
+  virtual repo-relative path (what the fixture tests use);
+* :func:`analyze_paths` — walk real files and aggregate findings;
+* :func:`main` — the CLI behind ``python -m repro.analysis`` and the
+  ``vdblint`` console script.
+
+Exit codes: 0 clean, 1 non-baselined findings (or stale baseline in
+``--check`` mode), 2 usage/configuration errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+import tomllib
+from pathlib import Path
+
+from .baseline import DEFAULT_BASELINE_PATH, Baseline
+from .registry import Finding, Module, Rule, all_rules
+from .reporting import render_json, render_rule_catalog, render_text
+
+#: Directory names never descended into.
+_SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", "results"}
+
+
+def module_name_for(rel_path: str) -> str:
+    """Dotted module name for a repo-relative path.
+
+    ``src/repro/index/hnsw.py`` -> ``repro.index.hnsw``;
+    ``src/repro/core/__init__.py`` -> ``repro.core``.
+    """
+    parts = Path(rel_path).with_suffix("").parts
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def parse_module(source: str, rel_path: str) -> Module:
+    tree = ast.parse(source, filename=rel_path)
+    return Module(
+        path=Path(rel_path).as_posix(),
+        module=module_name_for(rel_path),
+        source=source,
+        tree=tree,
+    )
+
+
+def analyze_source(
+    source: str, rel_path: str, rules: list[Rule] | None = None
+) -> list[Finding]:
+    """Run rules over one source string under a virtual path."""
+    module = parse_module(source, rel_path)
+    findings: list[Finding] = []
+    for rule in rules if rules is not None else all_rules():
+        findings.extend(rule.check(module))
+    return findings
+
+
+def iter_python_files(paths: list[str], repo_root: Path) -> list[Path]:
+    out: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if not path.is_absolute():
+            path = repo_root / path
+        if path.is_file() and path.suffix == ".py":
+            out.append(path)
+        elif path.is_dir():
+            for sub in sorted(path.rglob("*.py")):
+                if not _SKIP_DIRS & set(sub.parts):
+                    out.append(sub)
+    return out
+
+
+def analyze_paths(
+    paths: list[str],
+    repo_root: Path,
+    rules: list[Rule] | None = None,
+) -> tuple[list[Finding], int]:
+    """(findings, files_scanned) over every python file under paths."""
+    rules = rules if rules is not None else all_rules()
+    findings: list[Finding] = []
+    files = iter_python_files(paths, repo_root)
+    for path in files:
+        rel = path.relative_to(repo_root).as_posix()
+        source = path.read_text()
+        try:
+            module = parse_module(source, rel)
+        except SyntaxError as exc:
+            findings.append(
+                Finding(
+                    rule="VDB000",
+                    severity="error",
+                    path=rel,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 0) + 1,
+                    message=f"syntax error: {exc.msg}",
+                )
+            )
+            continue
+        for rule in rules:
+            findings.extend(rule.check(module))
+    return findings, len(files)
+
+
+def find_repo_root(start: Path) -> Path:
+    """Nearest ancestor containing pyproject.toml (else ``start``)."""
+    for candidate in [start, *start.parents]:
+        if (candidate / "pyproject.toml").exists():
+            return candidate
+    return start
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="vdblint",
+        description=(
+            "AST-based invariant checker for the repro vector database: "
+            "determinism, import layering, stats accounting, kernel "
+            "boundaries, and exception-safe observability."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to scan (default: src/repro)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help=(
+            "gate mode: also fail (exit 1) on stale baseline entries, "
+            "so the baseline shrinks monotonically"
+        ),
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help=f"suppressions baseline (default: {DEFAULT_BASELINE_PATH})",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline entirely (report every finding)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="REASON",
+        default=None,
+        help=(
+            "regenerate the baseline from the current findings, "
+            "stamping REASON as the justification on every entry"
+        ),
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    parser.add_argument(
+        "--root",
+        default=None,
+        help="repository root (default: nearest pyproject.toml)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(render_rule_catalog())
+        return 0
+
+    repo_root = (
+        Path(args.root).resolve()
+        if args.root
+        else find_repo_root(Path.cwd())
+    )
+
+    rules = all_rules()
+    if args.select:
+        wanted = {r.strip() for r in args.select.split(",") if r.strip()}
+        unknown = wanted - {r.id for r in rules}
+        if unknown:
+            print(f"vdblint: unknown rule id(s): {sorted(unknown)}",
+                  file=sys.stderr)
+            return 2
+        rules = [r for r in rules if r.id in wanted]
+
+    try:
+        findings, files_scanned = analyze_paths(
+            args.paths, repo_root, rules
+        )
+    except OSError as exc:
+        print(f"vdblint: {exc}", file=sys.stderr)
+        return 2
+
+    baseline_path = repo_root / (args.baseline or DEFAULT_BASELINE_PATH)
+    if args.write_baseline is not None:
+        baseline = Baseline(path=baseline_path)
+        baseline.write(findings, args.write_baseline)
+        print(
+            f"vdblint: wrote {len(findings)} suppression(s) to "
+            f"{baseline_path}"
+        )
+        return 0
+
+    if args.no_baseline:
+        new, suppressed, stale = findings, [], []
+    else:
+        try:
+            baseline = Baseline.load(baseline_path)
+        except (ValueError, KeyError, tomllib.TOMLDecodeError) as exc:
+            print(f"vdblint: bad baseline: {exc}", file=sys.stderr)
+            return 2
+        new, suppressed, stale = baseline.split(findings)
+
+    renderer = render_json if args.format == "json" else render_text
+    print(renderer(new, suppressed, stale, files_scanned))
+
+    if new:
+        return 1
+    if args.check and stale:
+        return 1
+    return 0

@@ -1,0 +1,175 @@
+"""Rule registry, the `Finding` record, and the per-module AST context.
+
+A rule is a class with an ``id`` (``VDBnnn``), a default ``severity``,
+a one-line ``invariant`` (shown by ``--list-rules`` and mirrored in the
+docs), and a ``check(module)`` generator yielding :class:`Finding`
+records with precise ``file:line:col`` positions.  Registration is a
+decorator so adding a rule is one import away from being live.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One violation at a precise source position."""
+
+    rule: str
+    severity: str  # "error" | "warning"
+    path: str  # repo-relative posix path
+    line: int
+    col: int  # 1-based column, matching editors
+    message: str
+    #: The stripped source line — baseline entries match on it so a
+    #: suppression survives unrelated line-number drift.
+    context: str = ""
+
+    def render(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule} {self.severity}: {self.message}"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "context": self.context,
+        }
+
+
+@dataclass
+class Module:
+    """A parsed module plus the derived context every rule needs."""
+
+    path: str  # repo-relative posix path, e.g. "src/repro/index/hnsw.py"
+    module: str  # dotted module name, e.g. "repro.index.hnsw"
+    source: str
+    tree: ast.AST
+    lines: list[str] = field(default_factory=list)
+    _parents: dict[ast.AST, ast.AST] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.lines:
+            self.lines = self.source.splitlines()
+        if not self._parents:
+            for parent in ast.walk(self.tree):
+                for child in ast.iter_child_nodes(parent):
+                    self._parents[child] = parent
+
+    # ------------------------------------------------------------- accessors
+
+    @property
+    def package(self) -> str:
+        """Top-level subpackage under ``repro`` ('' for repro/__init__)."""
+        parts = self.module.split(".")
+        return parts[1] if len(parts) >= 2 else ""
+
+    def parent(self, node: ast.AST) -> ast.AST | None:
+        return self._parents.get(node)
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        cur = self._parents.get(node)
+        while cur is not None:
+            yield cur
+            cur = self._parents.get(cur)
+
+    def enclosing_function(
+        self, node: ast.AST
+    ) -> ast.FunctionDef | ast.AsyncFunctionDef | None:
+        for anc in self.ancestors(node):
+            if isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return anc
+        return None
+
+    def is_module_scope(self, node: ast.AST) -> bool:
+        """True when ``node`` executes at import time (not inside a
+        function or lambda; class bodies count as module scope)."""
+        for anc in self.ancestors(node):
+            if isinstance(
+                anc, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                return False
+        return True
+
+    def source_line(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """Dotted form of a Name/Attribute chain (``a.b.c``), else None."""
+    parts: list[str] = []
+    cur = node
+    while isinstance(cur, ast.Attribute):
+        parts.append(cur.attr)
+        cur = cur.value
+    if isinstance(cur, ast.Name):
+        parts.append(cur.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class Rule:
+    """Base class; subclasses set the class attributes and ``check``."""
+
+    id: str = ""
+    name: str = ""
+    severity: str = "error"
+    invariant: str = ""
+
+    def check(self, module: Module) -> Iterator[Finding]:  # pragma: no cover
+        raise NotImplementedError
+        yield  # makes every override a generator by contract
+
+    # ------------------------------------------------------------- helpers
+
+    def finding(
+        self, module: Module, node: ast.AST, message: str
+    ) -> Finding:
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0) + 1
+        return Finding(
+            rule=self.id,
+            severity=self.severity,
+            path=module.path,
+            line=line,
+            col=col,
+            message=message,
+            context=module.source_line(line),
+        )
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator: instantiate and index the rule by id."""
+    if not cls.id:
+        raise ValueError(f"rule {cls.__name__} has no id")
+    if cls.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {cls.id}")
+    _REGISTRY[cls.id] = cls()
+    return cls
+
+
+def all_rules() -> list[Rule]:
+    """Registered rules, sorted by id (imports the rule modules)."""
+    from . import rules as _rules  # noqa: F401  (registration side effect)
+
+    return [_REGISTRY[rid] for rid in sorted(_REGISTRY)]
+
+
+def get_rule(rule_id: str) -> Rule:
+    from . import rules as _rules  # noqa: F401
+
+    return _REGISTRY[rule_id]

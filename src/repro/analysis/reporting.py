@@ -1,0 +1,66 @@
+"""Finding renderers: human text and machine JSON."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+
+from .baseline import Suppression
+from .registry import Finding, all_rules
+
+
+def render_text(
+    new: list[Finding],
+    suppressed: list[Finding],
+    stale: list[Suppression],
+    files_scanned: int,
+) -> str:
+    lines: list[str] = []
+    for finding in sorted(new, key=lambda f: (f.path, f.line, f.col, f.rule)):
+        lines.append(finding.render())
+        if finding.context:
+            lines.append(f"    | {finding.context}")
+    for sup in stale:
+        lines.append(
+            f"{sup.path}: stale baseline entry for {sup.rule} "
+            f"({sup.context or 'any line'}) — the violation it covered is "
+            "gone; prune it"
+        )
+    by_rule = Counter(f.rule for f in new)
+    summary = (
+        f"vdblint: {files_scanned} files, {len(new)} finding(s)"
+        + (f" [{', '.join(f'{r}×{n}' for r, n in sorted(by_rule.items()))}]" if by_rule else "")
+        + (f", {len(suppressed)} baselined" if suppressed else "")
+        + (f", {len(stale)} stale baseline entr(y/ies)" if stale else "")
+    )
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(
+    new: list[Finding],
+    suppressed: list[Finding],
+    stale: list[Suppression],
+    files_scanned: int,
+) -> str:
+    return json.dumps(
+        {
+            "files_scanned": files_scanned,
+            "findings": [f.to_dict() for f in new],
+            "suppressed": [f.to_dict() for f in suppressed],
+            "stale_suppressions": [
+                {"rule": s.rule, "path": s.path, "context": s.context}
+                for s in stale
+            ],
+        },
+        indent=2,
+    )
+
+
+def render_rule_catalog() -> str:
+    """The --list-rules table (mirrored in docs/static-analysis.md)."""
+    lines = []
+    for rule in all_rules():
+        lines.append(f"{rule.id}  {rule.name} [{rule.severity}]")
+        lines.append(f"    {rule.invariant}")
+    return "\n".join(lines)

@@ -1,0 +1,20 @@
+"""Rule families — importing this package registers every rule.
+
+==========  ==============================================================
+family      invariant
+==========  ==============================================================
+VDB1xx      determinism: no wall-clock sources, no unseeded RNG
+VDB2xx      import layering: declared package DAG, no-op-able
+            observability surface only at module scope
+VDB3xx      stats accounting: SearchStats mutations allowlisted,
+            search overrides thread ``stats``
+VDB4xx      kernel boundary: vector matrices entering the kernels are
+            ``ensure_f32c``-blessed
+VDB5xx      exception-safe observability: spans are ``with``-scoped,
+            no bare conditionals around no-op-able components
+==========  ==============================================================
+"""
+
+from . import determinism, kernels, layering, spans, stats
+
+__all__ = ["determinism", "kernels", "layering", "spans", "stats"]

@@ -1,0 +1,153 @@
+"""VDB1xx — determinism: no wall-clock sources, no unseeded RNG.
+
+Contract provenance: the seeded fault plans / retry jitter of PR 1 and
+the simulated-clock latency model of the distributed layer only
+reproduce if *nothing* on the query/index/storage path reads the wall
+clock or hidden global RNG state.  ``time.perf_counter`` is exempt —
+it measures durations for observability and never feeds a decision.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .. import contracts
+from ..registry import Finding, Module, Rule, dotted_name, register
+
+
+def _module_aliases(tree: ast.AST, target: str) -> set[str]:
+    """Names the module ``target`` is bound to in this file
+    (``import numpy as np`` -> {"np"})."""
+    aliases: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for a in node.names:
+                if a.name == target:
+                    aliases.add(a.asname or a.name.split(".")[0])
+    return aliases
+
+
+def _from_imports(tree: ast.AST, module: str) -> set[str]:
+    """Local names bound by ``from <module> import x [as y]``."""
+    names: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == module:
+            for a in node.names:
+                names.add(a.asname or a.name)
+    return names
+
+
+@register
+class WallClockRule(Rule):
+    id = "VDB101"
+    name = "wall-clock-source"
+    invariant = (
+        "No wall-clock time source on any repro path: time.time/"
+        "monotonic and datetime.now/utcnow/today are banned; the "
+        "simulated clock (or an injected clock callable) is the only "
+        "time source, time.perf_counter the only duration probe."
+    )
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = dotted_name(node.func)
+            if dotted is None:
+                continue
+            if dotted in contracts.WALL_CLOCK_CALLS:
+                yield self.finding(
+                    module,
+                    node,
+                    f"wall-clock source {dotted}() — use the simulated "
+                    "clock / injected clock parameter (time.perf_counter "
+                    "is the only approved duration probe)",
+                )
+
+
+@register
+class UnseededRngRule(Rule):
+    id = "VDB102"
+    name = "unseeded-rng"
+    invariant = (
+        "All randomness flows from a seeded np.random.Generator (or "
+        "seeded random.Random instance): module-level np.random.* and "
+        "random.* calls, np.random.RandomState, and argument-less "
+        "default_rng() are banned."
+    )
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        numpy_names = _module_aliases(module.tree, "numpy")
+        random_names = _module_aliases(module.tree, "random")
+        random_fns = _from_imports(module.tree, "random") & (
+            contracts.STDLIB_RANDOM_FNS | {"seed"}
+        )
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = dotted_name(node.func)
+            if dotted is None:
+                continue
+            parts = dotted.split(".")
+            # --- numpy: np.random.<fn> / numpy.random.<fn>
+            if (
+                len(parts) >= 3
+                and parts[0] in numpy_names
+                and parts[1] == "random"
+            ):
+                fn = parts[2]
+                if fn in contracts.NP_RANDOM_LEGACY:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"module-level RNG {dotted}() uses hidden global "
+                        "state — thread a seeded np.random.Generator",
+                    )
+                elif fn == "RandomState":
+                    yield self.finding(
+                        module,
+                        node,
+                        "np.random.RandomState is legacy global-state "
+                        "RNG — use np.random.default_rng(seed)",
+                    )
+                elif fn == "default_rng" and not node.args and not node.keywords:
+                    yield self.finding(
+                        module,
+                        node,
+                        "default_rng() without a seed is entropy-seeded "
+                        "and irreproducible — pass an explicit seed",
+                    )
+            # --- stdlib random module: random.<fn>
+            elif len(parts) == 2 and parts[0] in random_names:
+                fn = parts[1]
+                if fn in contracts.STDLIB_RANDOM_FNS:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"module-level RNG {dotted}() uses hidden global "
+                        "state — construct random.Random(seed) and thread it",
+                    )
+                elif fn == "Random" and not node.args and not node.keywords:
+                    yield self.finding(
+                        module,
+                        node,
+                        "random.Random() without a seed is entropy-seeded "
+                        "— pass an explicit seed",
+                    )
+                elif fn == "SystemRandom":
+                    yield self.finding(
+                        module,
+                        node,
+                        "random.SystemRandom is OS entropy — deterministic "
+                        "paths must use a seeded RNG",
+                    )
+            # --- from random import shuffle; shuffle(...)
+            elif len(parts) == 1 and parts[0] in random_fns:
+                yield self.finding(
+                    module,
+                    node,
+                    f"{parts[0]}() from the random module uses hidden "
+                    "global state — construct random.Random(seed) and "
+                    "thread it",
+                )

@@ -1,0 +1,142 @@
+"""VDB2xx — import layering.
+
+Contract provenance: the package DAG was implicit from PR 0 (scores →
+index → core facade) and PRs 1–4 kept it alive by hand (lazy imports
+with "storage must not import core at module load time" comments; the
+no-op observability surface of PR 3).  These rules make both halves
+explicit:
+
+* VDB201 — every repro-internal import must match the declared allowed
+  prefixes for its source package (``contracts.LAYERING``); lazy
+  function-scope imports additionally get the documented cycle-breakers
+  (``contracts.LAYERING_LAZY_EXTRA``) and nothing more.
+* VDB202 — outside ``repro.observability`` itself, module-scope imports
+  from the observability package are restricted to the no-op-able
+  surface (instrument/tracing/metrics/sketch).  Profiler, export,
+  quality, and slo must be imported lazily by the method that needs
+  them, so core stays fast and importable with observability
+  effectively off.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .. import contracts
+from ..registry import Finding, Module, Rule, register
+
+
+def resolve_import_target(
+    module: Module, node: ast.Import | ast.ImportFrom
+) -> list[str]:
+    """Absolute dotted targets of an import statement (repro-internal
+    relative imports resolved against the importing module)."""
+    if isinstance(node, ast.Import):
+        return [a.name for a in node.names]
+    if node.level == 0:
+        return [node.module] if node.module else []
+    parts = module.module.split(".")
+    if not module.path.endswith("__init__.py"):
+        parts = parts[:-1]  # relative to the containing package
+    up = node.level - 1
+    if up >= len(parts):
+        return []
+    base = parts[: len(parts) - up] if up else parts
+    return [".".join(base + ([node.module] if node.module else []))]
+
+
+def _allowed(target: str, prefixes: tuple[str, ...]) -> bool:
+    return any(
+        target == p or target.startswith(p + ".") for p in prefixes
+    )
+
+
+@register
+class PackageDagRule(Rule):
+    id = "VDB201"
+    name = "layering-dag"
+    invariant = (
+        "repro-internal imports must follow the declared package DAG; "
+        "lazy imports may additionally use the documented "
+        "cycle-breakers, nothing else."
+    )
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        pkg = module.package
+        prefixes = contracts.LAYERING.get(pkg, ())
+        if prefixes is None:  # facade / preset packages: anything goes
+            return
+        lazy_extra = contracts.LAYERING_LAZY_EXTRA.get(pkg, ())
+        self_prefix = f"repro.{pkg}" if pkg else "repro"
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.Import, ast.ImportFrom)):
+                continue
+            at_module_scope = module.is_module_scope(node)
+            for target in resolve_import_target(module, node):
+                if target != "repro" and not target.startswith("repro."):
+                    continue
+                if target == "repro":
+                    # importing the facade from inside the library is a
+                    # guaranteed cycle
+                    yield self.finding(
+                        module,
+                        node,
+                        f"'{module.module}' imports the repro facade — "
+                        "import the concrete module instead",
+                    )
+                    continue
+                if _allowed(target, (self_prefix,)) or _allowed(
+                    target, prefixes
+                ):
+                    continue
+                if not at_module_scope and _allowed(target, lazy_extra):
+                    continue
+                where = (
+                    "module scope"
+                    if at_module_scope
+                    else "function scope (lazy)"
+                )
+                yield self.finding(
+                    module,
+                    node,
+                    f"package '{pkg or '(top)'}' must not import "
+                    f"'{target}' at {where} — declared layering allows "
+                    f"only {sorted(prefixes + lazy_extra) or 'nothing'} "
+                    "(see repro.analysis.contracts.LAYERING)",
+                )
+
+
+@register
+class ObservabilitySurfaceRule(Rule):
+    id = "VDB202"
+    name = "observability-optional"
+    invariant = (
+        "Outside repro.observability, module-scope observability "
+        "imports are limited to the no-op-able surface (instrument/"
+        "tracing/metrics/sketch); profiler, export, quality, and slo "
+        "must be imported lazily."
+    )
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        if module.package in ("observability", ""):
+            return  # the package itself and the facade re-export freely
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.Import, ast.ImportFrom)):
+                continue
+            if not module.is_module_scope(node):
+                continue
+            for target in resolve_import_target(module, node):
+                if target == "repro.observability" or target.startswith(
+                    "repro.observability."
+                ):
+                    if target not in contracts.OBSERVABILITY_NOOPABLE:
+                        yield self.finding(
+                            module,
+                            node,
+                            f"module-scope import of '{target}' — only "
+                            "the no-op-able observability surface "
+                            f"({sorted(m.rsplit('.', 1)[1] for m in contracts.OBSERVABILITY_NOOPABLE)}) "
+                            "may load eagerly; import this lazily in "
+                            "the method that needs it",
+                        )

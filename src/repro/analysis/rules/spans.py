@@ -1,0 +1,181 @@
+"""VDB5xx — exception-safe observability.
+
+Contract provenance: PR 3's tracer validates span-tree well-formedness
+(``validate_span_tree``); a span left open on an exception path breaks
+the tree, corrupts stats-delta attribution, and leaks into every later
+trace export.  The no-op twins (``NOOP_SPAN`` / ``NOOP_TRACER`` /
+``NOOP_METRICS`` / ``DISABLED``) exist precisely so hot-path call sites
+never branch on "is observability on?".
+
+* VDB501 — every span created via ``start_span``/``child`` must be
+  ``with``-scoped, explicitly ``finish()``-ed, returned to the caller,
+  or handed to another call that owns it.  Creating a span and
+  dropping it (or assigning it and never closing it) is a leak.
+* VDB502 — outside ``repro.observability``, conditional tests on the
+  no-op-able components (``.metrics`` / ``.tracer``) are banned; the
+  approved normalization idiom (``x if x is not None else NOOP_*``) is
+  exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .. import contracts
+from ..registry import Finding, Module, Rule, register
+
+
+def _chain_root(module: Module, call: ast.Call) -> ast.expr:
+    """Climb a span method chain (``.attach_stats``/``.set``) to the
+    outermost expression whose value is the span."""
+    node: ast.expr = call
+    while True:
+        parent = module.parent(node)
+        if (
+            isinstance(parent, ast.Attribute)
+            and parent.attr in contracts.SPAN_CHAINING_METHODS
+        ):
+            grand = module.parent(parent)
+            if isinstance(grand, ast.Call) and grand.func is parent:
+                node = grand
+                continue
+        return node
+
+
+def _with_names(fn: ast.AST) -> set[str]:
+    """Names used as ``with`` context expressions inside ``fn``."""
+    names: set[str] = set()
+    for node in ast.walk(fn):
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if isinstance(item.context_expr, ast.Name):
+                    names.add(item.context_expr.id)
+    return names
+
+
+def _finished_names(fn: ast.AST) -> set[str]:
+    """Names on which ``.finish()`` / ``.end()`` is called in ``fn``."""
+    names: set[str] = set()
+    for node in ast.walk(fn):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in ("finish", "end")
+            and isinstance(node.func.value, ast.Name)
+        ):
+            names.add(node.func.value.id)
+    return names
+
+
+@register
+class SpanScopeRule(Rule):
+    id = "VDB501"
+    name = "span-scoped"
+    invariant = (
+        "Spans (tracer.start_span / span.child) must be with-scoped or "
+        "explicitly finish()-ed in the creating function; an unclosed "
+        "span corrupts the trace tree and its stats-delta attribution."
+    )
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        if module.package == "observability":
+            return  # the factories themselves live here
+        for node in ast.walk(module.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in contracts.SPAN_FACTORY_METHODS
+            ):
+                continue
+            root = _chain_root(module, node)
+            parent = module.parent(root)
+            # with span.child(...) [as s]:  — scoped, fine
+            if isinstance(parent, ast.withitem):
+                continue
+            # return tracer.start_span(...) — ownership moves to caller
+            if isinstance(parent, ast.Return):
+                continue
+            # f(span.child(...)) or x.method(span.child(...)) — handed off
+            if isinstance(parent, ast.Call) and root in parent.args:
+                continue
+            if isinstance(parent, ast.keyword):
+                continue
+            # name = span.child(...)  — must be with-scoped or finished
+            if isinstance(parent, ast.Assign) and all(
+                isinstance(t, ast.Name) for t in parent.targets
+            ):
+                scope = module.enclosing_function(node) or module.tree
+                ok = _with_names(scope) | _finished_names(scope)
+                targets = {t.id for t in parent.targets}
+                if targets & ok:
+                    continue
+                yield self.finding(
+                    module,
+                    node,
+                    f"span assigned to {sorted(targets)} is never "
+                    "with-scoped or finish()-ed in this function — an "
+                    "exception here leaks an open span",
+                )
+                continue
+            yield self.finding(
+                module,
+                node,
+                "span created and dropped — enter it with 'with', "
+                "finish() it, or return it to the caller",
+            )
+
+
+def _mentions_noop_sentinel(node: ast.AST) -> bool:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and any(
+            marker in sub.id for marker in contracts.NOOP_SENTINEL_MARKERS
+        ):
+            return True
+        if isinstance(sub, ast.Attribute) and any(
+            marker in sub.attr for marker in contracts.NOOP_SENTINEL_MARKERS
+        ):
+            return True
+    return False
+
+
+@register
+class BareObservabilityConditionalRule(Rule):
+    id = "VDB502"
+    name = "noop-not-branch"
+    invariant = (
+        "Hot-path code never branches on '.metrics' / '.tracer' — the "
+        "no-op twins make the call unconditionally safe; the only "
+        "approved test is the normalization idiom "
+        "'x if x is not None else NOOP_*'."
+    )
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        if module.package == "observability":
+            return  # constructors normalize to the no-op twins here
+        for node in ast.walk(module.tree):
+            tests: list[ast.expr] = []
+            if isinstance(node, (ast.If, ast.While)):
+                tests = [node.test]
+            elif isinstance(node, ast.IfExp):
+                if _mentions_noop_sentinel(node):
+                    continue  # the approved normalization idiom
+                tests = [node.test]
+            elif isinstance(node, ast.Assert):
+                tests = [node.test]
+            for test in tests:
+                for sub in ast.walk(test):
+                    if (
+                        isinstance(sub, ast.Attribute)
+                        and sub.attr
+                        in contracts.OBSERVABILITY_COMPONENT_ATTRS
+                    ):
+                        yield self.finding(
+                            module,
+                            sub,
+                            f"conditional on '.{sub.attr}' — the no-op "
+                            "twins (NOOP_METRICS / NOOP_TRACER / "
+                            "DISABLED) exist so call sites never "
+                            "branch; call through the bundle "
+                            "unconditionally",
+                        )

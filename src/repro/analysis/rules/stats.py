@@ -1,0 +1,199 @@
+"""VDB3xx — SearchStats accounting.
+
+Contract provenance: PR 2 fixed, by hand, a shared-stats
+double-charging bug in ``graph_base`` (predicate work attributed to
+whatever the caller had already accumulated); PR 3's profiler asserts
+``attribution_residual() == 0`` everywhere; PR 4's recall auditor is
+*defined* by never touching query-path stats.  All three only hold if
+counter mutation stays where it is audited:
+
+* VDB301 — assignments/augmented-assignments to attributes named like
+  ``SearchStats`` counters are allowed only in the approved modules
+  (``contracts.STATS_MUTATION_ALLOWLIST``).
+* VDB302 — ``search``/``_search``/``range_search`` overrides on
+  index-contract classes must declare a ``stats`` parameter.
+* VDB303 — those overrides must actually *thread* the stats object:
+  reference it in a nested call, mutate a counter, or merge it.
+"""
+
+from __future__ import annotations
+
+import ast
+from fnmatch import fnmatch
+from typing import Iterator
+
+from .. import contracts
+from ..registry import Finding, Module, Rule, register
+
+_SEARCH_METHODS = ("search", "_search", "range_search")
+
+
+def _stats_allowlisted(path: str) -> bool:
+    return any(
+        fnmatch(path, pattern)
+        for pattern in contracts.STATS_MUTATION_ALLOWLIST
+    )
+
+
+def _index_contract_classes(module: Module) -> list[ast.ClassDef]:
+    """Classes bound by the stats-threading contract in this module."""
+    out = []
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        base_names = {
+            b.id if isinstance(b, ast.Name) else getattr(b, "attr", "")
+            for b in node.bases
+        }
+        if base_names & contracts.INDEX_BASE_NAMES:
+            out.append(node)
+        elif (module.module, node.name) in contracts.STATS_THREADING_CLASSES:
+            out.append(node)
+    return out
+
+
+@register
+class StatsMutationRule(Rule):
+    id = "VDB301"
+    name = "stats-accounting"
+    invariant = (
+        "SearchStats counters may be mutated only in the approved "
+        "accounting modules; notably the observability package (audit "
+        "isolation), scores, and quantization must never touch them."
+    )
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        if _stats_allowlisted(module.path):
+            return
+        for node in ast.walk(module.tree):
+            targets: list[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            for target in targets:
+                for t in ast.walk(target):
+                    if (
+                        isinstance(t, ast.Attribute)
+                        and isinstance(t.ctx, ast.Store)
+                        and t.attr in contracts.SEARCH_STATS_FIELDS
+                    ):
+                        yield self.finding(
+                            module,
+                            t,
+                            f"mutation of stats counter '.{t.attr}' "
+                            "outside the accounting allowlist — "
+                            "charge this through an approved layer or "
+                            "extend contracts.STATS_MUTATION_ALLOWLIST "
+                            "in the same review",
+                        )
+
+
+@register
+class StatsSignatureRule(Rule):
+    id = "VDB302"
+    name = "stats-parameter"
+    invariant = (
+        "Every search/_search/range_search override on an index-"
+        "contract class must declare a 'stats' parameter."
+    )
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        for cls in _index_contract_classes(module):
+            for item in cls.body:
+                if (
+                    isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and item.name in _SEARCH_METHODS
+                ):
+                    params = {
+                        a.arg
+                        for a in (
+                            item.args.args
+                            + item.args.kwonlyargs
+                            + item.args.posonlyargs
+                        )
+                    }
+                    if "stats" not in params:
+                        yield self.finding(
+                            module,
+                            item,
+                            f"{cls.name}.{item.name} does not declare a "
+                            "'stats' parameter — every index search "
+                            "override must accept and thread SearchStats",
+                        )
+
+
+@register
+class StatsThreadingRule(Rule):
+    id = "VDB303"
+    name = "stats-threading"
+    invariant = (
+        "search overrides must thread the stats object onward: pass it "
+        "to a nested call, mutate a counter, or merge it — accepting "
+        "and dropping it silently corrupts cost attribution."
+    )
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        for cls in _index_contract_classes(module):
+            for item in cls.body:
+                if not (
+                    isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and item.name in _SEARCH_METHODS
+                ):
+                    continue
+                params = {
+                    a.arg
+                    for a in (
+                        item.args.args
+                        + item.args.kwonlyargs
+                        + item.args.posonlyargs
+                    )
+                }
+                if "stats" not in params:
+                    continue  # VDB302's problem
+                if item.name == "_search" and not _has_body(item):
+                    continue  # abstract declaration
+                if not _threads_stats(item):
+                    yield self.finding(
+                        module,
+                        item,
+                        f"{cls.name}.{item.name} accepts 'stats' but "
+                        "never threads it (no nested call receives it, "
+                        "no counter is charged) — the override silently "
+                        "drops cost accounting",
+                    )
+
+
+def _has_body(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    """False for docstring-only / ellipsis / raise-only declarations."""
+    real = [
+        s
+        for s in fn.body
+        if not (
+            isinstance(s, ast.Expr)
+            and isinstance(s.value, ast.Constant)
+        )
+        and not isinstance(s, (ast.Pass, ast.Raise))
+    ]
+    return bool(real)
+
+
+def _threads_stats(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    for node in ast.walk(fn):
+        # stats passed into a nested call (positionally or by keyword)
+        if isinstance(node, ast.Call):
+            for arg in node.args:
+                if isinstance(arg, ast.Name) and arg.id == "stats":
+                    return True
+            for kw in node.keywords:
+                if (
+                    isinstance(kw.value, ast.Name)
+                    and kw.value.id == "stats"
+                ):
+                    return True
+        # a counter charged directly, or stats.merge(...) / method call
+        if isinstance(node, ast.Attribute) and (
+            isinstance(node.value, ast.Name) and node.value.id == "stats"
+        ):
+            return True
+    return False

@@ -3,8 +3,6 @@
 from .batched import batched_graph_search
 from .collection import VectorCollection
 from .cost import CostModel, CostWeights, EmpiricalCostModel, WorkEstimate
-from .incremental import IncrementalSearcher, RestartIncrementalSearcher
-from .multivector import MultiVectorEntityCollection
 from .database import VectorDatabase
 from .errors import (
     AllReplicasDownError,
@@ -25,6 +23,8 @@ from .errors import (
     VdbmsError,
 )
 from .executor import QueryExecutor
+from .incremental import IncrementalSearcher, RestartIncrementalSearcher
+from .multivector import MultiVectorEntityCollection
 from .optimizer import (
     CostBasedSelector,
     FirstPlanSelector,

@@ -19,7 +19,7 @@ shows up as the documented inflation heuristics for blocked scans.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

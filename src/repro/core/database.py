@@ -21,7 +21,6 @@ from ..hybrid.partitioned import AttributePartitionedIndex
 from ..hybrid.predicates import Predicate
 from ..index.registry import make_index
 from ..observability.instrument import DISABLED, Observability
-from ..observability.profiler import QueryProfile, build_profile_tree
 from ..scores import get_score
 from .collection import VectorCollection
 from .errors import PlanningError, QueryError
@@ -287,6 +286,10 @@ class VectorDatabase:
         observability configuration is untouched — profiling swaps in a
         tracing-only bundle for the duration of this one query.
         """
+        # Lazy: the profiler is not part of the no-op-able observability
+        # surface, and core must stay importable/fast without it (VDB202).
+        from ..observability.profiler import QueryProfile, build_profile_tree
+
         query = SearchQuery(
             self._vectorize(vector, entity), k, c=c, predicate=predicate,
             params=params,
@@ -417,7 +420,7 @@ class VectorDatabase:
         """
         import time
 
-        from ..scores import available_scores, get_score
+        from ..scores import get_score
         from .operators import TableScan
 
         query = self._vectorize(vector, entity)

@@ -575,7 +575,7 @@ class DistributedSearchCluster:
                 ).inc()
         if dstats.partial:
             warnings.warn(
-                f"query answered with partial coverage"
+                "query answered with partial coverage"
                 f" ({dstats.shards_ok}/{dstats.shards_contacted} shards,"
                 f" skipped {dstats.skipped_shards})",
                 PartialResultWarning,

@@ -16,8 +16,8 @@ import numpy as np
 
 from ..core.types import SearchHit, SearchStats
 from ..scores import Score
-from .base import VectorIndex
 from ._tree import TreeNode, best_first_search, build_tree, tree_stats, unit
+from .base import VectorIndex
 
 
 def _annoy_split(rows: np.ndarray, rng: np.random.Generator):

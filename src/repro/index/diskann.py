@@ -17,7 +17,7 @@ from typing import Any
 
 import numpy as np
 
-from ..core.types import SearchHit, SearchStats, VECTOR_DTYPE
+from ..core.types import VECTOR_DTYPE, SearchHit, SearchStats
 from ..quantization.pq import ProductQuantizer
 from ..scores import Score
 from ..storage.disk import SimulatedDisk

@@ -8,9 +8,9 @@ import numpy as np
 
 from ..core.types import SearchHit, SearchStats
 from ..scores import Score
-from .base import VectorIndex
 from ._graph import Adjacency, beam_search, graph_degree_stats, medoid
 from ._kernels import CSRAdjacency
+from .base import VectorIndex
 
 
 class GraphIndex(VectorIndex):

@@ -20,8 +20,8 @@ import numpy as np
 from ..scores import Score
 from ._graph import Adjacency
 from ._kernels import topk_indices
-from .graph_base import GraphIndex
 from ._tree import build_tree
+from .graph_base import GraphIndex
 from .randkd import _random_top_axis_split
 
 

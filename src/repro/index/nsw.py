@@ -12,7 +12,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core.types import SearchStats
 from ..scores import Score
 from ._graph import Adjacency, beam_search
 from .graph_base import GraphIndex

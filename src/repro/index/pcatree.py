@@ -23,8 +23,8 @@ import numpy as np
 
 from ..core.types import SearchHit, SearchStats
 from ..scores import Score
-from .base import VectorIndex
 from ._tree import TreeNode, best_first_search, tree_stats, unit
+from .base import VectorIndex
 
 
 def principal_axes(data: np.ndarray, top: int) -> np.ndarray:

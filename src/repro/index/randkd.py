@@ -15,8 +15,8 @@ import numpy as np
 
 from ..core.types import SearchHit, SearchStats
 from ..scores import Score
-from .base import VectorIndex
 from ._tree import TreeNode, best_first_search, build_tree, tree_stats
+from .base import VectorIndex
 
 
 def _random_top_axis_split(top_axes: int):

@@ -22,7 +22,7 @@ from typing import Any
 
 import numpy as np
 
-from ..core.types import SearchHit, SearchStats, VECTOR_DTYPE, topk_from_arrays
+from ..core.types import VECTOR_DTYPE, SearchHit, SearchStats, topk_from_arrays
 from ..quantization.kmeans import kmeans
 from ..scores import Score
 from ..storage.disk import SimulatedDisk

@@ -15,6 +15,7 @@ import numpy as np
 
 from ..scores import Score
 from ._graph import Adjacency, beam_search, ensure_connected, medoid, robust_prune
+from ._kernels import ensure_f32c
 from .graph_base import GraphIndex
 
 
@@ -27,6 +28,10 @@ def build_vamana_graph(
     seed: int = 0,
 ) -> tuple[Adjacency, int]:
     """Construct a Vamana graph; returns (adjacency, medoid position)."""
+    # Kernel boundary: the beam searches below assume float32
+    # C-contiguous (a no-op for the in-tree callers, which pass the
+    # ingest-blessed ``self._vectors``).
+    vectors = ensure_f32c(vectors)
     n = vectors.shape[0]
     if n == 0:
         return [], 0

@@ -42,12 +42,12 @@ from .export import (
 )
 from .instrument import DISABLED, Observability
 from .metrics import (
+    NOOP_METRIC,
+    NOOP_METRICS,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
-    NOOP_METRIC,
-    NOOP_METRICS,
 )
 from .profiler import ProfileNode, QueryProfile, build_profile_tree
 from .quality import AuditRecord, RecallAuditor
@@ -60,9 +60,9 @@ from .sketch import (
 )
 from .slo import (
     DEFAULT_BURN_POLICIES,
+    SLO,
     BurnRatePolicy,
     HealthReport,
-    SLO,
     SLOAlert,
     SLOMonitor,
     SLOStatus,

@@ -53,10 +53,10 @@ import math
 from typing import Any, Callable, Sequence
 
 from .export import SlowQueryLog
-from .metrics import MetricsRegistry, NOOP_METRICS, NoopMetricsRegistry
+from .metrics import NOOP_METRICS, MetricsRegistry, NoopMetricsRegistry
 from .quality import RecallAuditor
 from .sketch import DEFAULT_QUANTILES, NOOP_SKETCH, QuantileSketch
-from .slo import DEFAULT_BURN_POLICIES, HealthReport, SLO, SLOMonitor
+from .slo import DEFAULT_BURN_POLICIES, SLO, HealthReport, SLOMonitor
 from .tracing import NOOP_TRACER, NoopTracer, Tracer
 
 __all__ = ["DISABLED", "Observability"]

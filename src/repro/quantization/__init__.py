@@ -1,5 +1,6 @@
 """Vector compression: k-means, SQ, PQ, OPQ, IVFADC, blocked ADC scans."""
 
+from .anisotropic import AnisotropicQuantizer
 from .fastscan import (
     FastScanPQ,
     QuantizedTable,
@@ -9,7 +10,6 @@ from .fastscan import (
     table_quantization_error,
     transpose_codes,
 )
-from .anisotropic import AnisotropicQuantizer
 from .ivfadc import IvfAdc, IvfAdcSearchStats
 from .kmeans import KMeansResult, assign, assign_topn, kmeans, kmeans_pp_init
 from .opq import OptimizedProductQuantizer

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import fnmatch
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = [
     "CRASH",

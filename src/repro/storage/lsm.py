@@ -12,7 +12,7 @@ attribute dict.  Deletes are tombstones until compaction drops them.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Iterator
 
 import numpy as np

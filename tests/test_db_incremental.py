@@ -1,6 +1,5 @@
 """Tests for the database incremental-search facade."""
 
-import numpy as np
 import pytest
 
 from repro.core.database import VectorDatabase

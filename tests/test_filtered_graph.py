@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.core.types import SearchStats
 from repro.index import FilteredHnswIndex, HnswIndex
 from repro.index.flat import FlatIndex
 from repro.scores import EuclideanScore

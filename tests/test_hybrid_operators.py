@@ -1,6 +1,5 @@
 """Tests for the hybrid scan operators (§2.3)."""
 
-import numpy as np
 import pytest
 
 from repro.core.collection import VectorCollection

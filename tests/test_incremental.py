@@ -1,6 +1,5 @@
 """Tests for index-supported incremental search (§2.6(5))."""
 
-import numpy as np
 import pytest
 
 from repro.core.incremental import IncrementalSearcher, RestartIncrementalSearcher

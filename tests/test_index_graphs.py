@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.core.types import SearchStats
 from repro.index import (
     FanngIndex,
     HnswIndex,
@@ -195,7 +194,7 @@ class TestNswHnsw:
         full = NswIndex(connections=8, seed=0).build(small_data)
         incremental = NswIndex(connections=8, seed=0).build(small_data[:200])
         incremental.add(small_data[200:], np.arange(200, 300))
-        assert len(incremental) == 300
+        assert len(incremental) == len(full) == 300
         hits = incremental.search(small_data[250], 5)
         assert 250 in [h.id for h in hits]
 

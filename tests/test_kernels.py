@@ -12,8 +12,7 @@ ingest enforcement.
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
+from hypothesis import given, settings, strategies as st
 
 from repro.core.collection import VectorCollection
 from repro.core.types import SearchStats
@@ -21,8 +20,8 @@ from repro.index import (
     HnswIndex,
     KnngIndex,
     NgtIndex,
-    NswIndex,
     NsgIndex,
+    NswIndex,
     VamanaIndex,
 )
 from repro.index._graph import beam_search, beam_search_reference, greedy_walk

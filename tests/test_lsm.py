@@ -1,9 +1,7 @@
 """Tests for the LSM vector store (out-of-place updates, §2.3)."""
 
 import numpy as np
-import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
+from hypothesis import given, settings, strategies as st
 
 from repro.storage import LsmVectorStore
 

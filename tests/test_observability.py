@@ -17,8 +17,7 @@ import warnings
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
+from hypothesis import given, settings, strategies as st
 
 from repro import (
     FaultPlan,
@@ -36,9 +35,7 @@ from repro.observability import (
     STAT_FIELDS,
     MetricsRegistry,
     SlowQueryLog,
-    Span,
     Tracer,
-    build_profile_tree,
     spans_to_jsonl,
 )
 from repro.reliability.faults import CRASH, FLAKY, FaultSpec

@@ -1,6 +1,5 @@
 """Tests for plan enumeration, the cost model, and plan selection."""
 
-import numpy as np
 import pytest
 
 from repro.core.cost import CostModel, CostWeights, WorkEstimate
@@ -11,7 +10,7 @@ from repro.core.optimizer import (
     RuleBasedSelector,
 )
 from repro.core.planner import AutomaticPlanner, PredefinedPlanner, QueryPlan
-from repro.index import FlatIndex, HnswIndex, IvfFlatIndex
+from repro.index import HnswIndex, IvfFlatIndex
 
 
 @pytest.fixture(scope="module")

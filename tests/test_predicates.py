@@ -2,20 +2,10 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
+from hypothesis import given, settings, strategies as st
 
 from repro.core.errors import PredicateError
-from repro.hybrid.predicates import (
-    And,
-    Between,
-    Comparison,
-    Field,
-    In,
-    Not,
-    Or,
-    TruePredicate,
-)
+from repro.hybrid.predicates import Between, Comparison, Field, In, TruePredicate
 
 
 @pytest.fixture

@@ -24,12 +24,11 @@ import math
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
+from hypothesis import given, settings, strategies as st
 
 from repro import (
-    Observability,
     SLO,
+    Observability,
     VectorDatabase,
 )
 from repro.bench.metrics import exact_ground_truth, recall_at_k

@@ -11,7 +11,7 @@ from repro import (
 from repro.core.errors import UnknownIndexError
 from repro.core.planner import QueryPlan
 from repro.hybrid.predicates import Field
-from repro.index import VectorIndex, index_families, register_index
+from repro.index import index_families, register_index
 from repro.index.flat import FlatIndex
 
 

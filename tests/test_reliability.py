@@ -30,7 +30,6 @@ from repro.reliability import (
     SLOW,
     CircuitBreaker,
     Deadline,
-    FaultInjector,
     FaultPlan,
     FaultSpec,
     RetryPolicy,

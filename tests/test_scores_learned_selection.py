@@ -10,9 +10,9 @@ from repro.scores import (
     InnerProductScore,
     concentration_ratio,
     learn_mahalanobis,
+    normalize_rows,
     recommend_score,
     relative_contrast,
-    normalize_rows,
 )
 
 

@@ -1,6 +1,5 @@
 """Tests for the score registry."""
 
-import numpy as np
 import pytest
 
 from repro.core.errors import UnknownScoreError
@@ -8,7 +7,6 @@ from repro.scores import (
     CosineScore,
     EuclideanScore,
     MinkowskiScore,
-    Score,
     available_scores,
     get_score,
     register_score,

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.index.flat import FlatIndex
 from repro.scores import EuclideanScore
 from repro.security import DcpeKey, SecureKnnClient, SecureSearchServer
 from repro.security.dcpe import secure_knn_roundtrip

@@ -2,8 +2,7 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
+from hypothesis import given, settings, strategies as st
 
 from repro.core.errors import SqlError
 from repro.core.sql import parse_sql, tokenize
@@ -109,7 +108,7 @@ class TestExecution:
         vector_sql = "[" + ", ".join(f"{x:.6f}" for x in q) + "]"
         sql_result = execute_sql(
             db,
-            f"SELECT * FROM items WHERE category = 2 AND price < 40 "
+            "SELECT * FROM items WHERE category = 2 AND price < 40 "
             f"ORDER BY DISTANCE(vec, {vector_sql}) LIMIT 5",
         )
         api_result = db.search(
