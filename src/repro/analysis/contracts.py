@@ -164,6 +164,18 @@ LAYERING: dict[str, tuple[str, ...] | None] = {
         "repro.reliability",
     ),
     "security": ("repro.core", "repro.index", "repro.scores"),
+    "torture": (
+        "repro.core",
+        "repro.index",
+        "repro.scores",
+        "repro.quantization",
+        "repro.hybrid",
+        "repro.storage",
+        "repro.distributed",
+        "repro.reliability",
+        "repro.observability",
+        "repro.bench",
+    ),
     "bench": (
         "repro.core",
         "repro.index",
@@ -312,3 +324,48 @@ OBSERVABILITY_COMPONENT_ATTRS = frozenset({"metrics", "tracer"})
 #: Names that mark the approved normalization idiom
 #: (``x if x is not None else NOOP_*``) and exempt it from VDB502.
 NOOP_SENTINEL_MARKERS = ("NOOP", "DISABLED")
+
+# --------------------------------------------------------------------------
+# Atomic storage writes (VDB6xx).
+#
+# The crash-recovery loops of the torture rig only prove old-or-new
+# recovery for writes that flow through the blessed atomic writer
+# (``repro.storage.atomic``: temp file + fsync + ``os.replace``, journal
+# -able via the ``Filesystem`` seam).  A bare ``open(..., "w")`` or
+# ``Path.write_text`` in a storage module is a torn-write hazard the
+# rig cannot even see, so VDB601 bans the raw idioms at the source.
+
+#: fnmatch globs (posix, repo-relative) of the modules under the
+#: atomic-write contract.
+STORAGE_WRITE_GLOBS = ("src/repro/storage/*.py",)
+
+#: The blessed atomic-writer module itself — the one place allowed to
+#: touch the raw primitives (it *is* the boundary).
+ATOMIC_WRITER_FILES = ("src/repro/storage/atomic.py",)
+
+#: Attribute-call suffixes that write a file in place (no temp+rename).
+RAW_WRITE_ATTR_CALLS = frozenset({"write_text", "write_bytes", "tofile"})
+
+#: numpy functions that write straight to a path when handed one (the
+#: approved form serializes to bytes first — ``npz_bytes`` — and hands
+#: them to the atomic writer).
+RAW_WRITE_NP_FNS = frozenset({"save", "savez", "savez_compressed"})
+
+#: Filesystem-mutating stdlib calls that must go through the
+#: ``Filesystem`` seam so TortureFS can journal them.
+RAW_FS_MUTATION_CALLS = frozenset(
+    {
+        "os.replace",
+        "os.rename",
+        "os.renames",
+        "os.remove",
+        "os.unlink",
+        "os.truncate",
+        "shutil.move",
+        "shutil.copy",
+        "shutil.copy2",
+        "shutil.copyfile",
+        "shutil.copyfileobj",
+        "shutil.rmtree",
+    }
+)

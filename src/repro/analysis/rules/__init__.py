@@ -12,9 +12,18 @@ VDB4xx      kernel boundary: vector matrices entering the kernels are
             ``ensure_f32c``-blessed
 VDB5xx      exception-safe observability: spans are ``with``-scoped,
             no bare conditionals around no-op-able components
+VDB6xx      atomic storage writes: storage modules mutate files only
+            through the blessed atomic writer's ``Filesystem`` seam
 ==========  ==============================================================
 """
 
-from . import determinism, kernels, layering, spans, stats
+from . import determinism, kernels, layering, spans, stats, storagefs
 
-__all__ = ["determinism", "kernels", "layering", "spans", "stats"]
+__all__ = [
+    "determinism",
+    "kernels",
+    "layering",
+    "spans",
+    "stats",
+    "storagefs",
+]

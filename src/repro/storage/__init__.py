@@ -1,5 +1,6 @@
 """Storage substrate: simulated disk, paged vector store, LSM tree."""
 
+from .atomic import OS_FS, Filesystem, atomic_write_bytes, checksum, npz_bytes
 from .disk import DiskStats, SimulatedDisk
 from .lsm import LsmStats, LsmVectorStore, SortedRun
 from .pager import BufferPool, PagedVectorStore
@@ -13,6 +14,11 @@ from .persist import (
 __all__ = [
     "BufferPool",
     "DiskStats",
+    "Filesystem",
+    "OS_FS",
+    "atomic_write_bytes",
+    "checksum",
+    "npz_bytes",
     "LsmStats",
     "LsmVectorStore",
     "PagedVectorStore",

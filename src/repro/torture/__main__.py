@@ -1,0 +1,8 @@
+"""``python -m repro.torture`` — run the torture rig CLI."""
+
+import sys
+
+from .driver import main
+
+if __name__ == "__main__":
+    sys.exit(main())

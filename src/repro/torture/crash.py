@@ -1,0 +1,220 @@
+"""Seeded crash-recovery loops over the persistence paths.
+
+The loop is exhaustive, not sampled: a snapshot save (or LSM flush +
+compaction) runs once under :class:`~repro.torture.fsshim.TortureFS`,
+which journals every filesystem primitive the storage layer performs.
+Then *every* operation prefix — and every torn half-write after a
+prefix — is replayed into a fresh directory and reopened.  The oracle
+is strict old-or-new:
+
+* reopening must always succeed (a crash must never produce an
+  unreadable store), and
+* the recovered state must equal the pre-save state or the post-save
+  state bit-for-bit (vectors, tombstones, attributes) and answer the
+  probe queries identically — never a torn hybrid.
+
+This is the prefix-consistency property the bug study (arXiv:2506.02617)
+finds real VDBMSs violating, made a regression test.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+
+from ..core.errors import StorageError
+from .fsshim import TortureFS
+from .reporting import TortureFinding, TortureReport
+from .zoo import torture_hybrid_dataset
+
+__all__ = ["run_crash", "crash_recovery_database", "crash_recovery_lsm"]
+
+
+def _collection_state(collection) -> dict:
+    return {
+        "vectors": np.array(collection.vectors, copy=True),
+        "alive": np.array(collection.alive, copy=True),
+        "columns": {
+            name: list(collection._columns_raw[name])
+            for name in collection.attribute_names
+        },
+    }
+
+
+def _states_equal(collection, state: dict) -> bool:
+    if collection.vectors.shape != state["vectors"].shape:
+        return False
+    if not np.array_equal(collection.vectors, state["vectors"]):
+        return False
+    if not np.array_equal(collection.alive, state["alive"]):
+        return False
+    columns = {
+        name: list(collection._columns_raw[name])
+        for name in collection.attribute_names
+    }
+    return columns == state["columns"]
+
+
+def _emit(report, seed, rule, subject, message):
+    report.add(TortureFinding(
+        rule=rule,
+        pillar="crash",
+        subject=subject,
+        seed=seed,
+        message=message,
+        repro=f"torture --pillar crash --seed {seed}",
+    ))
+
+
+def crash_recovery_database(
+    seed: int, workdir, report: TortureReport
+) -> None:
+    """Kill ``save_database`` at every prefix; reopen must be old-or-new."""
+    from ..core.database import VectorDatabase
+    from ..storage.persist import load_database, save_database
+
+    workdir = pathlib.Path(workdir)
+    ds = torture_hybrid_dataset(seed, n=64, dim=8, num_queries=4)
+    db = VectorDatabase(dim=ds.dim)
+    db.insert_many(ds.train, ds.attributes)
+    db.create_index("exact", "flat")
+    db.create_index("graph", "hnsw", m=6, ef_construction=32, seed=seed)
+
+    snapshot = workdir / "db-snapshot"
+    save_database(db, snapshot)  # committed state A
+    state_a = _collection_state(db.collection)
+    answers_a = [db.search(q, k=5).ids for q in ds.queries]
+
+    # Mutate to state B: new rows, tombstones, then re-save under journal.
+    rng = np.random.default_rng(seed + 1)
+    extra = rng.standard_normal((8, ds.dim)).astype(np.float32)
+    extra_attrs = [
+        {"category": int(rng.integers(4)), "price": 1.0, "rating": 3}
+        for _ in range(len(extra))
+    ]
+    db.insert_many(extra, extra_attrs)
+    for victim in rng.choice(len(ds.train), size=5, replace=False):
+        db.delete(int(victim))
+    db.rebuild_indexes()
+    state_b = _collection_state(db.collection)
+    answers_b = [db.search(q, k=5).ids for q in ds.queries]
+
+    fs = TortureFS(snapshot)
+    save_database(db, snapshot, fs=fs)
+
+    for k in range(fs.num_ops + 1):
+        for torn in (False, True):
+            if torn and k >= fs.num_ops:
+                continue
+            subject = f"save_database@op{k}" + ("+torn" if torn else "")
+            replay = fs.replay_prefix(k, workdir / "db-replay", torn=torn)
+            report.count("crash")
+            try:
+                loaded = load_database(replay)
+            except StorageError as exc:
+                _emit(report, seed, "CRASH-DB-LOAD", subject,
+                      f"snapshot unreadable after crash: {exc}")
+                continue
+            is_a = _states_equal(loaded.collection, state_a)
+            is_b = _states_equal(loaded.collection, state_b)
+            if not (is_a or is_b):
+                _emit(report, seed, "CRASH-DB-TORN", subject,
+                      "recovered collection is neither the old nor the "
+                      "new snapshot")
+                continue
+            expected = answers_a if is_a else answers_b
+            answers = [loaded.search(q, k=5).ids for q in ds.queries]
+            if answers != expected:
+                _emit(report, seed, "CRASH-DB-ANSWERS", subject,
+                      "recovered database answers probe queries "
+                      f"differently from its snapshot state: {answers} "
+                      f"vs {expected}")
+
+
+def _live_state(store) -> dict:
+    return {
+        int(key): (np.array(vec, copy=True), attrs)
+        for key, vec, attrs in store.live_items()
+    }
+
+
+def _live_equal(state_x: dict, state_y: dict) -> bool:
+    if set(state_x) != set(state_y):
+        return False
+    for key, (vec, attrs) in state_x.items():
+        other_vec, other_attrs = state_y[key]
+        if not np.array_equal(vec, other_vec) or attrs != other_attrs:
+            return False
+    return True
+
+
+def crash_recovery_lsm(seed: int, workdir, report: TortureReport) -> None:
+    """Kill the LSM flush/compaction at every prefix.
+
+    Every ``flush()`` is its own commit point (and may chain into a
+    compaction commit with the same logical content), so the oracle is
+    set-valued: the recovered live set must equal the durable state of
+    *some* commit — never a state no commit ever published.
+    """
+    from ..storage.lsm import LsmVectorStore
+
+    workdir = pathlib.Path(workdir)
+    directory = workdir / "lsm"
+    dim = 6
+    rng = np.random.default_rng(seed)
+    store = LsmVectorStore(
+        dim, memtable_capacity=64, max_runs=2, directory=directory
+    )
+    for key in range(20):
+        store.put(key, rng.standard_normal(dim).astype(np.float32),
+                  {"tag": key % 3})
+    store.delete(3)
+    store.flush()  # committed state A (memtable empty after flush)
+    committed = [_live_state(store)]
+
+    # Two journaled flushes: overwrites, fresh keys, tombstones; the
+    # second exceeds max_runs and chains into a journaled compaction.
+    fs = TortureFS(directory)
+    store.fs = fs
+    for key in range(15, 30):
+        store.put(key, rng.standard_normal(dim).astype(np.float32),
+                  {"tag": key % 5})
+    store.delete(7)
+    store.flush()
+    committed.append(_live_state(store))
+    for key in range(25, 34):
+        store.put(key, rng.standard_normal(dim).astype(np.float32),
+                  {"tag": key % 4})
+    store.delete(21)
+    store.flush()
+    committed.append(_live_state(store))
+
+    for k in range(fs.num_ops + 1):
+        for torn in (False, True):
+            if torn and k >= fs.num_ops:
+                continue
+            subject = f"lsm_flush@op{k}" + ("+torn" if torn else "")
+            replay = fs.replay_prefix(k, workdir / "lsm-replay", torn=torn)
+            report.count("crash")
+            try:
+                recovered = LsmVectorStore.open(replay)
+            except StorageError as exc:
+                _emit(report, seed, "CRASH-LSM-OPEN", subject,
+                      f"LSM store unreadable after crash: {exc}")
+                continue
+            state = _live_state(recovered)
+            if not any(_live_equal(state, good) for good in committed):
+                _emit(report, seed, "CRASH-LSM-TORN", subject,
+                      "recovered LSM live set matches none of the "
+                      f"{len(committed)} committed states")
+
+
+def run_crash(seed: int, workdir, depth: str = "smoke") -> TortureReport:
+    """Both crash loops; nightly re-runs them at three derived seeds."""
+    report = TortureReport(depth=depth, seed=seed)
+    seeds = [seed] if depth == "smoke" else [seed, seed + 1000, seed + 2000]
+    for loop_seed in seeds:
+        crash_recovery_database(loop_seed, workdir, report)
+        crash_recovery_lsm(loop_seed, workdir, report)
+    return report

@@ -1,0 +1,125 @@
+"""Cross-index differential search with recall/containment oracles.
+
+Every index in the registry answers the same seeded random instances —
+(collection, sampled config, queries, optional predicate mask) — and is
+judged against the flat-scan oracle:
+
+* **ordering** — distances ascend, as the index `search` contract
+  promises;
+* **containment** — returned ids exist, are unique, and respect the
+  ``allowed`` mask when one is given (block-first correctness);
+* **exactness** — indexes in :data:`~repro.torture.zoo.EXACT_INDEXES`
+  must reproduce the oracle's ids verbatim;
+* **recall** — approximate indexes must clear their per-index floor
+  (:data:`~repro.torture.zoo.DIFF_RECALL_FLOOR`) under the *sampled*
+  config, not just the tuned default.
+
+Instances are regenerated from their seed alone, so a finding's repro
+command (``torture --pillar differential --index hnsw --seed 1042``)
+rebuilds the identical collection, config, and queries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .reporting import TortureFinding, TortureReport
+from .zoo import (
+    DIFF_RECALL_FLOOR,
+    EXACT_INDEXES,
+    make_torture_index,
+    recall_at_k,
+    sample_config,
+    torture_dataset,
+)
+
+__all__ = ["run_differential", "run_differential_one"]
+
+
+def _emit(report, index_name, seed, rule, message):
+    report.add(TortureFinding(
+        rule=rule,
+        pillar="differential",
+        subject=index_name,
+        seed=seed,
+        message=message,
+        repro=f"torture --pillar differential --index {index_name} --seed {seed}",
+    ))
+
+
+def run_differential_one(
+    index_name: str, seed: int, report: TortureReport
+) -> None:
+    """One differential instance for one index (regenerable from seed)."""
+    rng = np.random.default_rng(seed)
+    ds = torture_dataset(seed)
+    n = len(ds)
+    ids = np.arange(n, dtype=np.int64)
+    k = 10
+    config = sample_config(index_name, rng)
+    # Predicate mask: a seeded random ~60% subset, exercised on every
+    # other query so both masked and unmasked paths run per instance.
+    allowed = rng.random(n) < 0.6
+    if not allowed.any():
+        allowed[:] = True
+
+    oracle = make_torture_index("flat").build(ds.train, ids=ids)
+    index = make_torture_index(index_name, seed=seed, **config).build(
+        ds.train, ids=ids
+    )
+
+    recalls = []
+    for qi, q in enumerate(ds.queries):
+        mask = allowed if qi % 2 else None
+        hits = index.search(q, k, allowed=mask)
+        truth_ids = [h.id for h in oracle.search(q, k, allowed=mask)]
+        report.count("differential")
+
+        distances = [h.distance for h in hits]
+        if any(b < a - 1e-5 for a, b in zip(distances, distances[1:])):
+            _emit(report, index_name, seed, "DIFF-ORDER",
+                  f"distances not ascending under config {config}: "
+                  f"{distances}")
+            return
+        hit_ids = [h.id for h in hits]
+        if len(set(hit_ids)) != len(hit_ids):
+            _emit(report, index_name, seed, "DIFF-DUP",
+                  f"duplicate ids in one result set: {hit_ids}")
+            return
+        out_of_range = [i for i in hit_ids if not 0 <= i < n]
+        if out_of_range:
+            _emit(report, index_name, seed, "DIFF-CONTAIN",
+                  f"unknown ids returned: {out_of_range}")
+            return
+        if mask is not None:
+            violations = [i for i in hit_ids if not mask[i]]
+            if violations:
+                _emit(report, index_name, seed, "DIFF-MASK",
+                      f"allowed-mask violated for ids {violations} under "
+                      f"config {config}")
+                return
+        if index_name in EXACT_INDEXES and hit_ids != truth_ids:
+            _emit(report, index_name, seed, "DIFF-EXACT",
+                  f"exact index diverged from oracle: {hit_ids} vs "
+                  f"{truth_ids}")
+            return
+        recalls.append(recall_at_k(hit_ids, truth_ids))
+
+    mean_recall = float(np.mean(recalls)) if recalls else 1.0
+    floor = DIFF_RECALL_FLOOR.get(index_name, 0.3)
+    if mean_recall < floor:
+        _emit(report, index_name, seed, "DIFF-RECALL",
+              f"mean recall@{k} {mean_recall:.3f} under sampled config "
+              f"{config} (floor {floor})")
+
+
+def run_differential(
+    index_names, seed: int, depth: str = "smoke"
+) -> TortureReport:
+    """Seeded random instances across the zoo (more per index nightly)."""
+    report = TortureReport(depth=depth, seed=seed)
+    instances = 1 if depth == "smoke" else 4
+    for index_name in index_names:
+        for i in range(instances):
+            run_differential_one(index_name, seed + 1000 * i, report)
+    return report

@@ -1,0 +1,138 @@
+"""Command-line driver for the torture rig.
+
+One entry point (``torture``, next to ``vdblint``) runs any slice of
+the rig, from one (relation, index, seed) cell — the shape every
+finding's ``repro`` command takes — up to the full nightly sweep:
+
+* ``torture`` — smoke depth, all three pillars, every registered index;
+* ``torture --depth nightly --json findings.json`` — the scheduled
+  sweep: more seeds per cell, findings exported as a JSON artifact;
+* ``torture --pillar metamorphic --relation insert-order --index hnsw
+  --seed 1042`` — replay exactly one finding.
+
+Exit status: 0 all oracles held, 1 findings, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import tempfile
+
+from .crash import run_crash
+from .differential import run_differential
+from .relations import RELATIONS, run_metamorphic
+from .reporting import TortureReport
+
+__all__ = ["main", "run_rig"]
+
+PILLARS = ("crash", "metamorphic", "differential")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="torture",
+        description=(
+            "Torture rig: crash-recovery loops, metamorphic relations, "
+            "and cross-index differential search."
+        ),
+    )
+    parser.add_argument(
+        "--depth", choices=("smoke", "nightly"), default="smoke",
+        help="smoke: one seed per cell (CI); nightly: three seeds and "
+        "more differential instances",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=42,
+        help="base seed; every instance derives deterministically from it",
+    )
+    parser.add_argument(
+        "--pillar", choices=("all",) + PILLARS, default="all",
+        help="run a single pillar (findings' repro commands use this)",
+    )
+    parser.add_argument(
+        "--relation", action="append", default=None, metavar="NAME",
+        help="metamorphic relation(s) to run (default: all registered); "
+        "repeatable",
+    )
+    parser.add_argument(
+        "--index", action="append", default=None, metavar="NAME",
+        help="index type(s) to run against (default: every registered "
+        "index); repeatable",
+    )
+    parser.add_argument(
+        "--json", type=pathlib.Path, default=None, metavar="PATH",
+        help="also write the report as JSON (nightly findings artifact)",
+    )
+    parser.add_argument(
+        "--list-relations", action="store_true",
+        help="list registered metamorphic relations and exit",
+    )
+    return parser
+
+
+def run_rig(
+    pillars,
+    index_names,
+    seed: int,
+    depth: str,
+    relations=None,
+    workdir=None,
+) -> TortureReport:
+    """Run the selected pillars and merge their reports."""
+    report = TortureReport(depth=depth, seed=seed)
+    if "crash" in pillars:
+        if workdir is None:
+            with tempfile.TemporaryDirectory(prefix="torture-") as tmp:
+                report.merge(run_crash(seed, tmp, depth=depth))
+        else:
+            report.merge(run_crash(seed, workdir, depth=depth))
+    if "metamorphic" in pillars:
+        report.merge(
+            run_metamorphic(index_names, seed, depth=depth,
+                            relations=relations)
+        )
+    if "differential" in pillars:
+        report.merge(run_differential(index_names, seed, depth=depth))
+    return report
+
+
+def main(argv=None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_relations:
+        for name in sorted(RELATIONS):
+            print(f"{name}: {RELATIONS[name].description}")
+        return 0
+
+    from ..index.registry import available_indexes
+
+    known = available_indexes()
+    index_names = args.index if args.index else known
+    unknown = sorted(set(index_names) - set(known))
+    if unknown:
+        parser.error(f"unknown index type(s): {', '.join(unknown)}")
+    unknown_relations = sorted(set(args.relation or ()) - set(RELATIONS))
+    if unknown_relations:
+        parser.error(
+            f"unknown relation(s): {', '.join(unknown_relations)} "
+            f"(see --list-relations)"
+        )
+
+    pillars = PILLARS if args.pillar == "all" else (args.pillar,)
+    report = run_rig(
+        pillars, index_names, args.seed, args.depth, relations=args.relation
+    )
+
+    print(report.render())
+    if args.json is not None:
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        args.json.write_text(report.to_json() + "\n")
+        print(f"findings written to {args.json}")
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

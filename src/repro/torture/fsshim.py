@@ -1,0 +1,161 @@
+"""TortureFS: a journaling filesystem shim with crash-prefix replay.
+
+The storage layer performs all file mutation through the three
+primitives of :class:`repro.storage.atomic.Filesystem` (durable write,
+atomic replace, remove).  :class:`TortureFS` implements that interface,
+passes every operation through to the real OS *and* journals it — path,
+payload, order.  Because the journal captures complete payloads, any
+operation prefix can be replayed into a fresh directory, which turns
+"the process died between op *k* and op *k+1*" into an enumerable,
+deterministic scenario:
+
+>>> fs = TortureFS(snapshot_dir)          # captures the base image
+>>> save_database(db, snapshot_dir, fs=fs)
+>>> for k in range(fs.num_ops + 1):       # every crash point
+...     fs.replay_prefix(k, replay_dir)   # the disk a crash would leave
+...     load_database(replay_dir)         # must be old-or-new, never torn
+
+``torn=True`` additionally applies the *first half* of the next write —
+the classic torn-write failure the temp-file + rename protocol must
+absorb (the torn bytes land in a ``*.tmp`` file no manifest references).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import shutil
+from dataclasses import dataclass
+
+from ..core.errors import StorageError
+from ..storage.atomic import Filesystem
+
+__all__ = ["FsOp", "TortureFS"]
+
+
+@dataclass(frozen=True)
+class FsOp:
+    """One journaled filesystem primitive (paths relative to the root)."""
+
+    kind: str  # "write" | "replace" | "remove"
+    path: str
+    data: bytes | None = None  # payload for "write"
+    dest: str | None = None  # target for "replace"
+
+    def describe(self) -> str:
+        if self.kind == "write":
+            return f"write {self.path} ({0 if self.data is None else len(self.data)} bytes)"
+        if self.kind == "replace":
+            return f"replace {self.path} -> {self.dest}"
+        return f"remove {self.path}"
+
+
+class TortureFS(Filesystem):
+    """Records every storage-layer mutation under ``root`` for replay.
+
+    The base image (all files under ``root`` at construction time) plus
+    the first *k* journaled operations reconstructs exactly the disk
+    state a crash after op *k* would leave — modulo write reordering,
+    which the storage layer forecloses by fsyncing each payload before
+    the rename that publishes it.
+    """
+
+    def __init__(self, root):
+        self.root = pathlib.Path(root).resolve()
+        self.ops: list[FsOp] = []
+        self._base: dict[str, bytes] = {}
+        if self.root.exists():
+            for path in sorted(self.root.rglob("*")):
+                if path.is_file():
+                    self._base[self._rel(path)] = path.read_bytes()
+
+    # ------------------------------------------------------------- plumbing
+
+    def _rel(self, path) -> str:
+        resolved = pathlib.Path(path)
+        resolved = (
+            resolved if resolved.is_absolute() else resolved.absolute()
+        )
+        # Resolve the parent (the leaf may not exist yet) to tolerate
+        # symlinked temp dirs while keeping strict containment.
+        resolved = resolved.parent.resolve() / resolved.name
+        try:
+            return resolved.relative_to(self.root).as_posix()
+        except ValueError:
+            raise StorageError(
+                f"TortureFS: operation outside journaled root: "
+                f"{resolved} not under {self.root}"
+            ) from None
+
+    @property
+    def num_ops(self) -> int:
+        return len(self.ops)
+
+    def describe_ops(self) -> list[str]:
+        return [op.describe() for op in self.ops]
+
+    # ------------------------------------------------- Filesystem interface
+
+    def write_file(self, path, data: bytes) -> None:
+        rel = self._rel(path)
+        super().write_file(path, data)
+        self.ops.append(FsOp("write", rel, data=bytes(data)))
+
+    def replace(self, src, dst) -> None:
+        rel_src, rel_dst = self._rel(src), self._rel(dst)
+        super().replace(src, dst)
+        self.ops.append(FsOp("replace", rel_src, dest=rel_dst))
+
+    def remove(self, path) -> None:
+        rel = self._rel(path)
+        super().remove(path)
+        self.ops.append(FsOp("remove", rel))
+
+    # ---------------------------------------------------------------- replay
+
+    def replay_prefix(self, k: int, dest, torn: bool = False) -> pathlib.Path:
+        """Materialize the disk state after the first ``k`` operations.
+
+        ``dest`` is recreated from the base image, then ops ``[0, k)``
+        are applied.  With ``torn=True`` and ``k < num_ops``, op ``k``
+        — if it is a write — is additionally applied *half-way*,
+        simulating a crash mid-write (a torn page).
+        """
+        if not 0 <= k <= len(self.ops):
+            raise ValueError(f"prefix {k} out of range 0..{len(self.ops)}")
+        dest = pathlib.Path(dest)
+        if dest.exists():
+            shutil.rmtree(dest)
+        dest.mkdir(parents=True)
+        for rel, data in self._base.items():
+            target = dest / rel
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_bytes(data)
+        for op in self.ops[:k]:
+            self._apply(dest, op)
+        if torn and k < len(self.ops):
+            nxt = self.ops[k]
+            if nxt.kind == "write" and nxt.data:
+                torn_path = dest / nxt.path
+                torn_path.parent.mkdir(parents=True, exist_ok=True)
+                torn_path.write_bytes(nxt.data[: len(nxt.data) // 2])
+        return dest
+
+    @staticmethod
+    def _apply(dest: pathlib.Path, op: FsOp) -> None:
+        path = dest / op.path
+        if op.kind == "write":
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_bytes(op.data or b"")
+        elif op.kind == "replace":
+            assert op.dest is not None
+            target = dest / op.dest
+            target.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(path, target)
+        elif op.kind == "remove":
+            try:
+                os.remove(path)
+            except FileNotFoundError:
+                pass
+        else:  # pragma: no cover - journal only emits the three kinds
+            raise StorageError(f"unknown journal op {op.kind!r}")

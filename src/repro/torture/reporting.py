@@ -1,0 +1,99 @@
+"""Findings and reports for the torture rig (vdblint-style, seed-first).
+
+Every violated oracle becomes a :class:`TortureFinding` that names the
+*rule* (a stable tag like ``MR-INSERT-ORDER`` or ``CRASH-DB-TORN``),
+the *seed* that generated the instance, the *subject* (index name,
+relation, crash point), and a one-line shell command that reproduces
+exactly that finding.  A green run is an empty findings list plus the
+number of oracle checks that executed — silent no-op runs are
+indistinguishable from passes otherwise, so the report always counts.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+__all__ = ["TortureFinding", "TortureReport"]
+
+
+@dataclass(frozen=True)
+class TortureFinding:
+    """One violated oracle, reproducible from (rule, subject, seed)."""
+
+    rule: str  # stable tag, e.g. "MR-DELETE-LIVENESS", "DIFF-RECALL"
+    pillar: str  # "crash" | "metamorphic" | "differential"
+    subject: str  # index / relation / crash-point the oracle ran against
+    seed: int
+    message: str
+    repro: str  # shell command reproducing this one finding
+
+    def render(self) -> str:
+        return (
+            f"{self.rule} [{self.pillar}] {self.subject} seed={self.seed}: "
+            f"{self.message}\n    repro: {self.repro}"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "pillar": self.pillar,
+            "subject": self.subject,
+            "seed": self.seed,
+            "message": self.message,
+            "repro": self.repro,
+        }
+
+
+@dataclass
+class TortureReport:
+    """Outcome of one rig invocation: checks executed, oracles violated."""
+
+    depth: str = "smoke"
+    seed: int = 0
+    findings: list[TortureFinding] = field(default_factory=list)
+    #: Oracle evaluations per pillar — proof the rig actually ran.
+    checks: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    @property
+    def total_checks(self) -> int:
+        return sum(self.checks.values())
+
+    def count(self, pillar: str, n: int = 1) -> None:
+        self.checks[pillar] = self.checks.get(pillar, 0) + n
+
+    def add(self, finding: TortureFinding) -> None:
+        self.findings.append(finding)
+
+    def merge(self, other: "TortureReport") -> None:
+        self.findings.extend(other.findings)
+        for pillar, n in other.checks.items():
+            self.count(pillar, n)
+
+    def render(self) -> str:
+        lines = [
+            f"torture: depth={self.depth} seed={self.seed} — "
+            f"{self.total_checks} checks, {len(self.findings)} finding(s)"
+        ]
+        for pillar in sorted(self.checks):
+            lines.append(f"  {pillar}: {self.checks[pillar]} checks")
+        for finding in self.findings:
+            lines.append(finding.render())
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "depth": self.depth,
+                "seed": self.seed,
+                "ok": self.ok,
+                "checks": self.checks,
+                "findings": [f.to_dict() for f in self.findings],
+            },
+            indent=2,
+            sort_keys=True,
+        )

@@ -1,0 +1,256 @@
+"""Per-index configuration and tolerance tables for the torture rig.
+
+The rig runs every index in :mod:`repro.index.registry` against the
+same oracles, but the zoo is heterogeneous: a flat scan is exact, an
+LSH table with 12 hash bits is not, and a graph built by a randomized
+heuristic is sensitive to insertion order in a way a k-d tree is not.
+These tables encode what each index *promises*, so an oracle violation
+is a finding about the index, not about an unreasonable expectation.
+
+* :data:`BUILD_KWARGS` — constructor overrides that keep slow builders
+  fast at torture scale (a few hundred points).
+* :data:`EXACT_INDEXES` — indexes whose search is exact: every oracle
+  holds with equality, no tolerance.
+* :data:`ORDER_OVERLAP_FLOOR` — minimum mean top-k overlap between two
+  insertion orders of the same point set (1.0 for order-free builds).
+* :data:`DIFF_RECALL_FLOOR` — minimum recall@10 vs. the flat oracle on
+  the easy clustered workload under seeded random configs.
+* :data:`CONFIG_SPACE` — the per-index random-config dimensions the
+  differential pillar samples from (seeded; every finding names the
+  seed that regenerates the exact config).
+* :data:`RERANKED` — quantized indexes exposing a ``rerank`` knob, used
+  by the quantization-monotonicity relation.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from ..bench.datasets import Dataset, gaussian_mixture, hybrid_workload
+
+__all__ = [
+    "BUILD_KWARGS",
+    "CONFIG_SPACE",
+    "DIFF_RECALL_FLOOR",
+    "EXACT_INDEXES",
+    "ORDER_OVERLAP_FLOOR",
+    "RERANKED",
+    "SHARD_OVERLAP_FLOOR",
+    "build_kwargs",
+    "make_torture_index",
+    "recall_at_k",
+    "sample_config",
+    "torture_dataset",
+    "torture_hybrid_dataset",
+]
+
+#: Constructor overrides keeping every builder fast at n≈240.
+BUILD_KWARGS: dict[str, dict[str, Any]] = {
+    "lsh": {"num_tables": 12, "hashes_per_table": 4},
+    "ivf_flat": {"nlist": 12, "nprobe": 6},
+    "ivf_sq": {"nlist": 12, "nprobe": 6},
+    "ivf_adc": {"nlist": 12, "nprobe": 8, "m": 4, "ks": 32, "rerank": 40},
+    "pq": {"m": 4, "ks": 32, "rerank": 40},
+    "opq": {"m": 4, "ks": 32, "rerank": 40, "opq_iterations": 2},
+    "sq": {"rerank": 40},
+    "spann": {"num_postings": 12, "nprobe": 6},
+    "nndescent": {"graph_k": 10, "max_iterations": 4},
+    "nsg": {"max_degree": 10, "knng_k": 10},
+    "vamana": {"max_degree": 10, "beam_width": 32},
+    "fanng": {"num_trials": 600, "init_knng_k": 6},
+    "diskann": {"max_degree": 10, "build_beam_width": 32, "pq_m": 4,
+                "pq_ks": 32},
+    "hnsw": {"m": 8, "ef_construction": 48},
+    "filtered_hnsw": {"m": 8, "ef_construction": 48, "label_k": 4},
+    "nsw": {"connections": 8},
+    "ngt": {"edge_size": 8, "ef_construction": 32},
+    "knng": {"graph_k": 10},
+    "annoy": {"num_trees": 6, "search_k": 48},
+    "rp_tree": {"num_trees": 4, "max_leaves": 48},
+    "randkd_forest": {"num_trees": 4, "max_leaves": 48},
+    "pca_tree": {"max_leaves": 48},
+    "kdtree": {},
+    "flat": {},
+    "spectral_hash": {"nbits": 24, "rerank": 60},
+    "itq_hash": {"nbits": 24, "rerank": 60},
+}
+
+#: Indexes whose search is exact — oracles hold with strict equality.
+EXACT_INDEXES = frozenset({"flat", "kdtree"})
+
+#: Minimum mean top-k overlap between two insertion orders.  Exact and
+#: deterministic-partition builds must be order-free (1.0); randomized
+#: builders whose structure depends on data order get looser floors.
+ORDER_OVERLAP_FLOOR: dict[str, float] = {
+    "flat": 1.0,
+    "kdtree": 1.0,
+    "pca_tree": 0.5,
+    "sq": 0.9,
+    "lsh": 0.3,
+    "spectral_hash": 0.5,
+    "itq_hash": 0.5,
+    "ivf_flat": 0.3,
+    "ivf_sq": 0.3,
+    "ivf_adc": 0.3,
+    "pq": 0.5,
+    "opq": 0.5,
+    "spann": 0.3,
+    "annoy": 0.3,
+    "rp_tree": 0.3,
+    "randkd_forest": 0.3,
+    "knng": 0.5,
+    "nndescent": 0.5,
+    "nsw": 0.4,
+    "ngt": 0.5,
+    "hnsw": 0.5,
+    "filtered_hnsw": 0.5,
+    "nsg": 0.5,
+    "vamana": 0.5,
+    "fanng": 0.3,
+    "diskann": 0.5,
+}
+
+#: Minimum recall@10 vs. the flat oracle under seeded random configs.
+#: Slightly looser than the contract-test floors because the
+#: differential pillar samples configs instead of using tuned ones.
+DIFF_RECALL_FLOOR: dict[str, float] = {
+    "flat": 1.0,
+    "kdtree": 1.0,
+    "lsh": 0.1,
+    "spectral_hash": 0.35,
+    "itq_hash": 0.35,
+    "spann": 0.4,
+    "ivf_adc": 0.45,
+    "pq": 0.45,
+    "opq": 0.45,
+    "sq": 0.8,
+    "ivf_sq": 0.4,
+    "ivf_flat": 0.4,
+    "annoy": 0.45,
+    "rp_tree": 0.45,
+    "randkd_forest": 0.45,
+    "pca_tree": 0.45,
+    "knng": 0.4,
+    "nndescent": 0.4,
+    "nsw": 0.6,
+    "ngt": 0.6,
+    "hnsw": 0.7,
+    "filtered_hnsw": 0.7,
+    "nsg": 0.7,
+    "vamana": 0.7,
+    "fanng": 0.5,
+    "diskann": 0.6,
+}
+
+#: Overrides for the shard-invariance floor (default: insertion-order
+#: floor − 0.1, clamped to 0.2).  kNN-graph builds degrade more under
+#: sharding because each shard's graph sees only a third of the points.
+SHARD_OVERLAP_FLOOR: dict[str, float] = {
+    "knng": 0.2,
+    "nndescent": 0.2,
+}
+
+#: Quantized indexes exposing a ``rerank`` knob (candidates re-scored
+#: with exact distances): widening it must not cost recall.
+RERANKED: dict[str, tuple[int, int]] = {
+    # name -> (narrow rerank, wide rerank)
+    "sq": (10, 60),
+    "pq": (10, 60),
+    "opq": (10, 60),
+    "ivf_adc": (10, 60),
+    "spectral_hash": (10, 60),
+    "itq_hash": (10, 60),
+}
+
+#: Random-config dimensions per index.  Each entry maps a constructor
+#: kwarg to the discrete choices the differential pillar samples from
+#: (uniformly, from the instance seed).  Only knobs that keep builds
+#: fast and recall above the floor belong here.
+CONFIG_SPACE: dict[str, dict[str, tuple[Any, ...]]] = {
+    "flat": {},
+    "kdtree": {},
+    "lsh": {"num_tables": (8, 12, 16), "hashes_per_table": (3, 4)},
+    "ivf_flat": {"nlist": (8, 12, 16), "nprobe": (6, 8)},
+    "ivf_sq": {"nlist": (8, 12, 16), "nprobe": (6, 8)},
+    "ivf_adc": {"nlist": (8, 12), "nprobe": (8, 10), "m": (4,),
+                "ks": (32,), "rerank": (40, 60)},
+    "pq": {"m": (4, 6), "ks": (32,), "rerank": (40, 60)},
+    "opq": {"m": (4,), "ks": (32,), "rerank": (40, 60),
+            "opq_iterations": (2,)},
+    "sq": {"rerank": (40, 60)},
+    "spann": {"num_postings": (12, 16), "nprobe": (6, 8)},
+    "nndescent": {"graph_k": (10, 12), "max_iterations": (4,)},
+    "nsg": {"max_degree": (10, 12), "knng_k": (10,)},
+    "vamana": {"max_degree": (10, 12), "beam_width": (32, 48)},
+    "fanng": {"num_trials": (600,), "init_knng_k": (6, 8)},
+    "diskann": {"max_degree": (10, 12), "build_beam_width": (32,),
+                "pq_m": (4,), "pq_ks": (32,)},
+    "hnsw": {"m": (6, 8, 12), "ef_construction": (48, 64)},
+    "filtered_hnsw": {"m": (8,), "ef_construction": (48,), "label_k": (4,)},
+    "nsw": {"connections": (6, 8, 10)},
+    "ngt": {"edge_size": (8, 10), "ef_construction": (32, 48)},
+    "knng": {"graph_k": (10, 12)},
+    "annoy": {"num_trees": (6, 8), "search_k": (48, 64)},
+    "rp_tree": {"num_trees": (4, 6), "max_leaves": (32, 48)},
+    "randkd_forest": {"num_trees": (4, 6), "max_leaves": (32, 48)},
+    "pca_tree": {"max_leaves": (32, 48)},
+    "spectral_hash": {"nbits": (20, 24), "rerank": (60,)},
+    "itq_hash": {"nbits": (20, 24), "rerank": (60,)},
+}
+
+
+def build_kwargs(name: str, **overrides: Any) -> dict[str, Any]:
+    """Deterministic fast-build kwargs for ``name``."""
+    kwargs: dict[str, Any] = dict(BUILD_KWARGS.get(name, {}))
+    kwargs.update(overrides)
+    return kwargs
+
+
+def make_torture_index(name: str, seed: int = 0, score: str = "l2",
+                       **overrides: Any):
+    """Instantiate ``name`` with fast kwargs and an explicit seed.
+
+    Indexes without stochastic build state (flat, sq, ...) do not take
+    ``seed``; the rig drops it rather than special-casing them.
+    """
+    from ..index.registry import make_index
+
+    kwargs = build_kwargs(name, **overrides)
+    try:
+        return make_index(name, score=score, seed=seed, **kwargs)
+    except TypeError:
+        return make_index(name, score=score, **kwargs)
+
+
+def sample_config(name: str, rng: np.random.Generator) -> dict[str, Any]:
+    """Sample one random constructor config from the index's space."""
+    space = CONFIG_SPACE.get(name, {})
+    return {
+        knob: choices[int(rng.integers(len(choices)))]
+        for knob, choices in sorted(space.items())
+    }
+
+
+def recall_at_k(result_ids, truth_ids) -> float:
+    """|result ∩ truth| / |truth| for one query."""
+    if not truth_ids:
+        return 1.0
+    return len(set(result_ids) & set(truth_ids)) / len(truth_ids)
+
+
+def torture_dataset(seed: int, n: int = 240, dim: int = 12,
+                    num_queries: int = 8) -> Dataset:
+    """The rig's standard clustered workload (seeded, laptop-fast)."""
+    return gaussian_mixture(
+        n=n, dim=dim, num_clusters=6, num_queries=num_queries, seed=seed
+    )
+
+
+def torture_hybrid_dataset(seed: int, n: int = 240, dim: int = 12,
+                           num_queries: int = 6) -> Dataset:
+    """Clustered workload with category/price/rating attributes."""
+    return hybrid_workload(
+        n=n, dim=dim, num_queries=num_queries, num_categories=4, seed=seed
+    )

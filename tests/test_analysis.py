@@ -39,7 +39,7 @@ class TestRegistry:
         ids = [r.id for r in rules]
         assert ids == sorted(ids)
         assert len(ids) == len(set(ids))
-        assert len(rules) == 10
+        assert len(rules) == 11
         for rule in rules:
             assert rule.id.startswith("VDB")
             assert rule.invariant
@@ -310,6 +310,66 @@ class TestSpanRules:
                 m.counter("queries").inc()
         """
         assert lint(code, self.PATH, "VDB502") == []
+
+
+class TestStorageWriteRule:
+    PATH = "src/repro/storage/fixture.py"
+
+    def test_raw_write_idioms_fire(self):
+        code = """
+            import os
+            import shutil
+            import numpy as np
+
+            def persist(path, arr, payload):
+                path.write_text(payload)
+                arr.tofile(path)
+                np.savez_compressed(path, arr=arr)
+                with open(path, "wb") as fh:
+                    fh.write(payload)
+                os.replace(path, path)
+                shutil.rmtree(path)
+        """
+        found = lint(code, self.PATH, "VDB601")
+        assert len(found) == 6
+        assert all(f.rule == "VDB601" for f in found)
+
+    def test_path_open_with_write_mode_fires(self):
+        code = """
+            def persist(path, payload):
+                with path.open(mode="a") as fh:
+                    fh.write(payload)
+        """
+        (f,) = lint(code, self.PATH, "VDB601")
+        assert "temp-file + rename" in f.message
+
+    def test_reads_and_atomic_writer_calls_are_clean(self):
+        code = """
+            import json
+            from .atomic import atomic_write_bytes, npz_bytes
+
+            def roundtrip(path, arrays):
+                atomic_write_bytes(path, npz_bytes(**arrays))
+                with open(path, "rb") as fh:
+                    return json.loads(fh.read())
+        """
+        assert lint(code, self.PATH, "VDB601") == []
+
+    def test_atomic_writer_module_is_exempt(self):
+        code = """
+            import os
+
+            def replace(src, dst):
+                os.replace(src, dst)
+        """
+        assert lint(code, "src/repro/storage/atomic.py", "VDB601") == []
+
+    def test_rule_only_covers_storage_modules(self):
+        code = """
+            def dump(path, payload):
+                path.write_text(payload)
+        """
+        assert lint(code, "src/repro/bench/fixture.py", "VDB601") == []
 
 
 class TestContractsStayInSync:
