@@ -291,8 +291,29 @@ STATS_THREADING_CLASSES = frozenset(
 KERNEL_ENTRYPOINTS: dict[str, int] = {
     "beam_search": 1,
     "beam_search_reference": 1,
+    "batched_beam_search": 1,
     "greedy_walk": 1,
 }
+
+#: FastScan packed-layout boundary (VDB402): entry point name ->
+#: positional index of the packed-codes argument (keyword name is
+#: always ``packed``).  The (m_eff, n) uint8 scan layout is only
+#: meaningful when produced by the blocked packers — handing
+#: ``fastscan_accumulate`` a plain (n, m) code matrix type-checks but
+#: scans garbage.
+PACKED_KERNEL_ENTRYPOINTS: dict[str, int] = {
+    "fastscan_accumulate": 1,
+}
+
+#: Call names blessed to *produce* the blocked layout.  A ``.packed``
+#: attribute read off one of their results (directly or via a local
+#: assignment) is the approved way to feed the accumulate kernel.
+PACKED_PRODUCERS = frozenset(
+    {"pack_codes_blocked", "gather_packed_cells", "concat_blocked"}
+)
+
+#: Modules that define the packed kernels (exempt from VDB402).
+PACKED_DEFINING_MODULES = frozenset({"repro.quantization.fastscan"})
 
 #: Attribute names whose values the ingest paths guarantee to be
 #: float32 C-contiguous (``VectorIndex.build``, collection ingest).

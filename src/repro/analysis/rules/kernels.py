@@ -89,9 +89,10 @@ class KernelBoundaryRule(Rule):
     name = "kernel-f32c-boundary"
     invariant = (
         "Every matrix passed to a vectorized kernel entry point "
-        "(beam_search / beam_search_reference / greedy_walk) must be "
-        "ensure_f32c-blessed in the calling function or come from an "
-        "ingest-guaranteed attribute (._vectors / .vectors)."
+        "(beam_search / beam_search_reference / batched_beam_search / "
+        "greedy_walk) must be ensure_f32c-blessed in the calling "
+        "function or come from an ingest-guaranteed attribute "
+        "(._vectors / .vectors)."
     )
 
     def check(self, module: Module) -> Iterator[Finding]:
@@ -124,4 +125,88 @@ class KernelBoundaryRule(Rule):
                     "in this function (kernels assume float32 "
                     "C-contiguous; anything else silently upcasts the "
                     "hot path)",
+                )
+
+
+def _packed_producer_locals(
+    fn: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> set[str]:
+    """Local names assigned from a blessed packed-layout producer call."""
+    blessed: set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for node in ast.walk(fn):
+            if not isinstance(node, ast.Assign):
+                continue
+            value = node.value
+            ok = (
+                isinstance(value, ast.Call)
+                and _call_name(value) in contracts.PACKED_PRODUCERS
+            ) or (isinstance(value, ast.Name) and value.id in blessed)
+            if not ok:
+                continue
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id not in blessed:
+                    blessed.add(target.id)
+                    changed = True
+    return blessed
+
+
+def _is_packed_blessed(expr: ast.expr, producer_names: set[str]) -> bool:
+    """``<producer>(...).packed`` or ``<name assigned from producer>.packed``."""
+    if not (isinstance(expr, ast.Attribute) and expr.attr == "packed"):
+        return False
+    base = expr.value
+    if isinstance(base, ast.Call):
+        return _call_name(base) in contracts.PACKED_PRODUCERS
+    if isinstance(base, ast.Name):
+        return base.id in producer_names
+    return False
+
+
+@register
+class PackedLayoutBoundaryRule(Rule):
+    id = "VDB402"
+    name = "fastscan-packed-boundary"
+    invariant = (
+        "The packed argument to fastscan_accumulate must be the .packed "
+        "array of a BlockedCodes produced by pack_codes_blocked / "
+        "gather_packed_cells / concat_blocked in the calling function — "
+        "the (m_eff, n) scan layout is meaningless unless the blocked "
+        "packers built it."
+    )
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        if module.module in contracts.PACKED_DEFINING_MODULES:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _call_name(node)
+            if name not in contracts.PACKED_KERNEL_ENTRYPOINTS:
+                continue
+            arg_index = contracts.PACKED_KERNEL_ENTRYPOINTS[name]
+            packed: ast.expr | None = None
+            if len(node.args) > arg_index:
+                packed = node.args[arg_index]
+            else:
+                for kw in node.keywords:
+                    if kw.arg == "packed":
+                        packed = kw.value
+            if packed is None:
+                continue
+            fn = module.enclosing_function(node)
+            producer_names = (
+                _packed_producer_locals(fn) if fn is not None else set()
+            )
+            if not _is_packed_blessed(packed, producer_names):
+                yield self.finding(
+                    module,
+                    packed,
+                    f"packed codes passed to '{name}' do not come from a "
+                    "blocked packer — read them off the .packed attribute "
+                    "of a pack_codes_blocked / gather_packed_cells / "
+                    "concat_blocked result in this function (any other "
+                    "(m, n) array scans garbage in blocked order)",
                 )

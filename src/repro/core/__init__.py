@@ -31,7 +31,7 @@ from .optimizer import (
     PlanSelector,
     RuleBasedSelector,
 )
-from .planner import AutomaticPlanner, PredefinedPlanner, QueryPlan
+from .planner import AutomaticPlanner, PlanCache, PredefinedPlanner, QueryPlan
 from .query import BatchQuery, MultiVectorQuery, RangeQuery, SearchQuery, satisfies_ck
 from .sql import ParsedQuery, execute_sql, parse_sql
 from .types import SearchHit, SearchResult, SearchStats
@@ -62,6 +62,7 @@ __all__ = [
     "ParsedQuery",
     "PlanSelector",
     "PlanningError",
+    "PlanCache",
     "PredefinedPlanner",
     "PredicateError",
     "QueryError",

@@ -3,14 +3,29 @@
 "Several techniques have been proposed to exploit commonalities between
 the queries in order to speed up processing the batch" [50, 79].  For
 graph indexes the exploitable commonality is the *route*: similar
-queries descend through the same region, so the entry-finding work can
-be shared.
+queries descend through the same region, so both the entry-finding work
+and the traversal itself can be shared.
 
 :func:`batched_graph_search` clusters the batch (k-means over the query
-vectors), runs one full search per cluster centroid, and seeds each
-member query's bottom-layer beam search from the centroid's results —
-skipping the per-query descent/entry phase.  Dissimilar queries land in
+vectors), runs one full search per cluster centroid, seeds each member
+query from the centroid's results — skipping the per-query descent —
+and then answers the whole group with **one shared-frontier kernel
+call** (:func:`~repro.index._graph.batched_beam_search`): the group
+expands a single merged frontier over the cached CSR adjacency — per
+round, one concatenated neighbor gather, one fused
+``distances_batch`` score pass against every member, and one vectorized
+prune of every member's top-``ef`` pool.  Dissimilar queries land in
 different clusters, so sharing never forces unrelated routes together.
+
+:func:`batched_graph_search_reference` is the previous implementation —
+per-member scalar ``beam_search`` loops over the same shared entries —
+kept verbatim as the differential oracle.  The merged traversal is not
+bitwise-identical to per-member beams (its beam bound is the loosest
+member's, so it explores a superset; pool tie-breaking differs), so the
+differential contract is *bounded recall*: on clustered batches the
+kernel's recall against exact ground truth must be at or above the
+reference's (see ``tests/test_multivector_batched.py``), and both paths
+stay deterministic for fixed inputs.
 """
 
 from __future__ import annotations
@@ -19,7 +34,7 @@ import math
 
 import numpy as np
 
-from ..index._graph import beam_search
+from ..index._graph import batched_beam_search, beam_search
 from ..quantization.kmeans import kmeans
 from .types import SearchHit, SearchStats
 
@@ -31,6 +46,40 @@ def _graph_surface(index):
     return graph_entry_and_adjacency(index)
 
 
+def _group_queries(queries: np.ndarray, group_size: int):
+    """K-means the batch into shared-route groups.
+
+    Returns (assignments, centroids); trivial groups (one query each)
+    skip the clustering pass entirely.
+    """
+    b = queries.shape[0]
+    num_groups = max(1, math.ceil(b / group_size))
+    if num_groups >= b:
+        return np.arange(b), queries.astype(np.float64)
+    result = kmeans(queries.astype(np.float64), num_groups, seed=0)
+    return result.assignments, result.centroids
+
+
+def _entry_positions(index, centroid, k, ef, stats, id_to_pos, fallback_entries):
+    """One full search for the group's shared route -> entry positions."""
+    centroid_hits = index.search(
+        centroid.astype(np.float32), k, ef_search=ef, stats=stats
+    )
+    entries = [
+        hit.id if id_to_pos is None else id_to_pos[hit.id] for hit in centroid_hits
+    ]
+    return entries if entries else [fallback_entries[0]]
+
+
+def _identity_map(index):
+    """External-id -> row-position map, or None when ids are identity."""
+    ids = index._ids
+    identity_ids = bool(
+        ids.shape[0] == 0 or np.array_equal(ids, np.arange(ids.shape[0]))
+    )
+    return None if identity_ids else {int(e): p for p, e in enumerate(ids)}
+
+
 def batched_graph_search(
     index,
     queries: np.ndarray,
@@ -39,13 +88,14 @@ def batched_graph_search(
     group_size: int = 8,
     stats: SearchStats | None = None,
 ) -> list[list[SearchHit]]:
-    """Answer a query batch over a graph index with shared entries.
+    """Answer a query batch over a graph index with shared traversal.
 
     Parameters
     ----------
     group_size:
         Target queries per shared route; the batch is k-means-clustered
-        into ``ceil(b / group_size)`` groups.
+        into ``ceil(b / group_size)`` groups, and each group runs as one
+        shared-frontier kernel call.
 
     Returns per-query hit lists in batch order.
     """
@@ -56,41 +106,69 @@ def batched_graph_search(
     stats = stats if stats is not None else SearchStats()
     ef = max(k, ef_search if ef_search is not None else getattr(index, "ef_search", 64))
     neighbors_of, fallback_entries = _graph_surface(index)
+    assignments, centroids = _group_queries(queries, group_size)
+    id_to_pos = _identity_map(index)
 
-    num_groups = max(1, math.ceil(b / group_size))
-    if num_groups >= b:
-        assignments = np.arange(b)
-        centroids = queries.astype(np.float64)
-    else:
-        result = kmeans(queries.astype(np.float64), num_groups, seed=0)
-        assignments = result.assignments
-        centroids = result.centroids
+    out: list[list[SearchHit] | None] = [None] * b
+    index_ids = index._ids
+    for group in range(centroids.shape[0]):
+        members = np.flatnonzero(assignments == group)
+        if members.size == 0:
+            continue
+        entries = _entry_positions(
+            index, centroids[group], k, ef, stats, id_to_pos, fallback_entries
+        )
+        group_pairs = batched_beam_search(
+            queries[members],
+            index._vectors,
+            neighbors_of,
+            entries,
+            ef,
+            index.score,
+            stats=stats,
+        )
+        for member, pairs in zip(members, group_pairs):
+            stats.candidates_examined += len(pairs)
+            out[member] = [
+                SearchHit(int(index_ids[p]), float(d)) for d, p in pairs[:k]
+            ]
+    return [hits if hits is not None else [] for hits in out]
 
-    # External id -> row position map, once per call.  Identity ids (the
-    # common case) skip the dict.
-    ids = index._ids
-    identity_ids = bool(
-        ids.shape[0] == 0 or np.array_equal(ids, np.arange(ids.shape[0]))
-    )
-    id_to_pos = None if identity_ids else {
-        int(e): p for p, e in enumerate(ids)
-    }
+
+def batched_graph_search_reference(
+    index,
+    queries: np.ndarray,
+    k: int,
+    ef_search: int | None = None,
+    group_size: int = 8,
+    stats: SearchStats | None = None,
+) -> list[list[SearchHit]]:
+    """The previous per-member-loop implementation, kept as the oracle.
+
+    Shares entries per group exactly like :func:`batched_graph_search`
+    but traverses with one scalar ``beam_search`` per member.  Do not
+    optimize this — it is both the perf baseline the bench suite holds
+    the merged-frontier kernel against and the recall oracle the
+    differential tests compare it to.
+    """
+    queries = np.atleast_2d(np.asarray(queries, dtype=np.float32))
+    b = queries.shape[0]
+    if b == 0:
+        return []
+    stats = stats if stats is not None else SearchStats()
+    ef = max(k, ef_search if ef_search is not None else getattr(index, "ef_search", 64))
+    neighbors_of, fallback_entries = _graph_surface(index)
+    assignments, centroids = _group_queries(queries, group_size)
+    id_to_pos = _identity_map(index)
 
     out: list[list[SearchHit] | None] = [None] * b
     for group in range(centroids.shape[0]):
         members = np.flatnonzero(assignments == group)
         if members.size == 0:
             continue
-        # One full search for the shared route.
-        centroid_hits = index.search(
-            centroids[group].astype(np.float32), k, ef_search=ef, stats=stats
+        entries = _entry_positions(
+            index, centroids[group], k, ef, stats, id_to_pos, fallback_entries
         )
-        entries = [
-            hit.id if id_to_pos is None else id_to_pos[hit.id]
-            for hit in centroid_hits
-        ]
-        if not entries:
-            entries = [fallback_entries[0]]
         for member in members:
             pairs = beam_search(
                 queries[member],

@@ -40,6 +40,7 @@ class VectorCollection:
         self._columns_raw: dict[str, list] = {}
         self._schema: tuple[str, ...] | None = None
         self._columns_cache: ColumnStore | None = None
+        self._generation = 0
 
     # ----------------------------------------------------------------- writes
 
@@ -84,12 +85,14 @@ class VectorCollection:
         self._vectors = ensure_f32c(np.vstack([self._vectors, matrix]))
         self._alive = np.concatenate([self._alive, np.ones(count, dtype=bool)])
         self._columns_cache = None
+        self._generation += 1
         return list(range(start, start + count))
 
     def delete(self, item_id: int) -> None:
         """Tombstone an item (id stays allocated)."""
         self._check_id(item_id)
         self._alive[item_id] = False
+        self._generation += 1
 
     def update_vector(self, item_id: int, vector: np.ndarray) -> None:
         """Replace an item's vector in place (indexes become stale)."""
@@ -97,6 +100,7 @@ class VectorCollection:
         from .types import as_vector
 
         self._vectors[item_id] = as_vector(vector, self.dim)
+        self._generation += 1
 
     def compact(self) -> "VectorCollection":
         """Return a new collection without tombstoned rows (ids re-dense)."""
@@ -137,6 +141,13 @@ class VectorCollection:
     def alive(self) -> np.ndarray:
         """Boolean liveness mask indexed by id."""
         return self._alive
+
+    @property
+    def generation(self) -> int:
+        """Mutation counter: bumps on every insert / delete / vector
+        update, so anything derived from the collection's contents (plan
+        choices, selectivity estimates) can be keyed to a snapshot."""
+        return self._generation
 
     @property
     def columns(self) -> ColumnStore:

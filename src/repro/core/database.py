@@ -31,7 +31,7 @@ from .optimizer import (
     PlanSelector,
     RuleBasedSelector,
 )
-from .planner import AutomaticPlanner, PredefinedPlanner, QueryPlan
+from .planner import AutomaticPlanner, PlanCache, PredefinedPlanner, QueryPlan
 from .query import BatchQuery, MultiVectorQuery, RangeQuery, SearchQuery
 from .types import SearchResult, SearchStats, as_vector
 
@@ -75,6 +75,13 @@ class VectorDatabase:
         (tracer + metrics + slow-query log).  Defaults to the shared
         no-op ``DISABLED`` singleton, which costs nothing on the query
         path.
+    plan_cache:
+        Prepared-query plan caching: ``True`` (default) uses an LRU
+        :class:`~repro.core.planner.PlanCache` of 256 entries, an int
+        sets the capacity, ``False`` disables caching.  Cached plans are
+        keyed to the collection's mutation generation and the database's
+        index epoch, so mutations and index DDL invalidate them
+        structurally (see :meth:`plan`).
     """
 
     def __init__(
@@ -85,6 +92,7 @@ class VectorDatabase:
         selector: str | PlanSelector = "cost",
         embedder: EmbeddingFunction | None = None,
         observability: Observability | None = None,
+        plan_cache: bool | int = True,
     ):
         if dim is None:
             if embedder is None:
@@ -108,6 +116,15 @@ class VectorDatabase:
             observability=self.observability,
         )
         self._stale = False
+        if plan_cache is True:
+            self.plan_cache: PlanCache | None = PlanCache()
+        elif plan_cache is False:
+            self.plan_cache = None
+        else:
+            self.plan_cache = PlanCache(capacity=int(plan_cache))
+        # Bumped by index DDL and rebuilds; part of every plan-cache key
+        # so schema changes invalidate cached plans structurally.
+        self._plan_epoch = 0
 
     def set_observability(self, observability: Observability | None) -> None:
         """Swap the observability bundle (``None`` -> disabled no-op)."""
@@ -179,6 +196,7 @@ class VectorDatabase:
             index.build(self.collection.vectors[live], ids=live.astype(np.int64))
         self.indexes[name] = index
         self._stale = False
+        self._plan_epoch += 1
         return index
 
     def create_partitioned_index(
@@ -191,11 +209,13 @@ class VectorDatabase:
         )
         part.build(self.collection)
         self.partitioned[name] = part
+        self._plan_epoch += 1
         return part
 
     def drop_index(self, name: str) -> None:
         if self.indexes.pop(name, None) is None and self.partitioned.pop(name, None) is None:
             raise PlanningError(f"no index named {name!r}")
+        self._plan_epoch += 1
 
     def rebuild_indexes(self) -> None:
         """Rebuild every index over the live collection (bulk update apply)."""
@@ -206,6 +226,7 @@ class VectorDatabase:
         for part in self.partitioned.values():
             part.build(self.collection)
         self._stale = False
+        self._plan_epoch += 1
 
     @property
     def has_stale_indexes(self) -> bool:
@@ -235,9 +256,59 @@ class VectorDatabase:
 
     # ----------------------------------------------------------------- plans
 
+    def _plan_cache_key(self, query: SearchQuery):
+        """Hashable identity of a planning decision, or None.
+
+        Embeds everything :meth:`plan` depends on: the collection
+        snapshot (mutation generation), the index set (plan epoch plus
+        staleness), and the query shape (dim, k, c, predicate, params).
+        Predicates are frozen dataclasses and hash structurally; queries
+        carrying unhashable params are simply not cached.
+        """
+        try:
+            key = (
+                self.collection.generation,
+                self._plan_epoch,
+                self._stale,
+                query.vector.shape[0],
+                query.k,
+                query.c,
+                query.predicate,
+                tuple(sorted(query.params.items())),
+            )
+            hash(key)  # unhashable param *values* only surface here
+            return key
+        except TypeError:
+            return None
+
     def plan(self, query: SearchQuery) -> tuple[QueryPlan, list[QueryPlan]]:
-        """Enumerate and select; returns (chosen, all candidates)."""
+        """Enumerate and select; returns (chosen, all candidates).
+
+        With a :class:`~repro.core.planner.PlanCache` configured, a
+        repeat query (same shape against an unchanged database) returns
+        the cached decision without enumerating, estimating selectivity,
+        or opening a planning span; hit/miss counts are exported as
+        ``vdbms_plan_cache_{hits,misses}_total`` when observability is
+        enabled.
+        """
         obs = self.observability
+        cache = self.plan_cache
+        key = None if cache is None else self._plan_cache_key(query)
+        if key is not None:
+            entry = cache.get(key)
+            if entry is not None:
+                if obs.enabled:
+                    obs.metrics.counter(
+                        "vdbms_plan_cache_hits_total",
+                        "Plans served from the prepared-query cache.",
+                    ).inc()
+                chosen, candidates = entry
+                return chosen, list(candidates)
+            if obs.enabled:
+                obs.metrics.counter(
+                    "vdbms_plan_cache_misses_total",
+                    "Plan-cache probes that fell through to the planner.",
+                ).inc()
         with obs.tracer.start_span("plan", hybrid=query.is_hybrid) as span:
             usable = {} if self._stale else self.indexes
             plans = self.planner.enumerate(
@@ -258,6 +329,8 @@ class VectorDatabase:
                 "vdbms_plans_selected_total",
                 "Plans chosen by the selector, by strategy.",
             ).inc(strategy=chosen.strategy)
+        if key is not None:
+            cache.put(key, chosen, plans)
         return chosen, plans
 
     def explain(self, query: SearchQuery) -> str:
@@ -297,20 +370,32 @@ class VectorDatabase:
         profiled = Observability(metrics=False)
         previous = self.observability
         self.set_observability(profiled)
+        cache = self.plan_cache
         try:
             candidates: list[QueryPlan] = []
-            if plan is None:
+            if plan is not None:
+                plan_source = "explicit"
+            elif cache is None:
+                plan_source = "disabled"
                 plan, candidates = self.plan(query)
+            else:
+                hits_before = cache.hits
+                plan, candidates = self.plan(query)
+                plan_source = "hit" if cache.hits > hits_before else "miss"
             result = self._executor.execute(query, plan)
         finally:
             self.set_observability(previous)
         roots = build_profile_tree(profiled.tracer.spans)
         query_root = next((r for r in roots if r.name == "query"), roots[-1])
+        plan_cache_state: dict[str, Any] = {"source": plan_source}
+        if cache is not None:
+            plan_cache_state.update(cache.info())
         return QueryProfile(
             result=result,
             root=query_root,
             plan=plan.describe(),
             candidates=[p.describe() for p in candidates],
+            plan_cache=plan_cache_state,
         )
 
     # ---------------------------------------------------------------- queries

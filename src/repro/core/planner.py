@@ -17,12 +17,22 @@ maps each query type to one fixed plan (Vearch/Weaviate style), and
 :class:`AutomaticPlanner` enumerates every applicable combination for a
 selector to choose from (pgvector/PASE style, via the relational-ish
 optimizer).
+
+:class:`PlanCache` memoizes the selector's decision per prepared query
+shape: repeat queries (same k/c/predicate/params against an unchanged
+collection and index set) skip enumeration, selectivity estimation, and
+selection entirely — the pure-Python dispatch cost that dominates
+sub-millisecond ANN scans.  Entries are keyed by the collection's
+mutation generation plus the database's index epoch, so any insert,
+delete, vector update, or index DDL makes every previously cached plan
+unreachable rather than merely flushed.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Hashable
 
 from .errors import PlanningError
 
@@ -71,6 +81,65 @@ class QueryPlan:
             "oversample": self.oversample,
             "params": dict(self.params),
             "estimated_cost": self.estimated_cost,
+        }
+
+
+class PlanCache:
+    """LRU cache of (chosen plan, candidate plans) per prepared query.
+
+    Keys are built by the owner (:meth:`VectorDatabase.plan`) and must
+    embed every input the planning decision depends on — query shape,
+    ``k``/``c``, the predicate, search params, the collection's mutation
+    ``generation``, and the database's index ``epoch``.  Because stale
+    state changes the key instead of the cached value, invalidation is
+    structural: a mutated collection simply never produces the old key
+    again, and the dead entries age out of the LRU.
+
+    The cache never stores unhashable keys (the owner skips caching for
+    those queries) and is bounded by ``capacity`` with least-recently-
+    used eviction.
+    """
+
+    def __init__(self, capacity: int = 256):
+        if capacity <= 0:
+            raise PlanningError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._entries: OrderedDict[Hashable, tuple[QueryPlan, tuple[QueryPlan, ...]]]
+        self._entries = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: Hashable) -> tuple[QueryPlan, tuple[QueryPlan, ...]] | None:
+        """Return the cached (chosen, candidates) or None; counts the probe."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(
+        self, key: Hashable, chosen: QueryPlan, candidates: list[QueryPlan]
+    ) -> None:
+        self._entries[key] = (chosen, tuple(candidates))
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def info(self) -> dict[str, int]:
+        """Counters + occupancy, as surfaced by ``explain_analyze``."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "size": len(self._entries),
+            "capacity": self.capacity,
         }
 
 

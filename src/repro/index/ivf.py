@@ -221,9 +221,10 @@ class IvfAdcIndex(VectorIndex):
         ks: int = 256,
         rerank: int = 0,
         seed: int = 0,
+        layout: str = "flat",
     ):
         super().__init__(score)
-        self.core = IvfAdc(nlist=nlist, m=m, ks=ks, seed=seed)
+        self.core = IvfAdc(nlist=nlist, m=m, ks=ks, seed=seed, layout=layout)
         self.nprobe = nprobe
         self.rerank = rerank
 

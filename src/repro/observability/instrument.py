@@ -21,6 +21,8 @@ vdbms_nodes_visited_total                 counter    kind
 vdbms_query_page_reads_total              counter    kind
 vdbms_partial_results_total               counter    kind
 vdbms_plans_selected_total                counter    strategy
+vdbms_plan_cache_hits_total               counter    —
+vdbms_plan_cache_misses_total             counter    —
 vdbms_slow_queries_total                  counter    kind
 vdbms_replica_attempts_total              counter    outcome
 vdbms_replica_retries_total               counter    —

@@ -147,6 +147,12 @@ class QueryProfile:
     root: ProfileNode
     plan: str = ""
     candidates: list[str] = field(default_factory=list)
+    #: Plan-cache attribution: ``{"source": "hit"|"miss"|"disabled"|
+    #: "explicit", ...}`` plus the cache's hit/miss/size counters when a
+    #: cache is configured.  Lets EXPLAIN ANALYZE distinguish a plan the
+    #: planner just chose from one replayed out of the prepared-query
+    #: cache.
+    plan_cache: dict[str, Any] = field(default_factory=dict)
 
     # ------------------------------------------------------------- checking
 
@@ -170,6 +176,11 @@ class QueryProfile:
     def render(self) -> str:
         """Human-readable EXPLAIN ANALYZE output (text tree)."""
         lines = [f"EXPLAIN ANALYZE  plan: {self.plan}"]
+        if self.plan_cache:
+            lines.append(
+                "plan cache: "
+                + " ".join(f"{k}={v}" for k, v in self.plan_cache.items())
+            )
         if self.candidates:
             lines.append("candidates considered:")
             lines.extend(f"  - {c}" for c in self.candidates)
@@ -224,6 +235,7 @@ class QueryProfile:
     def to_dict(self) -> dict[str, Any]:
         return {
             "plan": self.plan,
+            "plan_cache": self.plan_cache,
             "candidates": self.candidates,
             "hits": self.result.ids if self.result is not None else [],
             "elapsed_seconds": (

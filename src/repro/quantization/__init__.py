@@ -2,11 +2,19 @@
 
 from .anisotropic import AnisotropicQuantizer
 from .fastscan import (
+    FASTSCAN_BLOCK,
+    BlockedCodes,
     FastScanPQ,
+    QuantizedLuts,
     QuantizedTable,
     blocked_adc_scan,
+    concat_blocked,
+    fastscan_accumulate,
+    gather_packed_cells,
     naive_adc_scan,
+    pack_codes_blocked,
     quantize_table,
+    quantize_tables,
     table_quantization_error,
     transpose_codes,
 )
@@ -18,7 +26,9 @@ from .residual import ResidualQuantizer
 from .scalar import ScalarQuantizer
 
 __all__ = [
+    "FASTSCAN_BLOCK",
     "AnisotropicQuantizer",
+    "BlockedCodes",
     "FastScanPQ",
     "ResidualQuantizer",
     "IvfAdc",
@@ -26,15 +36,21 @@ __all__ = [
     "KMeansResult",
     "OptimizedProductQuantizer",
     "ProductQuantizer",
+    "QuantizedLuts",
     "QuantizedTable",
     "ScalarQuantizer",
     "assign",
     "assign_topn",
     "blocked_adc_scan",
+    "concat_blocked",
+    "fastscan_accumulate",
+    "gather_packed_cells",
     "kmeans",
     "kmeans_pp_init",
     "naive_adc_scan",
+    "pack_codes_blocked",
     "quantize_table",
+    "quantize_tables",
     "table_quantization_error",
     "transpose_codes",
 ]

@@ -13,6 +13,28 @@ uint16 "register" array.  The naive baseline does per-row Python-level
 lookups, mirroring the scalar gather code the papers beat.  The bench
 (E10) measures the throughput gap's *shape*; the quantized-table recall
 cost is measurable via :func:`table_quantization_error`.
+
+The register-blocked layer (E22) goes the rest of the way to
+Quick(er)-ADC:
+
+* :func:`pack_codes_blocked` transposes (n, m) codes into an
+  (m_eff, n_blocks, 32) block layout.  When ``ks <= 16`` and ``m`` is
+  even, adjacent subquantizer codes are *pair-fused* into one byte
+  (high nibble = even subspace, low nibble = odd subspace) — the 4-bit
+  Quick-ADC trick — halving both the stored bytes and the gathers.
+* :func:`quantize_tables` quantizes a *stack* of per-cell ADC tables
+  jointly (one shared scale/offset), so accumulated sums stay
+  comparable across IVF cells; paired codes get a fused 256-entry LUT
+  per subquantizer pair (``fused[b] = q[2p, b >> 4] + q[2p+1, b & 15]``).
+* :func:`fastscan_accumulate` is the scan kernel: per subquantizer row
+  one contiguous vectorized ``take`` over the block sequence, summed
+  into a uint16 accumulator (the 32-lane block dimension is the SIMD
+  register tile; numpy gathers a whole row of blocks per call).
+
+Quantized sums carry bounded LUT error, so searchers follow the scan
+with an **exact-rerank tail**: the top candidates by blocked sum are
+re-scored against the float tables before the final top-k is cut
+(:meth:`IvfAdc.search` with ``layout="blocked"``).
 """
 
 from __future__ import annotations
@@ -47,10 +69,14 @@ def quantize_table(table: np.ndarray) -> QuantizedTable:
     """
     lo = float(table.min())
     hi = float(table.max())
-    span = hi - lo
-    if span == 0:
-        return QuantizedTable(np.zeros_like(table, dtype=np.uint8), 1.0, lo)
-    scale = span / 255.0
+    scale = (hi - lo) / 255.0
+    # Degenerate span: a constant table quantizes to all-zero codes with
+    # scale 0, so dequantize round-trips to exactly ``m * lo``.  The
+    # ``scale == 0`` test also catches a *subnormal* span whose division
+    # by 255 underflows — dividing by it would emit inf and make the
+    # uint8 cast undefined.
+    if scale == 0.0 or not np.isfinite(scale):
+        return QuantizedTable(np.zeros_like(table, dtype=np.uint8), 0.0, lo)
     q = np.rint((table - lo) / scale).astype(np.uint8)
     return QuantizedTable(q, scale, lo)
 
@@ -106,22 +132,241 @@ def transpose_codes(codes: np.ndarray) -> np.ndarray:
     return np.ascontiguousarray(np.atleast_2d(codes).T)
 
 
+# ------------------------------------------------------------------ blocked
+
+#: SIMD register tile width the block layout is shaped around: 32 uint8
+#: lanes per 256-bit register.
+FASTSCAN_BLOCK = 32
+
+
+@dataclass
+class BlockedCodes:
+    """Transposed, register-blocked (optionally 4-bit pair-fused) codes.
+
+    ``packed`` is the (m_eff, n) uint8 scan layout: row ``p`` holds the
+    codes every candidate contributes to subquantizer (pair) ``p``,
+    laid out as a contiguous sequence of :data:`FASTSCAN_BLOCK`-wide
+    blocks (see :meth:`blocks`).  With ``paired=True`` each byte fuses
+    two 4-bit codes: ``(codes[:, 2p] << 4) | codes[:, 2p + 1]``.
+    """
+
+    packed: np.ndarray  # (m_eff, n) uint8, C-contiguous
+    n: int
+    m: int
+    ks: int
+    paired: bool
+
+    @property
+    def m_eff(self) -> int:
+        return self.packed.shape[0]
+
+    @property
+    def lut_size(self) -> int:
+        """Entries per scan LUT: 256 for fused pairs, ks otherwise."""
+        return 256 if self.paired else self.ks
+
+    def blocks(self) -> np.ndarray:
+        """The (m_eff, n_blocks, FASTSCAN_BLOCK) register-tile view.
+
+        The tail block is zero-padded; scans over ``packed`` process the
+        same byte sequence block-contiguously.
+        """
+        pad = (-self.n) % FASTSCAN_BLOCK
+        rows = self.packed
+        if pad:
+            rows = np.concatenate(
+                [rows, np.zeros((rows.shape[0], pad), dtype=np.uint8)], axis=1
+            )
+        return rows.reshape(rows.shape[0], -1, FASTSCAN_BLOCK)
+
+
+def pack_codes_blocked(codes: np.ndarray, ks: int) -> BlockedCodes:
+    """Pack (n, m) uint8 codes into the blocked transposed scan layout.
+
+    Pair-fusion (4-bit mode) engages when every code fits a nibble
+    (``ks <= 16``) and ``m`` is even; otherwise the layout is the plain
+    transposed one with one row per subquantizer.
+    """
+    codes = np.atleast_2d(np.asarray(codes, dtype=np.uint8))
+    n, m = codes.shape
+    paired = ks <= 16 and m % 2 == 0
+    if paired:
+        fused = (codes[:, 0::2] << 4) | codes[:, 1::2]
+        packed = np.ascontiguousarray(fused.T)
+    else:
+        packed = np.ascontiguousarray(codes.T)
+    return BlockedCodes(packed=packed, n=n, m=m, ks=ks, paired=paired)
+
+
+def concat_blocked(parts: list[BlockedCodes]) -> BlockedCodes:
+    """Concatenate blocked code sets along the candidate axis."""
+    if not parts:
+        raise ValueError("concat_blocked needs at least one part")
+    head = parts[0]
+    # np.concatenate of C-contiguous rows is already C-contiguous.
+    return BlockedCodes(
+        packed=np.concatenate([p.packed for p in parts], axis=1),
+        n=sum(p.n for p in parts),
+        m=head.m,
+        ks=head.ks,
+        paired=head.paired,
+    )
+
+
+@dataclass
+class QuantizedLuts:
+    """A jointly-quantized stack of scan LUTs with the affine inverse.
+
+    ``luts`` is (m_eff, c, lut_size) uint16 in *scan order*: row ``p``
+    holds the ``c`` cell LUTs for subquantizer (pair) ``p``
+    back-to-back, so the kernel's per-row gather serves every probed
+    cell without a transpose.  All cells share one scale/offset so
+    blocked sums from different cells stay comparable; ``dequantize``
+    maps a uint accumulator back to approximate squared distances.
+    Accumulator *order* already equals distance order — the affine map
+    is monotone (scale >= 0) — so rank-only consumers (the rerank tail)
+    can skip dequantization.
+    """
+
+    luts: np.ndarray  # (m_eff, c, lut_size) uint16, C-contiguous
+    scale: float
+    offset: float
+    m: int
+
+    @property
+    def lut_size(self) -> int:
+        return self.luts.shape[2]
+
+    def dequantize(self, accumulated: np.ndarray) -> np.ndarray:
+        return accumulated.astype(np.float64) * self.scale + self.m * self.offset
+
+
+def quantize_tables(tables: np.ndarray, paired: bool) -> QuantizedLuts:
+    """Jointly quantize a (c, m, ks) stack of float ADC tables.
+
+    One affine map covers the whole stack (per-cell scales would make
+    sums incomparable across IVF cells).  With ``paired=True`` the
+    uint8 entries of each subquantizer pair are pre-summed into a fused
+    256-entry LUT indexed by the fused byte, so the scan does one
+    gather per *pair*.
+    """
+    tables = np.asarray(tables, dtype=np.float64)
+    if tables.ndim == 2:
+        tables = tables[None, :, :]
+    c, m, ks = tables.shape
+    lo = float(tables.min())
+    hi = float(tables.max())
+    scale = (hi - lo) / 255.0
+    if scale == 0.0 or not np.isfinite(scale):
+        q = np.zeros((c, m, ks), dtype=np.uint8)
+        scale = 0.0
+    else:
+        q = np.rint((tables - lo) / scale).astype(np.uint8)
+    if paired:
+        if m % 2 != 0 or ks > 16:
+            raise ValueError("paired LUTs need even m and ks <= 16")
+        # Built directly in (pair, cell, entry) scan order.  The ufunc
+        # output of the broadcast add follows its inputs' (transposed)
+        # iteration order, so force the scan-order layout explicitly —
+        # the kernel's per-row take assumes contiguous rows.
+        fused = q.transpose(1, 0, 2)[0::2, :, :, None].astype(np.uint16) + q.transpose(
+            1, 0, 2
+        )[1::2, :, None, :]
+        luts = np.ascontiguousarray(fused.reshape(m // 2, c, ks * ks))
+        if ks < 16:
+            # Fused bytes index as (code_hi << 4) | code_lo, so the LUT
+            # must span the full 16x16 nibble grid even when ks < 16.
+            full = np.zeros((m // 2, c, 256), dtype=np.uint16)
+            grid = (np.arange(ks)[:, None] * 16 + np.arange(ks)[None, :]).ravel()
+            full[:, :, grid] = luts
+            luts = full
+    else:
+        luts = np.ascontiguousarray(q.transpose(1, 0, 2).astype(np.uint16))
+    return QuantizedLuts(luts=luts, scale=scale, offset=lo, m=m)
+
+
+def gather_packed_cells(
+    cell_packed: list[BlockedCodes], cells: np.ndarray
+) -> BlockedCodes:
+    """Concatenate the blocked layouts of the probed cells, in probe order.
+
+    This is the blessed producer of the ``packed`` argument to
+    :func:`fastscan_accumulate` for multi-cell scans; candidate ``j``'s
+    LUT slot is the probe position of its cell.
+    """
+    return concat_blocked([cell_packed[int(cell)] for cell in cells])
+
+
+def fastscan_accumulate(
+    luts: np.ndarray,
+    packed: np.ndarray,
+    slot_offsets: np.ndarray | None = None,
+) -> np.ndarray:
+    """Blocked LUT accumulation: one contiguous ``take`` per packed row.
+
+    Parameters
+    ----------
+    luts:
+        (m_eff, c, lut_size) uint16 scan-order stack from
+        :func:`quantize_tables`.
+    packed:
+        (m_eff, n) uint8 scan layout from :func:`pack_codes_blocked` /
+        :func:`gather_packed_cells` — the flattened block sequence.
+    slot_offsets:
+        Optional (n,) LUT-slot offsets, ``cell_slot * lut_size`` per
+        candidate, for scans whose candidates span multiple cells
+        (IVFADC probes).  ``None`` means every candidate uses slot 0.
+
+    Returns the (n,) uint16 accumulator (uint32 when ``m * 255`` could
+    overflow 16 bits).  Map back to distances with
+    :meth:`QuantizedLuts.dequantize`.
+    """
+    m_eff, c, lut_size = luts.shape
+    n = packed.shape[1]
+    # Row p already holds the c cell LUTs for pair p back-to-back, so
+    # one take per row serves every probed cell.
+    flat = luts.reshape(m_eff, c * lut_size)
+    # Each fused entry is <= 510 and there are m_eff = m/2 of them (or
+    # <= 255 entries m times): the accumulator bound is m * 255 either way.
+    acc_dtype = np.uint16 if 255 * max(1, packed.shape[0]) * 2 <= 65535 else np.uint32
+    acc = np.zeros(n, dtype=acc_dtype)
+    if slot_offsets is None:
+        for p in range(m_eff):
+            np.add(acc, flat[p].take(packed[p]), out=acc, casting="unsafe")
+    else:
+        idx = packed.astype(np.int32)
+        idx += slot_offsets.astype(np.int32)[None, :]
+        for p in range(m_eff):
+            np.add(acc, flat[p].take(idx[p]), out=acc, casting="unsafe")
+    return acc
+
+
 class FastScanPQ:
-    """A PQ wrapper that stores codes pre-transposed for blocked scans."""
+    """A PQ wrapper that stores codes pre-transposed for blocked scans.
+
+    Quantized scans (``exact=False``) run through the register-blocked
+    layout — pair-fused when the codebook fits nibbles — while exact
+    scans keep the float-table transposed path.
+    """
 
     def __init__(self, pq: ProductQuantizer):
         self.pq = pq
         self._codes_t: np.ndarray | None = None
+        self._blocked: BlockedCodes | None = None
         self._ids: np.ndarray | None = None
 
     def add(self, ids: np.ndarray, vectors: np.ndarray) -> None:
-        codes_t = transpose_codes(self.pq.encode(vectors))
+        codes = self.pq.encode(vectors)
+        codes_t = transpose_codes(codes)
+        blocked = pack_codes_blocked(codes, self.pq.ks)
         ids = np.asarray(ids, dtype=np.int64)
         if self._codes_t is None:
             self._codes_t = codes_t
+            self._blocked = blocked
             self._ids = ids
         else:
             self._codes_t = np.concatenate([self._codes_t, codes_t], axis=1)
+            self._blocked = concat_blocked([self._blocked, blocked])
             self._ids = np.concatenate([self._ids, ids])
 
     def search(
@@ -131,7 +376,13 @@ class FastScanPQ:
         if self._codes_t is None or self._codes_t.shape[1] == 0:
             return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64)
         table = self.pq.adc_table(query)
-        dists = blocked_adc_scan(table, self._codes_t, exact=exact)
+        if exact:
+            dists = blocked_adc_scan(table, self._codes_t, exact=True)
+        else:
+            qluts = quantize_tables(table, paired=self._blocked.paired)
+            dists = qluts.dequantize(
+                fastscan_accumulate(qluts.luts, self._blocked.packed)
+            )
         order = topk_indices(dists, min(k, dists.shape[0]))
         return self._ids[order], dists[order]
 

@@ -18,6 +18,13 @@ import numpy as np
 
 from ..core.errors import IndexNotBuiltError
 from ..index._kernels import topk_indices
+from .fastscan import (
+    BlockedCodes,
+    fastscan_accumulate,
+    gather_packed_cells,
+    pack_codes_blocked,
+    quantize_tables,
+)
 from .kmeans import assign_topn, kmeans
 from .pq import ProductQuantizer
 
@@ -37,17 +44,37 @@ class IvfAdc:
         Number of coarse k-means cells.
     m, ks:
         Product quantizer shape for the residual codes.
+    layout:
+        ``"flat"`` scores each probed cell with a float ADC table (the
+        differential oracle, also exposed as :meth:`search_reference`);
+        ``"blocked"`` additionally stores codes in the register-blocked
+        FastScan layout and scans all probed cells with jointly
+        quantized uint8 LUTs plus an exact-rerank tail (§2.3,
+        Quick(er)-ADC).
     """
 
-    def __init__(self, nlist: int = 64, m: int = 8, ks: int = 256, seed: int = 0):
+    def __init__(
+        self,
+        nlist: int = 64,
+        m: int = 8,
+        ks: int = 256,
+        seed: int = 0,
+        layout: str = "flat",
+    ):
         if nlist <= 0:
             raise ValueError("nlist must be positive")
+        if layout not in ("flat", "blocked"):
+            raise ValueError(f"unknown layout {layout!r}")
         self.nlist = nlist
         self.pq = ProductQuantizer(m=m, ks=ks, seed=seed)
         self.seed = seed
+        self.layout = layout
         self.centroids: np.ndarray | None = None
         self._cell_ids: list[np.ndarray] = []  # external ids per cell
         self._cell_codes: list[np.ndarray] = []  # (n_i, m) uint8 per cell
+        # Register-blocked twin of _cell_codes, maintained only for the
+        # blocked layout.
+        self._cell_packed: list[BlockedCodes] = []
         self.dim: int | None = None
 
     @property
@@ -74,6 +101,11 @@ class IvfAdc:
         self._cell_codes = [
             np.empty((0, self.pq.m), dtype=np.uint8) for _ in range(self.nlist)
         ]
+        if self.layout == "blocked":
+            empty = np.empty((0, self.pq.m), dtype=np.uint8)
+            self._cell_packed = [
+                pack_codes_blocked(empty, self.pq.ks) for _ in range(self.nlist)
+            ]
         return self
 
     def add(self, ids: np.ndarray, vectors: np.ndarray) -> None:
@@ -92,11 +124,38 @@ class IvfAdc:
             self._cell_codes[cell] = np.vstack(
                 [self._cell_codes[cell], codes[mask]]
             )
+            if self.layout == "blocked":
+                self._cell_packed[cell] = pack_codes_blocked(
+                    self._cell_codes[cell], self.pq.ks
+                )
 
     def search(
+        self,
+        query: np.ndarray,
+        k: int,
+        nprobe: int = 8,
+        rerank: int | None = None,
+    ) -> tuple[np.ndarray, np.ndarray, IvfAdcSearchStats]:
+        """Return (ids, squared_distances, stats) of the ADC top-k.
+
+        With the blocked layout, ``rerank`` caps the exact-rerank tail
+        (``None`` → ``max(4 * k, 32)``; ``0`` disables reranking and
+        returns raw quantized-LUT distances).  The flat layout ignores
+        it — float tables need no rerank.
+        """
+        if self.layout == "blocked":
+            return self._search_blocked(query, k, nprobe, rerank)
+        return self.search_reference(query, k, nprobe)
+
+    def search_reference(
         self, query: np.ndarray, k: int, nprobe: int = 8
     ) -> tuple[np.ndarray, np.ndarray, IvfAdcSearchStats]:
-        """Return (ids, squared_distances, stats) of the ADC top-k."""
+        """Per-cell float-table ADC scan: the differential oracle.
+
+        Intentionally kept cell-at-a-time (one table build and one
+        lookup per probed cell) so the blocked layout's one-pass scan
+        has a faithful reference to be measured and tested against.
+        """
         self._require_trained()
         query = np.asarray(query, dtype=np.float64).reshape(-1)
         nprobe = max(1, min(nprobe, self.nlist))
@@ -125,13 +184,80 @@ class IvfAdc:
         order = topk_indices(dists, min(k, ids.shape[0]))
         return ids[order], dists[order], stats
 
+    def _search_blocked(
+        self, query: np.ndarray, k: int, nprobe: int, rerank: int | None
+    ) -> tuple[np.ndarray, np.ndarray, IvfAdcSearchStats]:
+        """One-pass register-blocked scan over every probed cell.
+
+        All probed cells' residual ADC tables are built in one batched
+        pass, quantized jointly to shared-scale uint8 LUTs, and scanned
+        with one contiguous gather per subquantizer pair; the top
+        candidates by quantized sum are then re-scored against the
+        float tables (exact-rerank tail) before the final top-k cut.
+        """
+        self._require_trained()
+        query = np.asarray(query, dtype=np.float64).reshape(-1)
+        nprobe = max(1, min(nprobe, self.nlist))
+        probe_cells = assign_topn(query[None, :], self.centroids, nprobe)[0]
+        stats = IvfAdcSearchStats()
+
+        cells: list[int] = []
+        sizes: list[int] = []
+        id_chunks: list[np.ndarray] = []
+        for c in probe_cells:
+            count = self._cell_codes[c].shape[0]
+            if count:
+                cells.append(int(c))
+                sizes.append(count)
+                id_chunks.append(self._cell_ids[c])
+        if not cells:
+            return (
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.float64),
+                stats,
+            )
+        total = sum(sizes)
+        stats.cells_probed = len(cells)
+        stats.codes_scanned = total
+
+        residuals = query[None, :] - self.centroids[cells]
+        tables = self.pq.adc_tables(residuals)  # (c, m, ks) float64
+        blocked = gather_packed_cells(self._cell_packed, cells)
+        qluts = quantize_tables(tables, paired=blocked.paired)
+        slots = np.repeat(np.arange(len(cells), dtype=np.int32), sizes)
+        acc = fastscan_accumulate(qluts.luts, blocked.packed, slots * qluts.lut_size)
+        ids = np.concatenate(id_chunks)
+
+        tail = max(4 * k, 32) if rerank is None else rerank
+        if tail <= 0:
+            approx = qluts.dequantize(acc)
+            order = topk_indices(approx, min(k, total))
+            return ids[order], approx[order], stats
+
+        # Accumulator order == approximate-distance order (monotone
+        # affine map), and the tail is re-sorted exactly anyway, so the
+        # candidate cut runs on the raw uint accumulator, unsorted.
+        tail = min(tail, total)
+        cand = np.argpartition(acc, tail - 1)[:tail] if tail < total else np.arange(
+            total
+        )
+        codes = np.concatenate([self._cell_codes[c] for c in cells], axis=0)
+        cand_codes = codes[cand]
+        cand_slots = slots[cand]
+        exact = tables[
+            cand_slots[:, None], np.arange(self.pq.m)[None, :], cand_codes
+        ].sum(axis=1)
+        order = topk_indices(exact, min(k, cand.shape[0]))
+        return ids[cand][order], exact[order], stats
+
     def memory_bytes(self) -> int:
         """Approximate resident size: centroids + codes + id lists."""
         self._require_trained()
         centroid_bytes = self.centroids.nbytes
         code_bytes = sum(c.nbytes for c in self._cell_codes)
         id_bytes = sum(i.nbytes for i in self._cell_ids)
-        return centroid_bytes + code_bytes + id_bytes
+        packed_bytes = sum(p.packed.nbytes for p in self._cell_packed)
+        return centroid_bytes + code_bytes + id_bytes + packed_bytes
 
     def __len__(self) -> int:
         return sum(len(ids) for ids in self._cell_ids)

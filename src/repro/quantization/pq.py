@@ -124,6 +124,25 @@ class ProductQuantizer:
             table[sub] = np.einsum("ij,ij->i", diff, diff)
         return table
 
+    def adc_tables(self, queries: np.ndarray) -> np.ndarray:
+        """(c, m, ks) stack of ADC tables for a batch of queries.
+
+        One einsum per subspace covers every query at once — the batched
+        analogue of :meth:`adc_table` (same difference-form arithmetic,
+        so each slice matches the per-query table).  IVFADC uses this to
+        build all probed cells' residual tables in one pass.
+        """
+        self._require_trained()
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        if queries.shape[1] != self.dim:
+            raise ValueError(f"expected dim {self.dim}, got {queries.shape[1]}")
+        # One difference tensor and one einsum cover every (query, sub,
+        # centroid) triple; the reduction order over subdim matches the
+        # per-query loop, so each slice equals adc_table(queries[i]).
+        sub_queries = queries.reshape(queries.shape[0], self.m, self.subdim)
+        diff = self._codebooks[None, :, :, :] - sub_queries[:, :, None, :]
+        return np.einsum("cmks,cmks->cmk", diff, diff)
+
     @staticmethod
     def lookup(table: np.ndarray, codes: np.ndarray) -> np.ndarray:
         """Sum table entries along the code tuple -> squared ADC distances."""

@@ -43,6 +43,22 @@ class Score(abc.ABC):
             out[i] = self.distances(row, b)
         return out
 
+    def distances_batch(self, queries: np.ndarray, vectors: np.ndarray) -> np.ndarray:
+        """(len(queries), len(vectors)) distances with row-identity.
+
+        Contract: row ``i`` must equal ``distances(queries[i], vectors)``
+        *bitwise* — batched kernels rely on it for result-identity with
+        their per-query references.  The base implementation loops, which
+        guarantees the identity; overrides may fuse only when the fused
+        arithmetic reduces in the same element order (c_einsum forms —
+        not BLAS, whose blocking differs between GEMV and GEMM).
+        """
+        queries = np.atleast_2d(queries)
+        vectors = np.atleast_2d(vectors)
+        if queries.shape[0] == 0:
+            return np.empty((0, vectors.shape[0]))
+        return np.stack([self.distances(q, vectors) for q in queries])
+
     def similarity(self, distance: np.ndarray | float):
         """Map a distance back to the natural similarity orientation.
 
@@ -64,6 +80,15 @@ class EuclideanScore(Score):
     def distances(self, query: np.ndarray, vectors: np.ndarray) -> np.ndarray:
         diff = vectors - query
         return np.sqrt(np.einsum("ij,ij->i", diff, diff))
+
+    def distances_batch(self, queries: np.ndarray, vectors: np.ndarray) -> np.ndarray:
+        # Same subtraction and same per-element einsum reduction order
+        # over the trailing axis as distances(), so each row is bitwise
+        # identical to the per-query call.
+        queries = np.atleast_2d(queries)
+        vectors = np.atleast_2d(vectors)
+        diff = vectors[None, :, :] - queries[:, None, :]
+        return np.sqrt(np.einsum("qnd,qnd->qn", diff, diff))
 
     def pairwise(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         a = np.atleast_2d(np.asarray(a, dtype=np.float64))
@@ -90,6 +115,12 @@ class SquaredEuclideanScore(Score):
     def distances(self, query: np.ndarray, vectors: np.ndarray) -> np.ndarray:
         diff = vectors - query
         return np.einsum("ij,ij->i", diff, diff)
+
+    def distances_batch(self, queries: np.ndarray, vectors: np.ndarray) -> np.ndarray:
+        queries = np.atleast_2d(queries)
+        vectors = np.atleast_2d(vectors)
+        diff = vectors[None, :, :] - queries[:, None, :]
+        return np.einsum("qnd,qnd->qn", diff, diff)
 
     def pairwise(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         return EuclideanScore().pairwise(a, b) ** 2

@@ -39,7 +39,7 @@ class TestRegistry:
         ids = [r.id for r in rules]
         assert ids == sorted(ids)
         assert len(ids) == len(set(ids))
-        assert len(rules) == 11
+        assert len(rules) == 12
         for rule in rules:
             assert rule.id.startswith("VDB")
             assert rule.invariant
@@ -254,6 +254,68 @@ class TestKernelBoundaryRule:
                 return beam_search(adj, vectors, q)
         """
         assert lint(code, "src/repro/index/_kernels.py", "VDB401") == []
+
+    def test_batched_kernel_is_covered(self):
+        code = """
+            def route(adj, raw, qs):
+                return batched_beam_search(qs, raw, adj, [0], 16, None)
+        """
+        (f,) = lint(code, self.PATH, "VDB401")
+        assert "batched_beam_search" in f.message
+        code_ok = """
+            def route(self, adj, qs):
+                return batched_beam_search(qs, self._vectors, adj, [0], 16, None)
+        """
+        assert lint(code_ok, self.PATH, "VDB401") == []
+
+
+class TestPackedLayoutBoundaryRule:
+    PATH = "src/repro/quantization/fixture.py"
+
+    def test_raw_array_fires(self):
+        code = """
+            def scan(luts, codes):
+                return fastscan_accumulate(luts, codes.T)
+        """
+        (f,) = lint(code, self.PATH, "VDB402")
+        assert "blocked packer" in f.message
+
+    def test_packer_result_attribute_is_clean(self):
+        code = """
+            def scan(luts, codes, ks):
+                blocked = pack_codes_blocked(codes, ks)
+                a = fastscan_accumulate(luts, blocked.packed)
+                b = fastscan_accumulate(
+                    luts, gather_packed_cells(parts, cells).packed
+                )
+                return a, b
+        """
+        assert lint(code, self.PATH, "VDB402") == []
+
+    def test_alias_of_packer_result_is_clean(self):
+        code = """
+            def scan(luts, parts, cells):
+                blocked = gather_packed_cells(parts, cells)
+                view = blocked
+                return fastscan_accumulate(luts, packed=view.packed)
+        """
+        assert lint(code, self.PATH, "VDB402") == []
+
+    def test_packed_attr_of_unknown_value_fires(self):
+        code = """
+            def scan(self, luts):
+                return fastscan_accumulate(luts, self._blocked.packed)
+        """
+        (f,) = lint(code, self.PATH, "VDB402")
+        assert f.rule == "VDB402"
+
+    def test_defining_module_is_exempt(self):
+        code = """
+            def helper(luts, raw):
+                return fastscan_accumulate(luts, raw)
+        """
+        path = "src/repro/quantization/fastscan.py"
+        assert lint(code, path, "VDB402") == []
 
 
 class TestSpanRules:

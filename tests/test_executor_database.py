@@ -258,3 +258,111 @@ class TestConstruction:
 
     def test_repr(self, db):
         assert "VectorDatabase" in repr(db)
+
+
+class TestPlanCacheIntegration:
+    def _query(self, hybrid_dataset, k=5, **params):
+        return SearchQuery(
+            hybrid_dataset.queries[0], k, predicate=Field("rating") >= 3,
+            params=params,
+        )
+
+    def test_repeat_query_hits(self, db, hybrid_dataset):
+        q = self._query(hybrid_dataset)
+        first, first_cands = db.plan(q)
+        assert db.plan_cache.misses == 1 and db.plan_cache.hits == 0
+        second, second_cands = db.plan(self._query(hybrid_dataset))
+        assert db.plan_cache.hits == 1
+        assert second is first
+        assert [p.describe() for p in second_cands] == [
+            p.describe() for p in first_cands
+        ]
+
+    def test_shape_changes_miss(self, db, hybrid_dataset):
+        db.plan(self._query(hybrid_dataset, k=5))
+        db.plan(self._query(hybrid_dataset, k=6))
+        assert db.plan_cache.hits == 0 and db.plan_cache.misses == 2
+
+    def test_insert_invalidates(self, db, hybrid_dataset):
+        db.plan(self._query(hybrid_dataset))
+        db.insert(hybrid_dataset.train[0], dict(zip(
+            hybrid_dataset.attributes[0], hybrid_dataset.attributes[0].values()
+        )))
+        db.plan(self._query(hybrid_dataset))
+        assert db.plan_cache.hits == 0 and db.plan_cache.misses == 2
+
+    def test_delete_invalidates(self, db, hybrid_dataset):
+        db.plan(self._query(hybrid_dataset))
+        db.delete(0)
+        db.plan(self._query(hybrid_dataset))
+        assert db.plan_cache.hits == 0
+
+    def test_index_ddl_invalidates(self, db, hybrid_dataset):
+        db.plan(self._query(hybrid_dataset))
+        db.create_index("extra", "flat")
+        db.plan(self._query(hybrid_dataset))
+        db.drop_index("extra")
+        db.plan(self._query(hybrid_dataset))
+        assert db.plan_cache.hits == 0 and db.plan_cache.misses == 3
+
+    def test_rebuild_invalidates(self, db, hybrid_dataset):
+        db.plan(self._query(hybrid_dataset))
+        db.rebuild_indexes()
+        db.plan(self._query(hybrid_dataset))
+        assert db.plan_cache.hits == 0
+
+    def test_unhashable_params_not_cached(self, db, hybrid_dataset):
+        q = self._query(hybrid_dataset, weights=[0.2, 0.8])
+        db.plan(q)
+        db.plan(q)
+        assert len(db.plan_cache) == 0
+        assert db.plan_cache.hits == 0 and db.plan_cache.misses == 0
+
+    def test_cache_disabled(self, hybrid_dataset):
+        db = VectorDatabase(dim=hybrid_dataset.dim, plan_cache=False)
+        db.insert_many(hybrid_dataset.train, hybrid_dataset.attributes)
+        assert db.plan_cache is None
+        result = db.search(hybrid_dataset.queries[0], k=3)
+        assert len(result) == 3
+
+    def test_capacity_from_int(self, hybrid_dataset):
+        db = VectorDatabase(dim=hybrid_dataset.dim, plan_cache=4)
+        assert db.plan_cache.capacity == 4
+
+    def test_metrics_counters(self, db, hybrid_dataset):
+        from repro import Observability
+
+        db.set_observability(Observability(tracing=False))
+        db.plan(self._query(hybrid_dataset))
+        db.plan(self._query(hybrid_dataset))
+        metrics = db.observability.metrics
+        assert metrics.counter("vdbms_plan_cache_misses_total").total() == 1
+        assert metrics.counter("vdbms_plan_cache_hits_total").total() == 1
+
+    def test_explain_analyze_surfaces_cache_state(self, db, hybrid_dataset):
+        q = hybrid_dataset.queries[0]
+        profile = db.explain_analyze(q, k=3, predicate=Field("rating") >= 3)
+        assert profile.plan_cache["source"] == "miss"
+        profile = db.explain_analyze(q, k=3, predicate=Field("rating") >= 3)
+        assert profile.plan_cache["source"] == "hit"
+        assert profile.plan_cache["size"] >= 1
+        assert "plan cache: source=hit" in profile.render()
+        assert profile.to_dict()["plan_cache"]["source"] == "hit"
+
+    def test_explain_analyze_explicit_and_disabled(self, db, hybrid_dataset):
+        q = hybrid_dataset.queries[0]
+        profile = db.explain_analyze(q, k=3, plan=QueryPlan("brute_force"))
+        assert profile.plan_cache["source"] == "explicit"
+        bare = VectorDatabase(dim=hybrid_dataset.dim, plan_cache=False)
+        bare.insert_many(hybrid_dataset.train, hybrid_dataset.attributes)
+        profile = bare.explain_analyze(q, k=3)
+        assert profile.plan_cache == {"source": "disabled"}
+
+    def test_cached_plan_executes_identically(self, db, hybrid_dataset):
+        q = hybrid_dataset.queries[1]
+        predicate = Field("category") == 1
+        cold = db.search(q, k=5, predicate=predicate)
+        warm = db.search(q, k=5, predicate=predicate)
+        assert db.plan_cache.hits >= 1
+        assert warm.ids == cold.ids
+        assert warm.distances == cold.distances

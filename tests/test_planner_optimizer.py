@@ -190,3 +190,53 @@ class TestSelectors:
         plans = self._hybrid_plans(indexes)
         chosen = selector.select(plans, indexes, 1000, 10, 0.3)
         assert chosen.estimated_cost == min(p.estimated_cost for p in plans)
+
+
+class TestPlanCache:
+    def _plan(self, strategy="brute_force"):
+        return QueryPlan(strategy)
+
+    def test_invalid_capacity(self):
+        from repro.core.planner import PlanCache
+
+        with pytest.raises(PlanningError):
+            PlanCache(capacity=0)
+
+    def test_miss_then_hit_counts(self):
+        from repro.core.planner import PlanCache
+
+        cache = PlanCache()
+        assert cache.get(("k",)) is None
+        chosen = self._plan()
+        cache.put(("k",), chosen, [chosen])
+        got = cache.get(("k",))
+        assert got is not None and got[0] is chosen
+        assert got[1] == (chosen,)
+        assert cache.hits == 1 and cache.misses == 1
+        assert len(cache) == 1
+
+    def test_lru_eviction_and_recency_refresh(self):
+        from repro.core.planner import PlanCache
+
+        cache = PlanCache(capacity=2)
+        a, b, c = (self._plan() for _ in range(3))
+        cache.put("a", a, [])
+        cache.put("b", b, [])
+        cache.get("a")  # refresh: "b" is now least recent
+        cache.put("c", c, [])
+        assert cache.get("b") is None
+        assert cache.get("a") is not None
+        assert cache.get("c") is not None
+        assert len(cache) == 2
+
+    def test_clear_and_info(self):
+        from repro.core.planner import PlanCache
+
+        cache = PlanCache(capacity=8)
+        cache.put("x", self._plan(), [])
+        cache.get("x")
+        cache.get("y")
+        cache.clear()
+        assert len(cache) == 0
+        info = cache.info()
+        assert info == {"hits": 1, "misses": 1, "size": 0, "capacity": 8}
