@@ -164,6 +164,17 @@ LAYERING: dict[str, tuple[str, ...] | None] = {
         "repro.reliability",
     ),
     "security": ("repro.core", "repro.index", "repro.scores"),
+    # The serving front door sits above the query engine: it may import
+    # core/observability/reliability, but nothing imports serving.
+    "serving": (
+        "repro.core",
+        "repro.index",
+        "repro.scores",
+        "repro.quantization",
+        "repro.hybrid",
+        "repro.observability",
+        "repro.reliability",
+    ),
     "torture": (
         "repro.core",
         "repro.index",
@@ -260,6 +271,10 @@ STATS_MUTATION_ALLOWLIST = (
     "src/repro/storage/*.py",
     "src/repro/distributed/*.py",
     "src/repro/quantization/ivfadc.py",
+    # The coalescer re-splits batch-level stats into per-request shares
+    # (largest-remainder, sums conserved) — the one serving module that
+    # writes SearchStats counters.
+    "src/repro/serving/coalescer.py",
 )
 
 #: Base-class names that mark a class as part of the index `search`

@@ -252,6 +252,16 @@ class VectorDatabase:
             "partitioned": len(self.partitioned),
             "stale_indexes": self._stale,
         }
+        if self.plan_cache is not None:
+            info = self.plan_cache.info()
+            probes = info["hits"] + info["misses"]
+            report.database["plan_cache"] = {
+                **info,
+                "hit_ratio": info["hits"] / probes if probes else 0.0,
+            }
+        slow_log = self.observability.slow_log
+        if slow_log is not None:
+            report.database["slow_queries"] = slow_log.recorded
         return report
 
     # ----------------------------------------------------------------- plans

@@ -42,7 +42,16 @@ vdbms_audit_seconds_total                 counter    collection, strategy, index
 vdbms_audit_recall                        histogram  collection, strategy, index
 vdbms_slo_breaches_total                  counter    slo, severity
 vdbms_slo_good_fraction                   gauge      slo
+vdbms_serving_requests_total              counter    tenant, status
+vdbms_serving_rejected_total              counter    tenant, reason
+vdbms_serving_shed_total                  counter    tenant
+vdbms_serving_batches_total               counter    mode
+vdbms_serving_batch_size                  histogram  —
 ========================================  =========  =======================
+
+The serving tier additionally passes ``labels={"tenant": ...}`` into
+:meth:`Observability.record_query`, adding a ``tenant`` dimension to the
+query-path counters for requests it dispatches.
 
 The ``audit_*`` namespace is the cost-isolation contract: every
 distance computation and second spent by the online recall auditor is
@@ -52,7 +61,7 @@ charged there, never to the query-path counters above it.
 from __future__ import annotations
 
 import math
-from typing import Any, Callable, Sequence
+from typing import Any, Callable, Mapping, Sequence
 
 from .export import SlowQueryLog
 from .metrics import NOOP_METRICS, MetricsRegistry, NoopMetricsRegistry
@@ -207,38 +216,43 @@ class Observability:
         stats: Any,
         elapsed_seconds: float | None = None,
         simulated: bool = False,
+        labels: Mapping[str, Any] | None = None,
     ) -> None:
         """Standard per-query rollup: counters, latency, slow-query log.
 
         ``stats`` is a :class:`~repro.core.types.SearchStats`;
         ``elapsed_seconds`` overrides ``stats.elapsed_seconds`` (the
-        distributed coordinator passes simulated latency).
+        distributed coordinator passes simulated latency).  ``labels``
+        adds caller dimensions (e.g. the serving tier's ``tenant``) to
+        every metric recorded here; they ride the normal registry, so
+        label escaping and exposition come for free.
         """
         elapsed = (
             elapsed_seconds if elapsed_seconds is not None else stats.elapsed_seconds
         )
+        extra = dict(labels) if labels else {}
         m = self.metrics
         m.counter("vdbms_queries_total", "Queries executed").inc(
-            kind=kind, strategy=strategy
+            kind=kind, strategy=strategy, **extra
         )
         m.histogram("vdbms_query_seconds", "Per-query latency").observe(
-            elapsed, kind=kind
+            elapsed, kind=kind, **extra
         )
         if elapsed == elapsed:  # skip NaN (no elapsed reported)
             self.sketch(kind).observe(elapsed)
         m.counter(
             "vdbms_distance_computations_total", "Similarity computations"
-        ).inc(stats.distance_computations, kind=kind)
+        ).inc(stats.distance_computations, kind=kind, **extra)
         m.counter("vdbms_nodes_visited_total", "Index nodes expanded").inc(
-            stats.nodes_visited, kind=kind
+            stats.nodes_visited, kind=kind, **extra
         )
         m.counter(
             "vdbms_query_page_reads_total", "Disk pages read by queries"
-        ).inc(stats.page_reads, kind=kind)
+        ).inc(stats.page_reads, kind=kind, **extra)
         if stats.partial:
             m.counter(
                 "vdbms_partial_results_total", "Queries answered partially"
-            ).inc(kind=kind)
+            ).inc(kind=kind, **extra)
         if self.slo is not None:
             if elapsed == elapsed:
                 self.slo.observe("latency", elapsed)

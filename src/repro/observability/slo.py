@@ -342,7 +342,10 @@ class HealthReport:
     ``latency`` maps query kind -> quantile snapshot from the streaming
     sketches; ``audit`` summarizes the online recall auditor; ``slos``
     and ``alerts`` come from the :class:`SLOMonitor`; ``database`` is
-    filled by the database facade (collection size, index staleness).
+    filled by the database facade (collection size, index staleness,
+    plan-cache hit ratio); ``serving`` is attached by the serving front
+    door (per-tenant dispositions and latency quantiles) when one wraps
+    the database.
     """
 
     enabled: bool = True
@@ -353,6 +356,7 @@ class HealthReport:
     slos: list[SLOStatus] = field(default_factory=list)
     alerts: list[SLOAlert] = field(default_factory=list)
     database: dict[str, Any] = field(default_factory=dict)
+    serving: dict[str, Any] | None = None
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -364,6 +368,7 @@ class HealthReport:
             "slos": [s.to_dict() for s in self.slos],
             "alerts": [a.to_dict() for a in self.alerts],
             "database": self.database,
+            "serving": self.serving,
         }
 
     def render(self) -> str:
@@ -410,4 +415,18 @@ class HealthReport:
         for alert in self.alerts:
             if alert.active:
                 lines.append(f"  ALERT {alert!r}")
+        if self.serving is not None:
+            totals = self.serving.get("totals", {})
+            info = ", ".join(f"{k}={v}" for k, v in totals.items())
+            lines.append(f"  serving: {info}")
+            for name in sorted(self.serving.get("tenants", {})):
+                t = self.serving["tenants"][name]
+                p99 = t.get("latency_seconds", {}).get("p99", float("nan"))
+                lines.append(
+                    f"  serving[{name}]: submitted={t.get('submitted')}"
+                    f" ok={t.get('executed')} cached={t.get('cache_hits')}"
+                    f" shed={t.get('shed')}"
+                    f" rejected={sum(t.get('rejected', {}).values())}"
+                    + (f" p99={p99 * 1e3:.3f}ms" if p99 == p99 else "")
+                )
         return "\n".join(lines)

@@ -1,0 +1,194 @@
+"""Admission control: priority queueing, bounded backlog, deadline shedding.
+
+The admission controller is the front door's gatekeeper.  Every arriving
+request passes three checks *before* any execution resource is spent:
+
+1. **Quota** — the tenant's token bucket (:mod:`repro.serving.quota`).
+   An empty bucket rejects with ``reason="throttled"`` and a computable
+   ``retry_after_seconds`` — the backpressure signal a well-behaved
+   client uses to back off instead of retry-storming.
+2. **Bounded queue** — each tenant owns at most ``max_queue`` waiting
+   slots.  A full queue rejects with ``reason="queue_full"``; unbounded
+   queues just convert overload into unbounded latency, which is worse
+   than an honest no.
+3. **Deadline shedding** — at *dispatch* time, a queued request whose
+   latency budget has already elapsed (or provably cannot be met) is
+   shed rather than executed: work spent on an answer the client has
+   stopped waiting for is pure waste under overload.
+
+Admitted requests wait in one priority queue ordered by
+``(tenant priority, arrival sequence)``.  Dispatch respects per-tenant
+in-flight caps, so a backlogged low-priority tenant cannot monopolize
+the workers even when its queue is long — this is the isolation
+property the E23 benchmark demonstrates numerically.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Hashable
+
+from ..core.errors import VdbmsError
+from .request import ServingRequest
+from .quota import TenantSpec, TokenBucket
+
+__all__ = ["AdmissionController", "AdmissionRejected"]
+
+
+class AdmissionRejected(VdbmsError):
+    """A request was refused at the front door (backpressure signal).
+
+    ``reason`` is ``"throttled"`` (token bucket empty), ``"queue_full"``
+    (bounded backlog reached), or ``"unknown_tenant"``.
+    ``retry_after_seconds`` tells the caller when trying again has a
+    chance of succeeding — the token-refill gap when throttled, a
+    backlog-drain estimate when the queue is full.
+    """
+
+    def __init__(self, tenant: str, reason: str, retry_after_seconds: float):
+        super().__init__(
+            f"tenant {tenant!r} rejected: {reason}"
+            f" (retry after {retry_after_seconds:.4g}s)"
+        )
+        self.tenant = tenant
+        self.reason = reason
+        self.retry_after_seconds = retry_after_seconds
+
+
+class AdmissionController:
+    """Quota enforcement plus one priority queue over all tenants."""
+
+    def __init__(self, tenants: dict[str, TenantSpec], now: float = 0.0):
+        self.tenants = dict(tenants)
+        self.buckets = {
+            name: TokenBucket(spec.qps, spec.burst, now=now)
+            for name, spec in self.tenants.items()
+        }
+        self._heap: list[tuple[int, int]] = []  # (priority, seq)
+        self._queued: dict[int, ServingRequest] = {}  # seq -> request
+        self._by_key: dict[Hashable, list[int]] = {}  # coalesce key -> seqs
+        self._depth: dict[str, int] = {name: 0 for name in self.tenants}
+        self._seq = 0
+
+    # ------------------------------------------------------------- admission
+
+    def queue_depth(self, tenant: str) -> int:
+        return self._depth[tenant]
+
+    def pending(self) -> int:
+        return len(self._queued)
+
+    def admit(self, request: ServingRequest, now: float) -> int:
+        """Admit (enqueue) one request or raise :class:`AdmissionRejected`.
+
+        Returns the queue sequence number assigned to the request.
+        Quota is charged before the queue-bound check on purpose: a
+        request that beats the rate limit but finds the queue full has
+        still consumed its token — queue_full is a capacity signal, not
+        a free retry.
+        """
+        spec = self.tenants.get(request.tenant)
+        if spec is None:
+            raise AdmissionRejected(request.tenant, "unknown_tenant", 0.0)
+        bucket = self.buckets[request.tenant]
+        if not bucket.try_take(now):
+            raise AdmissionRejected(
+                request.tenant, "throttled", bucket.retry_after(now)
+            )
+        if self._depth[request.tenant] >= spec.max_queue:
+            # Drain estimate: the backlog at the tenant's own admitted
+            # rate is the soonest a queue slot can plausibly free up.
+            raise AdmissionRejected(
+                request.tenant,
+                "queue_full",
+                self._depth[request.tenant] / spec.qps,
+            )
+        seq = self._seq
+        self._seq += 1
+        heapq.heappush(self._heap, (spec.priority, seq))
+        self._queued[seq] = request
+        key = request.coalesce_key()
+        if key is not None:
+            self._by_key.setdefault(key, []).append(seq)
+        self._depth[request.tenant] += 1
+        return seq
+
+    # -------------------------------------------------------------- dispatch
+
+    def _remove(self, seq: int, request: ServingRequest) -> None:
+        del self._queued[seq]
+        self._depth[request.tenant] -= 1
+        key = request.coalesce_key()
+        if key is not None:
+            seqs = self._by_key.get(key)
+            if seqs is not None:
+                seqs.remove(seq)
+                if not seqs:
+                    del self._by_key[key]
+
+    @staticmethod
+    def _expired(request: ServingRequest, now: float) -> bool:
+        deadline = request.deadline_seconds
+        return deadline is not None and now > request.arrival_seconds + deadline
+
+    def next_batch(
+        self,
+        now: float,
+        coalesce_max: int,
+        capacity: Callable[[str], int],
+    ) -> tuple[list[ServingRequest], list[ServingRequest]]:
+        """Pop the next dispatchable (coalesced) batch.
+
+        Returns ``(batch, shed)``: ``batch`` is the highest-priority
+        eligible request plus up to ``coalesce_max - 1`` queued requests
+        sharing its coalesce key (same tenant, collection state, and
+        query shape — only the vectors differ), and ``shed`` lists
+        requests dropped because their deadline already passed.  Both
+        may be empty; an empty batch with queued requests remaining
+        means every queued tenant is at its in-flight cap.
+
+        ``capacity(tenant)`` reports how many more of the tenant's
+        requests may enter execution right now.
+        """
+        shed: list[ServingRequest] = []
+        deferred: list[tuple[int, int]] = []
+        lead: ServingRequest | None = None
+        lead_seq = -1
+        while self._heap:
+            priority, seq = heapq.heappop(self._heap)
+            request = self._queued.get(seq)
+            if request is None:
+                continue  # already coalesced into an earlier batch
+            if self._expired(request, now):
+                self._remove(seq, request)
+                shed.append(request)
+                continue
+            if capacity(request.tenant) <= 0:
+                deferred.append((priority, seq))
+                continue
+            lead, lead_seq = request, seq
+            break
+        for entry in deferred:
+            heapq.heappush(self._heap, entry)
+        if lead is None:
+            return [], shed
+        self._remove(lead_seq, lead)
+        batch = [lead]
+        key = lead.coalesce_key()
+        # capacity() still counts the lead (it leaves the queue only
+        # now), so the whole batch — lead included — must fit in it.
+        room = min(coalesce_max, capacity(lead.tenant)) - 1
+        if key is not None and room > 0:
+            # Members ride in arrival order; expired ones are shed here
+            # rather than executed.
+            for seq in list(self._by_key.get(key, ())):
+                if room <= 0:
+                    break
+                member = self._queued[seq]
+                self._remove(seq, member)
+                if self._expired(member, now):
+                    shed.append(member)
+                    continue
+                batch.append(member)
+                room -= 1
+        return batch, shed

@@ -1,0 +1,146 @@
+"""Request coalescing: many concurrent single queries, one kernel call.
+
+Under load, a serving tier sees many independent single-vector queries
+in flight at once.  Dispatching each alone pays the full pure-Python
+query overhead (planning, validation, operator setup) per request —
+the observability baseline puts that near a millisecond, dwarfing the
+vectorized kernels it wraps.  The coalescer funnels queued requests
+that share a coalesce key (same tenant, k, predicate, and params —
+only the vectors differ) into **one** call:
+
+* graph index plans run the whole group through
+  :func:`repro.core.batched.batched_graph_search` — the merged-frontier
+  kernel with shared k-means routes and one fused score pass per round.
+  The bounded-recall contract carries over verbatim: a coalesced
+  member's recall must not trail its solo execution by more than the
+  documented 0.05 (asserted by the serving tests and the E23 bench).
+* every other plan falls back to the executor's batch path, which still
+  shares the predicate bitmask and (on brute-force plans) the pairwise
+  distance kernel, and for quantized indexes reaches the blocked
+  FastScan ADC scan per member with the coarse centroids and LUT
+  machinery warm in cache.
+
+Results and statistics are split back per request: integer work
+counters are partitioned so the per-request parts **sum exactly** to
+the batch totals (largest-remainder split), keeping cost accounting
+conserved across the coalescing boundary.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.batched import batched_graph_search
+from ..core.query import BatchQuery, SearchQuery
+from ..core.types import SearchHit, SearchStats
+from .request import ServingRequest
+
+__all__ = ["execute_coalesced", "split_stats"]
+
+#: SearchStats integer counters conserved by :func:`split_stats`.
+_SPLIT_COUNTERS = (
+    "distance_computations",
+    "nodes_visited",
+    "page_reads",
+    "candidates_examined",
+    "predicate_evaluations",
+    "predicate_rejections",
+    "shards_ok",
+    "shards_failed",
+)
+
+
+def split_stats(total: SearchStats, parts: int) -> list[SearchStats]:
+    """Partition batch-level stats into ``parts`` per-request shares.
+
+    Integer counters use a largest-remainder split: each part gets
+    ``v // parts`` and the first ``v % parts`` parts one extra, so the
+    shares sum to the batch total *exactly* (asserted in tests — cost
+    accounting is conserved, never inflated or lost, across
+    coalescing).  ``elapsed_seconds`` is divided evenly (float).
+    """
+    if parts <= 0:
+        raise ValueError(f"parts must be positive, got {parts}")
+    out = []
+    for i in range(parts):
+        share = SearchStats(plan_name=total.plan_name)
+        for name in _SPLIT_COUNTERS:
+            value = getattr(total, name)
+            base, remainder = divmod(value, parts)
+            setattr(share, name, base + (1 if i < remainder else 0))
+        share.elapsed_seconds = total.elapsed_seconds / parts
+        share.partial = total.partial
+        share.coverage_fraction = total.coverage_fraction
+        out.append(share)
+    return out
+
+
+def _graph_batchable(db, plan, requests) -> bool:
+    """May this group run through the merged-frontier graph kernel?
+
+    Requires an unpredicated index scan over a graph index with no
+    tombstones (``batched_graph_search`` has no liveness mask; the
+    executor's member path applies one when deletions exist).
+    """
+    if plan.strategy != "index_scan" or plan.index_name is None:
+        return False
+    if any(r.predicate is not None for r in requests):
+        return False
+    index = db.indexes.get(plan.index_name)
+    if index is None or getattr(index, "family", "") != "graph":
+        return False
+    return bool(db.collection.alive.all())
+
+
+def execute_coalesced(
+    db, requests: list[ServingRequest]
+) -> tuple[list[list[SearchHit]], list[SearchStats], str, str]:
+    """Execute one coalesced group through the cheapest shared path.
+
+    Returns ``(per_request_hits, per_request_stats, mode, strategy)``
+    where ``mode`` names the execution path taken
+    (``"batched_graph"`` / ``"batched_scan"`` / ``"solo"``) and
+    ``strategy`` is the chosen plan's strategy.  The group must share a
+    coalesce key (the admission controller guarantees it), so the lead
+    request's plan decision — served from the prepared-query plan cache
+    on repeats — covers every member.
+    """
+    lead = requests[0]
+    query = SearchQuery(
+        lead.vector, lead.k, predicate=lead.predicate, params=dict(lead.params)
+    )
+    plan, _ = db.plan(query)
+    n = len(requests)
+    label = f"coalesced[{n}]:{plan.describe()}"
+
+    if n == 1:
+        result = db._executor.execute(query, plan)
+        result.stats.plan_name = label
+        return [result.hits], [result.stats], "solo", plan.strategy
+
+    vectors = np.stack([r.vector for r in requests])
+    if _graph_batchable(db, plan, requests):
+        stats = SearchStats(plan_name=label)
+        index = db.indexes[plan.index_name]
+        per_request = batched_graph_search(
+            index, vectors, lead.k, stats=stats,
+            ef_search=lead.params.get("ef_search"),
+        )
+        return per_request, split_stats(stats, n), "batched_graph", plan.strategy
+
+    batch = BatchQuery(
+        vectors, lead.k, predicate=lead.predicate, params=dict(lead.params)
+    )
+    results = db._executor.execute_batch(batch, plan)
+    hits = [r.hits for r in results]
+    if n > 1 and all(r.stats is results[0].stats for r in results):
+        # Brute-force batches share one merged stats object; re-split it
+        # so per-request accounting stays conserved and independent.
+        stats_list = split_stats(results[0].stats, n)
+        for share in stats_list:
+            share.plan_name = label
+    else:
+        stats_list = [r.stats for r in results]
+        for share in stats_list:
+            share.plan_name = label
+    return hits, stats_list, "batched_scan", plan.strategy

@@ -1,0 +1,133 @@
+"""Per-tenant namespaces and rate quotas (§2.1 operational concerns).
+
+A production VDBMS is shared infrastructure: many applications ("tenants")
+drive one database, and without quotas the noisiest one starves the rest.
+The serving tier models each tenant with a :class:`TenantSpec` — an
+admission contract, not a data partition: tenants share the collection
+and indexes but get their own rate limit, concurrency cap, bounded
+queue, result cache, and latency objective.
+
+Rate limiting is the classic token bucket on the *simulated* clock (the
+same currency as :mod:`repro.reliability.retry`): tokens refill at
+``qps`` per simulated second up to ``burst``; a request that finds the
+bucket empty is rejected with a computable retry-after instead of being
+queued, so overload turns into backpressure at the edge rather than
+unbounded queueing inside.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["TenantSpec", "TokenBucket"]
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """The serving contract for one tenant.
+
+    Parameters
+    ----------
+    qps / burst:
+        Token-bucket rate limit: sustained ``qps`` requests per simulated
+        second with bursts up to ``burst`` back-to-back requests.
+    max_inflight:
+        Concurrency cap — at most this many of the tenant's requests may
+        be executing at once (queued requests beyond it wait).
+    max_queue:
+        Bounded admission queue; a request arriving to a full queue is
+        rejected (``queue_full``) rather than buffered without bound.
+    priority:
+        Dispatch priority, lower is served first.  Ties dispatch in
+        arrival order.
+    cache_capacity:
+        Entries in the tenant's exact query-result cache (0 disables).
+    deadline_seconds:
+        Default per-request latency budget from arrival; a queued
+        request that can no longer meet it is shed instead of executed.
+    slo_p99_seconds:
+        Optional per-tenant latency objective fed to the SLO burn-rate
+        monitor (``None`` = no objective).
+    slo_budget:
+        Fraction of requests allowed over the objective.
+    """
+
+    name: str
+    qps: float = 100.0
+    burst: float = 10.0
+    max_inflight: int = 8
+    max_queue: int = 64
+    priority: int = 1
+    cache_capacity: int = 256
+    deadline_seconds: float | None = None
+    slo_p99_seconds: float | None = None
+    slo_budget: float = 0.05
+
+    def __post_init__(self):
+        if not self.name:
+            raise ValueError("tenant name must be non-empty")
+        if self.qps <= 0:
+            raise ValueError(f"qps must be positive, got {self.qps}")
+        if self.burst < 1:
+            raise ValueError(f"burst must be >= 1, got {self.burst}")
+        if self.max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        if self.max_queue < 0:
+            raise ValueError("max_queue must be >= 0")
+        if self.deadline_seconds is not None and self.deadline_seconds <= 0:
+            raise ValueError("deadline_seconds must be positive")
+        if self.slo_p99_seconds is not None and self.slo_p99_seconds <= 0:
+            raise ValueError("slo_p99_seconds must be positive")
+        if not 0.0 < self.slo_budget < 1.0:
+            raise ValueError("slo_budget must be in (0, 1)")
+
+
+class TokenBucket:
+    """Token-bucket rate limiter on the simulated clock.
+
+    ``rate`` tokens arrive per simulated second, capped at ``capacity``.
+    The bucket starts full, so a fresh tenant can burst immediately.
+    All methods take ``now`` explicitly — the bucket holds no clock of
+    its own, which keeps replayed simulations deterministic.
+    """
+
+    __slots__ = ("rate", "capacity", "tokens", "updated")
+
+    def __init__(self, rate: float, capacity: float, now: float = 0.0):
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.rate = float(rate)
+        self.capacity = float(capacity)
+        self.tokens = float(capacity)
+        self.updated = float(now)
+
+    def _refill(self, now: float) -> None:
+        if now > self.updated:
+            self.tokens = min(
+                self.capacity, self.tokens + (now - self.updated) * self.rate
+            )
+        self.updated = max(self.updated, now)
+
+    def try_take(self, now: float, amount: float = 1.0) -> bool:
+        """Consume ``amount`` tokens if available; False means throttled."""
+        self._refill(now)
+        if self.tokens + 1e-12 >= amount:
+            self.tokens -= amount
+            return True
+        return False
+
+    def retry_after(self, now: float, amount: float = 1.0) -> float:
+        """Simulated seconds until ``amount`` tokens will be available."""
+        self._refill(now)
+        deficit = amount - self.tokens
+        if deficit <= 0:
+            return 0.0
+        return deficit / self.rate
+
+    def __repr__(self) -> str:
+        return (
+            f"TokenBucket(rate={self.rate:g}/s, capacity={self.capacity:g},"
+            f" tokens={self.tokens:.2f})"
+        )

@@ -1,0 +1,208 @@
+"""Seeded open-loop traffic: Poisson arrivals, tenant skew, diurnal bursts.
+
+The front door's claims (tenant isolation, coalescing wins, cache hit
+ratios) only mean something under realistic load, and realistic serving
+load has three well-documented properties this generator reproduces:
+
+* **Open-loop Poisson arrivals** — clients do not wait for each other,
+  so arrivals are a Poisson process; under a time-varying rate it
+  becomes nonhomogeneous, sampled exactly by Lewis–Shedler thinning
+  (draw at the peak rate, keep each arrival with probability
+  ``rate(t) / peak``).
+* **Tenant skew** — load is never uniform across tenants.  Tenants are
+  drawn from a Zipf distribution over their given order, so the first
+  tenant is the "hot" one.  Query *content* is skewed the same way: each
+  tenant draws from a finite pool of query vectors with Zipf popularity
+  (hot queries repeat verbatim — that is what makes an exact-match
+  result cache worth having), plus a configurable fraction of
+  never-repeated fresh vectors.
+* **Diurnal shape and bursts** — a sinusoidal daily cycle with optional
+  multiplicative burst windows (the overload the admission controller
+  exists to survive).
+
+Everything flows from one seeded ``np.random.default_rng``; the same
+seed yields the identical request trace, timestamps and vectors
+included.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .request import ServingRequest
+
+__all__ = ["Burst", "DiurnalSchedule", "TrafficGenerator"]
+
+
+@dataclass(frozen=True)
+class Burst:
+    """One multiplicative overload window on the arrival rate."""
+
+    start_seconds: float
+    duration_seconds: float
+    multiplier: float = 4.0
+
+    def __post_init__(self):
+        if self.duration_seconds <= 0:
+            raise ValueError("duration_seconds must be positive")
+        if self.multiplier <= 0:
+            raise ValueError("multiplier must be positive")
+
+    def active(self, t: float) -> bool:
+        return self.start_seconds <= t < self.start_seconds + self.duration_seconds
+
+
+@dataclass(frozen=True)
+class DiurnalSchedule:
+    """Time-varying rate multiplier: sinusoidal cycle times burst windows.
+
+    ``multiplier(t)`` is ``1 + amplitude * sin(2πt/period)`` scaled by
+    every burst window covering ``t``; :meth:`peak` bounds it from above
+    (the thinning envelope).
+    """
+
+    period_seconds: float = 86400.0
+    amplitude: float = 0.0
+    bursts: tuple[Burst, ...] = ()
+
+    def __post_init__(self):
+        if self.period_seconds <= 0:
+            raise ValueError("period_seconds must be positive")
+        if not 0.0 <= self.amplitude < 1.0:
+            raise ValueError("amplitude must be in [0, 1)")
+
+    def multiplier(self, t: float) -> float:
+        m = 1.0 + self.amplitude * math.sin(2.0 * math.pi * t / self.period_seconds)
+        for burst in self.bursts:
+            if burst.active(t):
+                m *= burst.multiplier
+        return m
+
+    def peak(self) -> float:
+        """Upper bound on :meth:`multiplier` (bursts assumed to overlap)."""
+        m = 1.0 + self.amplitude
+        for burst in self.bursts:
+            m *= max(burst.multiplier, 1.0)
+        return m
+
+
+def _zipf_weights(n: int, s: float) -> np.ndarray:
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    weights = ranks ** -s
+    return weights / weights.sum()
+
+
+class TrafficGenerator:
+    """Deterministic request-trace factory for the serving front door.
+
+    Parameters
+    ----------
+    tenants:
+        Tenant names in hotness order (Zipf rank 1 = first = hottest).
+    dim:
+        Query vector dimensionality (must match the served collection).
+    rate:
+        Base aggregate arrival rate (requests / simulated second).
+    seed:
+        Everything — arrival times, tenant picks, vectors — derives from
+        this one seed.
+    tenant_zipf_s / pool_zipf_s:
+        Skew exponents for tenant choice and per-tenant query popularity
+        (0 = uniform; larger = hotter head).
+    query_pool:
+        Distinct query vectors per tenant; hot entries repeat verbatim.
+    fresh_fraction:
+        Probability a request carries a brand-new vector instead of a
+        pool entry (never cacheable, never coalescible by content).
+    k:
+        Neighbours requested per query.
+    schedule:
+        Optional :class:`DiurnalSchedule`; defaults to a constant rate.
+    """
+
+    def __init__(
+        self,
+        tenants: Sequence[str],
+        dim: int,
+        *,
+        rate: float = 100.0,
+        seed: int = 0,
+        tenant_zipf_s: float = 1.1,
+        pool_zipf_s: float = 1.0,
+        query_pool: int = 64,
+        fresh_fraction: float = 0.25,
+        k: int = 10,
+        schedule: DiurnalSchedule | None = None,
+    ):
+        if not tenants:
+            raise ValueError("need at least one tenant")
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        if query_pool <= 0:
+            raise ValueError(f"query_pool must be positive, got {query_pool}")
+        if not 0.0 <= fresh_fraction <= 1.0:
+            raise ValueError("fresh_fraction must be in [0, 1]")
+        self.tenants = list(tenants)
+        self.dim = dim
+        self.rate = rate
+        self.k = k
+        self.fresh_fraction = fresh_fraction
+        self.schedule = schedule or DiurnalSchedule()
+        self.rng = np.random.default_rng(seed)
+        self._tenant_weights = _zipf_weights(len(self.tenants), tenant_zipf_s)
+        self._pool_weights = _zipf_weights(query_pool, pool_zipf_s)
+        # Per-tenant pools so tenants never share cache keys.
+        self._pools = {
+            name: self.rng.standard_normal((query_pool, dim)).astype(np.float32)
+            for name in self.tenants
+        }
+
+    def _vector(self, tenant: str) -> np.ndarray:
+        if self.rng.random() < self.fresh_fraction:
+            return self.rng.standard_normal(self.dim).astype(np.float32)
+        pool = self._pools[tenant]
+        idx = self.rng.choice(len(pool), p=self._pool_weights)
+        return pool[idx].copy()
+
+    def generate(
+        self, duration_seconds: float, start_seconds: float = 0.0
+    ) -> list[ServingRequest]:
+        """Sample one request trace over ``[start, start + duration)``.
+
+        Nonhomogeneous Poisson arrivals by thinning against the
+        schedule's peak rate; the returned list is sorted by arrival
+        time (the order the front door consumes).
+        """
+        if duration_seconds <= 0:
+            raise ValueError("duration_seconds must be positive")
+        peak = self.rate * self.schedule.peak()
+        end = start_seconds + duration_seconds
+        t = start_seconds
+        out: list[ServingRequest] = []
+        while True:
+            t += self.rng.exponential(1.0 / peak)
+            if t >= end:
+                break
+            accept = self.rate * self.schedule.multiplier(t) / peak
+            if self.rng.random() >= accept:
+                continue
+            tenant = self.tenants[
+                self.rng.choice(len(self.tenants), p=self._tenant_weights)
+            ]
+            out.append(ServingRequest(
+                tenant=tenant,
+                vector=self._vector(tenant),
+                k=self.k,
+                arrival_seconds=t,
+            ))
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"TrafficGenerator({len(self.tenants)} tenants, dim={self.dim},"
+            f" rate={self.rate:g}/s, peak x{self.schedule.peak():g})"
+        )
