@@ -350,7 +350,17 @@ SPAN_FACTORY_METHODS = frozenset({"start_span", "child"})
 
 #: Span methods that chain (return the same span) — climbing through
 #: these finds the expression that must be scoped.
-SPAN_CHAINING_METHODS = frozenset({"attach_stats", "set"})
+SPAN_CHAINING_METHODS = frozenset(
+    {"attach_stats", "set", "link", "set_stats_delta"}
+)
+
+#: Attribute names registered as long-lived span *owners*: storing a
+#: span into one of these (``self._spans[tid] = span`` /
+#: ``inflight.span = span``) is the approved hand-off for spans that
+#: must outlive the creating function (e.g. the serving front door's
+#: request roots, open across the queueing gap).  The owner's module is
+#: then responsible for finishing them on every disposition path.
+SPAN_OWNER_ATTRS = frozenset({"span", "root_span", "_spans"})
 
 #: Attribute names that hold the no-op-able metric/tracing components.
 #: Outside repro/observability they must never appear in a conditional

@@ -68,13 +68,45 @@ def _finished_names(fn: ast.AST) -> set[str]:
     return names
 
 
+def _is_owner_target(target: ast.expr) -> bool:
+    """Is ``target`` a registered span-owner store?
+
+    Accepts ``x.span = ...`` (attribute in SPAN_OWNER_ATTRS) and
+    ``owner[key] = ...`` where the owner is a name or attribute from
+    the same registry (``self._spans[tid] = ...``).
+    """
+    if isinstance(target, ast.Attribute):
+        return target.attr in contracts.SPAN_OWNER_ATTRS
+    if isinstance(target, ast.Subscript):
+        value = target.value
+        if isinstance(value, ast.Name):
+            return value.id in contracts.SPAN_OWNER_ATTRS
+        if isinstance(value, ast.Attribute):
+            return value.attr in contracts.SPAN_OWNER_ATTRS
+    return False
+
+
+def _handed_off_names(fn: ast.AST) -> set[str]:
+    """Names later stored into a registered span owner inside ``fn``."""
+    names: set[str] = set()
+    for node in ast.walk(fn):
+        if (
+            isinstance(node, ast.Assign)
+            and isinstance(node.value, ast.Name)
+            and all(_is_owner_target(t) for t in node.targets)
+        ):
+            names.add(node.value.id)
+    return names
+
+
 @register
 class SpanScopeRule(Rule):
     id = "VDB501"
     name = "span-scoped"
     invariant = (
-        "Spans (tracer.start_span / span.child) must be with-scoped or "
-        "explicitly finish()-ed in the creating function; an unclosed "
+        "Spans (tracer.start_span / span.child) must be with-scoped, "
+        "explicitly finish()-ed, or handed off to a registered span "
+        "owner (SPAN_OWNER_ATTRS) in the creating function; an unclosed "
         "span corrupts the trace tree and its stats-delta attribution."
     )
 
@@ -101,21 +133,39 @@ class SpanScopeRule(Rule):
                 continue
             if isinstance(parent, ast.keyword):
                 continue
-            # name = span.child(...)  — must be with-scoped or finished
-            if isinstance(parent, ast.Assign) and all(
-                isinstance(t, ast.Name) for t in parent.targets
-            ):
-                scope = module.enclosing_function(node) or module.tree
-                ok = _with_names(scope) | _finished_names(scope)
-                targets = {t.id for t in parent.targets}
-                if targets & ok:
+            if isinstance(parent, ast.Assign):
+                # self._spans[tid] = start_span(...) — direct hand-off
+                # to a registered owner; the owner finishes it later.
+                if all(_is_owner_target(t) for t in parent.targets):
+                    continue
+                # name = span.child(...)  — must be with-scoped,
+                # finished, or handed off to a registered owner.
+                if all(isinstance(t, ast.Name) for t in parent.targets):
+                    scope = module.enclosing_function(node) or module.tree
+                    ok = (
+                        _with_names(scope)
+                        | _finished_names(scope)
+                        | _handed_off_names(scope)
+                    )
+                    targets = {t.id for t in parent.targets}
+                    if targets & ok:
+                        continue
+                    yield self.finding(
+                        module,
+                        node,
+                        f"span assigned to {sorted(targets)} is never "
+                        "with-scoped, finish()-ed, or handed off to a "
+                        "registered span owner in this function — an "
+                        "exception here leaks an open span",
+                    )
                     continue
                 yield self.finding(
                     module,
                     node,
-                    f"span assigned to {sorted(targets)} is never "
-                    "with-scoped or finish()-ed in this function — an "
-                    "exception here leaks an open span",
+                    "span stored into an unregistered location — "
+                    "with-scope it, finish() it, or register the "
+                    "target in SPAN_OWNER_ATTRS so ownership is "
+                    "auditable",
                 )
                 continue
             yield self.finding(

@@ -291,7 +291,9 @@ class VectorDatabase:
         except TypeError:
             return None
 
-    def plan(self, query: SearchQuery) -> tuple[QueryPlan, list[QueryPlan]]:
+    def plan(
+        self, query: SearchQuery, *, parent=None
+    ) -> tuple[QueryPlan, list[QueryPlan]]:
         """Enumerate and select; returns (chosen, all candidates).
 
         With a :class:`~repro.core.planner.PlanCache` configured, a
@@ -299,7 +301,9 @@ class VectorDatabase:
         the cached decision without enumerating, estimating selectivity,
         or opening a planning span; hit/miss counts are exported as
         ``vdbms_plan_cache_{hits,misses}_total`` when observability is
-        enabled.
+        enabled.  ``parent`` attaches the planning span to a caller's
+        span (the serving front door passes its batch span so planning
+        appears inside the request journey's trace).
         """
         obs = self.observability
         cache = self.plan_cache
@@ -319,7 +323,9 @@ class VectorDatabase:
                     "vdbms_plan_cache_misses_total",
                     "Plan-cache probes that fell through to the planner.",
                 ).inc()
-        with obs.tracer.start_span("plan", hybrid=query.is_hybrid) as span:
+        with obs.tracer.start_span(
+            "plan", parent=parent, hybrid=query.is_hybrid
+        ) as span:
             usable = {} if self._stale else self.indexes
             plans = self.planner.enumerate(
                 query.is_hybrid, usable, self.partitioned, query.predicate

@@ -17,9 +17,21 @@ The measurement substrate the survey's empirical questions need:
   dedicated ``audit_*`` metrics);
 * :mod:`~repro.observability.slo` — declarative SLOs with multi-window
   burn-rate alerting and the ``Database.health()`` report;
+* :mod:`~repro.observability.journey` — per-request journey records
+  (phase-decomposed latency keyed by trace id, reachable from latency
+  exemplars);
+* :mod:`~repro.observability.timeseries` — fixed-width windowed
+  scraping of the registry and latency sketches (ring retention,
+  mergeable windows);
+* :mod:`~repro.observability.anomaly` — baseline-relative detectors
+  (p99 inflation, recall drift, queue-wait growth, cache collapse)
+  with journey-walking phase/tenant attribution;
 * :mod:`~repro.observability.instrument` — the
   :class:`Observability` bundle components carry, and the
   :data:`DISABLED` no-op default (negligible overhead when off).
+
+``python -m repro.observability report`` renders a health-report JSON
+artifact (e.g. the E24 bench output) as the operator dashboard.
 
 Enable on any database::
 
@@ -33,6 +45,17 @@ Enable on any database::
     print(profile.render())
 """
 
+from .anomaly import (
+    Anomaly,
+    AnomalyMonitor,
+    CacheHitRatioDetector,
+    Detector,
+    P99InflationDetector,
+    PlanCacheCollapseDetector,
+    QueueWaitGrowthDetector,
+    RecallDriftDetector,
+    default_detectors,
+)
 from .export import (
     SlowQuery,
     SlowQueryLog,
@@ -41,6 +64,7 @@ from .export import (
     write_trace_jsonl,
 )
 from .instrument import DISABLED, Observability
+from .journey import PHASES, Journey, JourneyLog
 from .metrics import (
     NOOP_METRIC,
     NOOP_METRICS,
@@ -57,6 +81,7 @@ from .sketch import (
     NoopSketch,
     P2Quantile,
     QuantileSketch,
+    SketchSnapshot,
 )
 from .slo import (
     DEFAULT_BURN_POLICIES,
@@ -67,26 +92,35 @@ from .slo import (
     SLOMonitor,
     SLOStatus,
 )
+from .timeseries import TimeSeriesStore, TimeWindow
 from .tracing import (
     NOOP_SPAN,
     NOOP_TRACER,
     STAT_FIELDS,
     Span,
     SpanEvent,
+    SpanLink,
     Tracer,
+    validate_span_links,
     validate_span_tree,
 )
 
 __all__ = [
+    "Anomaly",
+    "AnomalyMonitor",
     "AuditRecord",
     "BurnRatePolicy",
+    "CacheHitRatioDetector",
     "Counter",
     "DEFAULT_BURN_POLICIES",
     "DEFAULT_QUANTILES",
     "DISABLED",
+    "Detector",
     "Gauge",
     "HealthReport",
     "Histogram",
+    "Journey",
+    "JourneyLog",
     "MetricsRegistry",
     "NOOP_METRIC",
     "NOOP_METRICS",
@@ -96,22 +130,33 @@ __all__ = [
     "NoopSketch",
     "Observability",
     "P2Quantile",
+    "P99InflationDetector",
+    "PHASES",
+    "PlanCacheCollapseDetector",
     "ProfileNode",
     "QuantileSketch",
     "QueryProfile",
+    "QueueWaitGrowthDetector",
     "RecallAuditor",
+    "RecallDriftDetector",
     "SLO",
     "SLOAlert",
     "SLOMonitor",
     "SLOStatus",
     "STAT_FIELDS",
+    "SketchSnapshot",
     "SlowQuery",
     "SlowQueryLog",
     "Span",
     "SpanEvent",
+    "SpanLink",
+    "TimeSeriesStore",
+    "TimeWindow",
     "Tracer",
     "build_profile_tree",
+    "default_detectors",
     "spans_to_jsonl",
+    "validate_span_links",
     "validate_span_tree",
     "write_metrics_text",
     "write_trace_jsonl",

@@ -1,0 +1,150 @@
+"""``python -m repro.observability`` — operator dashboard rendering.
+
+Subcommands:
+
+* ``report --input <path.json>`` — render a journey-telemetry artifact
+  (the JSON the E24 bench emits: a ``Database.health()`` dump plus
+  recent time-series windows and exemplar journeys) as a text
+  dashboard.  CI runs this against the uploaded e24 artifact so the
+  rendering path stays exercised.
+
+The renderer works from plain JSON dicts (not live objects) on purpose:
+the artifact is the interchange format, and the dashboard must be
+reproducible from it alone, after the run is gone.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any
+
+from .journey import PHASES
+
+_BAR_WIDTH = 24
+
+
+def _bar(fraction: float, width: int = _BAR_WIDTH) -> str:
+    filled = max(0, min(width, round(fraction * width)))
+    return "#" * filled + "." * (width - filled)
+
+
+def _render_health(health: dict[str, Any]) -> list[str]:
+    lines = ["== health =="]
+    lines.append(f"ok: {health.get('ok')}")
+    for kind, snap in sorted(health.get("latency", {}).items()):
+        qs = "  ".join(
+            f"{name}={value * 1e3:.3f}ms"
+            for name, value in snap.items()
+            if name != "count"
+        )
+        lines.append(f"latency[{kind}]: n={snap.get('count', 0):g}  {qs}")
+    database = health.get("database") or {}
+    if database:
+        lines.append(
+            "database: " + ", ".join(f"{k}={v}" for k, v in database.items())
+        )
+    return lines
+
+
+def _render_anomalies(anomalies: list[dict[str, Any]] | None) -> list[str]:
+    lines = ["== anomalies =="]
+    if not anomalies:
+        lines.append("(none)")
+        return lines
+    for a in anomalies:
+        refs = ",".join(str(t) for t in a.get("trace_ids", [])) or "-"
+        lines.append(
+            f"[{a.get('window_start'):g}s..{a.get('window_end'):g}s]"
+            f" {a.get('detector')}: {a.get('detail')}"
+        )
+        lines.append(
+            f"    -> phase={a.get('phase')} tenant={a.get('tenant')}"
+            f" traces={refs}"
+        )
+    return lines
+
+
+def _render_windows(windows: list[dict[str, Any]]) -> list[str]:
+    lines = ["== windows (most recent last) =="]
+    if not windows:
+        lines.append("(none)")
+        return lines
+    for w in windows:
+        served = sum(
+            s.get("delta", 0.0)
+            for s in w.get("counters", {})
+            .get("vdbms_serving_requests_total", [])
+        )
+        sketches = w.get("sketches", {})
+        p99s = []
+        for name in sorted(sketches):
+            if not name.startswith("latency:"):
+                continue
+            quantiles = sketches[name].get("quantiles", {})
+            p99 = quantiles.get("p99")
+            if p99 is not None:
+                p99s.append(f"{name[len('latency:'):]}={p99 * 1e3:.2f}ms")
+        lines.append(
+            f"[{w.get('start'):g}s..{w.get('end'):g}s]"
+            f" requests={served:g}  p99: {'  '.join(p99s) or '-'}"
+        )
+    return lines
+
+
+def _render_journeys(journeys: list[dict[str, Any]]) -> list[str]:
+    lines = ["== exemplar journeys =="]
+    if not journeys:
+        lines.append("(none)")
+        return lines
+    for j in journeys:
+        lines.append(
+            f"trace {j.get('trace_id')}  tenant={j.get('tenant')}"
+            f"  status={j.get('status')}"
+            f"  latency={j.get('latency_seconds', 0.0) * 1e3:.3f}ms"
+            f"  batch={j.get('batch_size')}"
+        )
+        phases = j.get("phases", {})
+        total = sum(phases.values()) or 1.0
+        for phase in PHASES:
+            seconds = phases.get(phase)
+            if seconds is None:
+                continue
+            lines.append(
+                f"    {phase:<15} {_bar(seconds / total)}"
+                f" {seconds * 1e3:.3f}ms"
+            )
+    return lines
+
+
+def render_report(data: dict[str, Any]) -> str:
+    """Render one journey-telemetry JSON artifact as a text dashboard."""
+    health = data.get("health", {})
+    sections = [
+        _render_health(health),
+        _render_anomalies(data.get("anomalies", health.get("anomalies"))),
+        _render_windows(data.get("windows", [])),
+        _render_journeys(data.get("journeys", [])),
+    ]
+    return "\n".join("\n".join(section) for section in sections)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.observability")
+    sub = parser.add_subparsers(dest="command", required=True)
+    report = sub.add_parser(
+        "report", help="render a journey-telemetry JSON artifact"
+    )
+    report.add_argument(
+        "--input", required=True, help="path to the JSON artifact"
+    )
+    args = parser.parse_args(argv)
+    with open(args.input) as fh:
+        data = json.load(fh)
+    sys.stdout.write(render_report(data) + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

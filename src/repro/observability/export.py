@@ -70,6 +70,8 @@ class SlowQuery:
     threshold_seconds: float
     stats: dict[str, int] = field(default_factory=dict)
     simulated: bool = False
+    tenant: str | None = None
+    trace_id: int | None = None
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -79,14 +81,18 @@ class SlowQuery:
             "threshold_seconds": self.threshold_seconds,
             "simulated": self.simulated,
             "stats": self.stats,
+            "tenant": self.tenant,
+            "trace_id": self.trace_id,
         }
 
     def __repr__(self) -> str:
         clock = "sim" if self.simulated else "wall"
+        who = f" tenant={self.tenant}" if self.tenant is not None else ""
+        ref = f" trace={self.trace_id}" if self.trace_id is not None else ""
         return (
             f"SlowQuery({self.kind} {self.plan!r}"
             f" {self.elapsed_seconds * 1e3:.2f}ms {clock},"
-            f" threshold {self.threshold_seconds * 1e3:.2f}ms)"
+            f" threshold {self.threshold_seconds * 1e3:.2f}ms{who}{ref})"
         )
 
 
@@ -163,8 +169,15 @@ class SlowQueryLog:
         elapsed_seconds: float,
         stats: Any = None,
         simulated: bool = False,
+        tenant: str | None = None,
+        trace_id: int | None = None,
     ) -> bool:
-        """Consider one finished query; True when it was logged as slow."""
+        """Consider one finished query; True when it was logged as slow.
+
+        ``tenant``/``trace_id`` are optional journey cross-references
+        (the serving front door populates both); they never affect
+        admission or eviction.
+        """
         self.observed += 1
         threshold, dynamic = self._threshold()
         if elapsed_seconds < threshold or (dynamic and elapsed_seconds == threshold):
@@ -179,6 +192,8 @@ class SlowQueryLog:
             threshold_seconds=threshold,
             stats=snapshot,
             simulated=simulated,
+            tenant=tenant,
+            trace_id=trace_id,
         )
         if self.keep == "slowest" and len(self.entries) >= self.capacity:
             fastest = min(

@@ -47,6 +47,10 @@ vdbms_serving_rejected_total              counter    tenant, reason
 vdbms_serving_shed_total                  counter    tenant
 vdbms_serving_batches_total               counter    mode
 vdbms_serving_batch_size                  histogram  —
+vdbms_serving_cache_hits_total            counter    tenant
+vdbms_serving_cache_misses_total          counter    tenant
+vdbms_serving_queue_depth                 gauge      tenant
+vdbms_anomalies_total                     counter    detector
 ========================================  =========  =======================
 
 The serving tier additionally passes ``labels={"tenant": ...}`` into
@@ -166,6 +170,9 @@ class Observability:
             )
         else:
             self.slow_log = None
+        # Wired by the serving front door when journey telemetry runs;
+        # health() then embeds the attributed anomaly list.
+        self.anomalies = None
 
     # ------------------------------------------------------------- sketches
 
@@ -217,6 +224,7 @@ class Observability:
         elapsed_seconds: float | None = None,
         simulated: bool = False,
         labels: Mapping[str, Any] | None = None,
+        trace_id: int | None = None,
     ) -> None:
         """Standard per-query rollup: counters, latency, slow-query log.
 
@@ -225,7 +233,9 @@ class Observability:
         distributed coordinator passes simulated latency).  ``labels``
         adds caller dimensions (e.g. the serving tier's ``tenant``) to
         every metric recorded here; they ride the normal registry, so
-        label escaping and exposition come for free.
+        label escaping and exposition come for free.  ``trace_id``
+        attaches a journey exemplar to the latency histogram bucket and
+        cross-references any slow-log entry.
         """
         elapsed = (
             elapsed_seconds if elapsed_seconds is not None else stats.elapsed_seconds
@@ -236,7 +246,7 @@ class Observability:
             kind=kind, strategy=strategy, **extra
         )
         m.histogram("vdbms_query_seconds", "Per-query latency").observe(
-            elapsed, kind=kind, **extra
+            elapsed, exemplar=trace_id, kind=kind, **extra
         )
         if elapsed == elapsed:  # skip NaN (no elapsed reported)
             self.sketch(kind).observe(elapsed)
@@ -260,7 +270,8 @@ class Observability:
             if coverage is not None:
                 self.slo.observe("coverage", coverage)
         if self.slow_log is not None and self.slow_log.observe(
-            kind, stats.plan_name or strategy, elapsed, stats, simulated=simulated
+            kind, stats.plan_name or strategy, elapsed, stats,
+            simulated=simulated, tenant=extra.get("tenant"), trace_id=trace_id,
         ):
             m.counter("vdbms_slow_queries_total", "Queries over threshold").inc(
                 kind=kind
@@ -291,6 +302,8 @@ class Observability:
         if self.slo is not None:
             report.slos = self.slo.status()
             report.alerts = list(self.slo.alerts)
+        if self.anomalies is not None:
+            report.anomalies = self.anomalies.summary()
         return report
 
     def __repr__(self) -> str:
@@ -321,6 +334,7 @@ class _DisabledObservability(Observability):
         self.slow_log = None
         self.auditor = None
         self.slo = None
+        self.anomalies = None
         self._sketches = {}
 
     def record_query(self, *args: Any, **kwargs: Any) -> None:

@@ -165,8 +165,17 @@ class Histogram(_Metric):
         self._counts: dict[LabelKey, list[int]] = {}
         self._sums: dict[LabelKey, float] = {}
         self._totals: dict[LabelKey, int] = {}
+        # Latest exemplar per (label set, bucket index): (exemplar, value).
+        self._exemplars: dict[tuple[LabelKey, int], tuple[Any, float]] = {}
 
-    def observe(self, value: float, **labels: Any) -> None:
+    def observe(self, value: float, exemplar: Any = None, **labels: Any) -> None:
+        """Record one observation.
+
+        ``exemplar`` (OpenMetrics-style) attaches an opaque reference —
+        in practice a trace id — to the bucket the value lands in; the
+        latest exemplar per bucket wins.  A p99 reading is then one
+        :meth:`exemplar` call away from a representative journey.
+        """
         key = _label_key(labels)
         counts = self._counts.get(key)
         if counts is None:
@@ -177,11 +186,48 @@ class Histogram(_Metric):
         for i, bound in enumerate(self.buckets):
             if value <= bound:
                 counts[i] += 1
+                bucket = i
                 break
         else:
             counts[-1] += 1
+            bucket = len(self.buckets)
         self._sums[key] += value
         self._totals[key] += 1
+        if exemplar is not None:
+            self._exemplars[(key, bucket)] = (exemplar, value)
+
+    def exemplar(self, q: float, **labels: Any) -> tuple[Any, float] | None:
+        """The ``(exemplar, value)`` witness nearest the q-th quantile.
+
+        Looks up the bucket :meth:`quantile` would report, then walks
+        upward (slower buckets first — for tail quantiles the interesting
+        witness is the slow one) and finally downward until a recorded
+        exemplar is found.  ``None`` if no observation carried one.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        key = _label_key(labels)
+        counts = self._counts.get(key)
+        total = self._totals.get(key, 0)
+        if not counts or total == 0:
+            return None
+        rank = q * total
+        seen = 0
+        target = len(self.buckets)
+        for i in range(len(self.buckets)):
+            seen += counts[i]
+            if seen >= rank:
+                target = i
+                break
+        for bucket in range(target, len(self.buckets) + 1):
+            hit = self._exemplars.get((key, bucket))
+            if hit is not None:
+                return hit
+        for bucket in range(target - 1, -1, -1):
+            hit = self._exemplars.get((key, bucket))
+            if hit is not None:
+                return hit
+        return None
 
     def count(self, **labels: Any) -> int:
         return self._totals.get(_label_key(labels), 0)
@@ -225,6 +271,14 @@ class Histogram(_Metric):
         for key in sorted(self._counts):
             yield key, self._counts[key], self._sums[key], self._totals[key]
 
+    def _exemplar_suffix(self, key: LabelKey, bucket: int) -> str:
+        """OpenMetrics exemplar suffix (`` # {trace_id="42"} 0.0031``)."""
+        hit = self._exemplars.get((key, bucket))
+        if hit is None:
+            return ""
+        ref, value = hit
+        return f' # {{trace_id="{_escape_label_value(str(ref))}"}} {value:g}'
+
     def render(self) -> list[str]:
         lines = self._header()
         for key, counts, total_sum, total in self.samples():
@@ -234,9 +288,11 @@ class Histogram(_Metric):
                 le = (("le", f"{bound:g}"),)
                 lines.append(
                     f"{self.name}_bucket{_render_labels(key, le)} {cumulative}"
+                    f"{self._exemplar_suffix(key, i)}"
                 )
             lines.append(
                 f'{self.name}_bucket{_render_labels(key, (("le", "+Inf"),))} {total}'
+                f"{self._exemplar_suffix(key, len(self.buckets))}"
             )
             lines.append(f"{self.name}_sum{_render_labels(key)} {total_sum:g}")
             lines.append(f"{self.name}_count{_render_labels(key)} {total}")
@@ -331,7 +387,7 @@ class NoopMetric:
     def set(self, value: float, **labels: Any) -> None:
         pass
 
-    def observe(self, value: float, **labels: Any) -> None:
+    def observe(self, value: float, exemplar: Any = None, **labels: Any) -> None:
         pass
 
     def value(self, **labels: Any) -> float:
@@ -339,6 +395,9 @@ class NoopMetric:
 
     def count(self, **labels: Any) -> int:
         return 0
+
+    def exemplar(self, q: float, **labels: Any) -> None:
+        return None
 
 
 class NoopMetricsRegistry:

@@ -52,6 +52,7 @@ __all__ = [
     "NoopSketch",
     "P2Quantile",
     "QuantileSketch",
+    "SketchSnapshot",
 ]
 
 #: The quantiles a sketch tracks by default (latency-report shaped).
@@ -175,6 +176,20 @@ class P2Quantile:
         return f"P2Quantile(q={self.q}, n={self.count}, est={self.estimate():g})"
 
 
+def _inverse_cdf(
+    weights: Sequence[float], values: Sequence[float], rank: float
+) -> float:
+    """Value at ``rank`` on a monotone (weight, value) piecewise CDF."""
+    if rank <= weights[0]:
+        return values[0]
+    for i in range(1, len(weights)):
+        if rank <= weights[i]:
+            span = weights[i] - weights[i - 1]
+            frac = 0.0 if span <= 0 else (rank - weights[i - 1]) / span
+            return values[i - 1] * (1.0 - frac) + values[i] * frac
+    return values[-1]
+
+
 def _interpolate_sorted(ordered: Sequence[float], q: float) -> float:
     """numpy.quantile(method='linear') over an already-sorted sequence."""
     n = len(ordered)
@@ -187,6 +202,85 @@ def _interpolate_sorted(ordered: Sequence[float], q: float) -> float:
     hi = min(lo + 1, n - 1)
     frac = rank - lo
     return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
+class SketchSnapshot:
+    """A frozen, read-only view of a sketch at one scrape instant.
+
+    Taking a snapshot is a pure read — the live sketch is bit-identical
+    afterwards (the regression test diffs its ``__dict__``).  The
+    time-series scraper keeps the previous window's snapshot and asks
+    the live sketch for :meth:`QuantileSketch.delta` against it to get a
+    per-window distribution.
+    """
+
+    __slots__ = ("count", "min", "max", "spilled", "_buffer", "_cdf")
+
+    def __init__(
+        self,
+        count: int,
+        min_value: float,
+        max_value: float,
+        spilled: bool,
+        buffer: tuple[float, ...] | None,
+        cdf: tuple[tuple[float, ...], tuple[float, ...]] | None,
+    ):
+        self.count = count
+        self.min = min_value
+        self.max = max_value
+        self.spilled = spilled
+        self._buffer = buffer
+        self._cdf = cdf
+
+    def cdf_anchors(self) -> tuple[tuple[float, ...], tuple[float, ...]]:
+        """``(ranks, values)`` anchors of the empirical CDF, both regimes.
+
+        Buffered snapshots report the exact order statistics (rank
+        ``i/(n-1)``); spilled ones report the pooled P² marker cloud the
+        sketch itself interpolates on.
+        """
+        if self._cdf is not None:
+            return self._cdf
+        ordered = sorted(self._buffer or ())
+        n = len(ordered)
+        if n == 0:
+            return ((), ())
+        if n == 1:
+            return ((0.0, 1.0), (ordered[0], ordered[0]))
+        return (tuple(i / (n - 1) for i in range(n)), tuple(ordered))
+
+    def quantile(self, q: float) -> float:
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        ranks, values = self.cdf_anchors()
+        if not ranks:
+            return math.nan
+        for i in range(1, len(ranks)):
+            if q <= ranks[i]:
+                span = ranks[i] - ranks[i - 1]
+                frac = 0.0 if span <= 0 else (q - ranks[i - 1]) / span
+                return values[i - 1] * (1.0 - frac) + values[i] * frac
+        return values[-1]
+
+    def __repr__(self) -> str:
+        regime = "p2" if self.spilled else "exact"
+        return f"SketchSnapshot(n={self.count}, {regime})"
+
+
+def _cdf_at(ranks: Sequence[float], values: Sequence[float], v: float) -> float:
+    """F(v): fraction of mass at or below ``v`` on anchored CDF points."""
+    if not ranks:
+        return 0.0
+    if v < values[0]:
+        return 0.0
+    if v >= values[-1]:
+        return 1.0
+    for i in range(1, len(values)):
+        if v < values[i]:
+            span = values[i] - values[i - 1]
+            frac = 1.0 if span <= 0 else (v - values[i - 1]) / span
+            return ranks[i - 1] + frac * (ranks[i] - ranks[i - 1])
+    return 1.0
 
 
 class QuantileSketch:
@@ -336,6 +430,74 @@ class QuantileSketch:
         """Current estimate for every tracked quantile."""
         return {q: self.quantile(q) for q in self.quantiles}
 
+    # ------------------------------------------------------ windowed scraping
+
+    def snapshot(self) -> SketchSnapshot:
+        """Freeze the current state for later :meth:`delta` comparison.
+
+        Pure read: copies the buffer (or materializes the marker-cloud
+        CDF anchors) without mutating any live state.
+        """
+        if self._buffer is not None:
+            return SketchSnapshot(
+                self._count, self.min, self.max, False,
+                tuple(self._buffer), None,
+            )
+        anchors_q, anchors_v = self._anchors()
+        return SketchSnapshot(
+            self._count, self._min, self._max, True,
+            None, (tuple(anchors_q), tuple(anchors_v)),
+        )
+
+    def delta(self, prev: SketchSnapshot) -> "QuantileSketch":
+        """The distribution of observations made since ``prev``.
+
+        Returns a fresh sketch describing only the window ``(prev,
+        now]``.  While this sketch is still buffering, the window is the
+        exact buffer tail (the buffer is append-only until it spills).
+        After a spill the window is reconstructed by **weighted CDF
+        subtraction**: with N total and M previous observations, the
+        window's CDF is ``W(v) = (N·F_now(v) − M·F_prev(v)) / (N − M)``
+        evaluated on the union of both anchor grids, clamped monotone
+        into [0, 1], then inverse-sampled into at most ``merge_points``
+        synthetic observations.  The returned sketch's ``count`` is
+        exact (N − M) even when its quantiles are synthetic; treat it as
+        a read-only window summary, not a live accumulator.
+        """
+        out = QuantileSketch(self.quantiles, self.buffer_size, self.merge_points)
+        n_new = self._count - prev.count
+        if n_new < 0:
+            raise ValueError(
+                f"snapshot is newer than the sketch ({prev.count} > {self._count})"
+            )
+        if n_new == 0:
+            return out
+        if self._buffer is not None:
+            for x in self._buffer[prev.count:]:
+                out.observe(x)
+            return out
+        ranks_now, values_now = self.snapshot().cdf_anchors()
+        ranks_prev, values_prev = prev.cdf_anchors()
+        grid = sorted(set(values_now) | set(values_prev))
+        n_total, m_prev = float(self._count), float(prev.count)
+        weights: list[float] = []
+        running = 0.0
+        for v in grid:
+            f_now = _cdf_at(ranks_now, values_now, v)
+            f_prev = _cdf_at(ranks_prev, values_prev, v) if m_prev else 0.0
+            w = (n_total * f_now - m_prev * f_prev) / (n_total - m_prev)
+            running = max(running, min(max(w, 0.0), 1.0))
+            weights.append(running)
+        weights[-1] = 1.0
+        k = max(8, min(self.merge_points, n_new))
+        step = max(1, round(k * 0.618))
+        while math.gcd(step, k) != 1:
+            step += 1
+        for j in range(k):
+            out.observe(_inverse_cdf(weights, grid, ((j * step) % k + 0.5) / k))
+        out._count = n_new  # window count stays exact; quantiles synthetic
+        return out
+
     # ----------------------------------------------------------------- merge
 
     def merge(self, other: "QuantileSketch") -> "QuantileSketch":
@@ -422,6 +584,12 @@ class NoopSketch:
 
     def quantiles_snapshot(self) -> dict:
         return {}
+
+    def snapshot(self) -> SketchSnapshot:
+        return SketchSnapshot(0, math.nan, math.nan, False, (), None)
+
+    def delta(self, prev) -> "NoopSketch":
+        return self
 
     def merge(self, other) -> "NoopSketch":
         return self

@@ -357,6 +357,9 @@ class HealthReport:
     alerts: list[SLOAlert] = field(default_factory=list)
     database: dict[str, Any] = field(default_factory=dict)
     serving: dict[str, Any] | None = None
+    #: Attributed anomaly-detector firings (dicts from
+    #: ``AnomalyMonitor.summary()``); ``None`` when no monitor runs.
+    anomalies: list[dict[str, Any]] | None = None
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -369,6 +372,7 @@ class HealthReport:
             "alerts": [a.to_dict() for a in self.alerts],
             "database": self.database,
             "serving": self.serving,
+            "anomalies": self.anomalies,
         }
 
     def render(self) -> str:
@@ -428,5 +432,20 @@ class HealthReport:
                     f" shed={t.get('shed')}"
                     f" rejected={sum(t.get('rejected', {}).values())}"
                     + (f" p99={p99 * 1e3:.3f}ms" if p99 == p99 else "")
+                )
+        if self.anomalies is not None:
+            if not self.anomalies:
+                lines.append("  anomalies: none")
+            for anomaly in self.anomalies:
+                refs = ",".join(str(t) for t in anomaly.get("trace_ids", []))
+                lines.append(
+                    "  ANOMALY {detector} phase={phase} tenant={tenant}"
+                    " {detail} traces={refs}".format(
+                        detector=anomaly.get("detector"),
+                        phase=anomaly.get("phase"),
+                        tenant=anomaly.get("tenant"),
+                        detail=anomaly.get("detail", ""),
+                        refs=refs or "-",
+                    )
                 )
         return "\n".join(lines)

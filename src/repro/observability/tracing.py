@@ -21,9 +21,24 @@ the span layer that attributes those quantities to operators:
   method call, so the query path pays no measurable cost
   (``benchmarks/bench_perf_suite.py`` verifies this).
 
+Request journeys add two ingredients on top of the tree:
+
+* **trace ids** — every span carries a ``trace_id``, inherited from its
+  parent (a root span starts a fresh trace).  The serving front door
+  stamps a request's trace id on everything that happens to it, so a
+  latency exemplar (histogram bucket → trace id) is one hop from the
+  request's full journey.
+* **span links** (:class:`SpanLink`) — a non-parental edge between
+  spans in *different* traces.  The coalescer's fan-in is the canonical
+  use: one batch span links to its N member spans (and each member
+  links back to exactly one batch span) without pretending the batch is
+  any single request's child.
+
 Span-tree well-formedness (every span's parent exists, no cycles,
 child intervals nested inside the parent's) is checkable via
-:func:`validate_span_tree`; the property tests drive it.
+:func:`validate_span_tree`; link well-formedness (every link points at
+a span in the set, never at the linking span itself) via
+:func:`validate_span_links`; the property tests drive both.
 """
 
 from __future__ import annotations
@@ -39,7 +54,9 @@ __all__ = [
     "NoopTracer",
     "Span",
     "SpanEvent",
+    "SpanLink",
     "Tracer",
+    "validate_span_links",
     "validate_span_tree",
 ]
 
@@ -77,6 +94,33 @@ class SpanEvent:
         return f"SpanEvent({self.name!r}, t={self.timestamp:.6f}, {self.attributes})"
 
 
+class SpanLink:
+    """A non-parental edge to a span in another trace.
+
+    Parent/child edges carry the *containment* story (this work happened
+    inside that work); links carry the *causality across traces* story —
+    a coalesced batch span links to the N member request spans it served,
+    and each member links back to the one batch that carried it.
+    """
+
+    __slots__ = ("span_id", "trace_id", "attributes")
+
+    def __init__(self, span_id: int, trace_id: int, attributes: dict[str, Any]):
+        self.span_id = span_id
+        self.trace_id = trace_id
+        self.attributes = attributes
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "span_id": self.span_id,
+            "trace_id": self.trace_id,
+            "attributes": self.attributes,
+        }
+
+    def __repr__(self) -> str:
+        return f"SpanLink(span=#{self.span_id}, trace={self.trace_id}, {self.attributes})"
+
+
 class Span:
     """One timed, attributed unit of work inside a trace."""
 
@@ -84,11 +128,13 @@ class Span:
         "tracer",
         "name",
         "span_id",
+        "trace_id",
         "parent_id",
         "start",
         "end",
         "attributes",
         "events",
+        "links",
         "error",
         "_stats",
         "_stats_at_start",
@@ -100,6 +146,7 @@ class Span:
         tracer: "Tracer",
         name: str,
         span_id: int,
+        trace_id: int,
         parent_id: int | None,
         start: float,
         attributes: dict[str, Any],
@@ -107,11 +154,13 @@ class Span:
         self.tracer = tracer
         self.name = name
         self.span_id = span_id
+        self.trace_id = trace_id
         self.parent_id = parent_id
         self.start = start
         self.end: float | None = None
         self.attributes = attributes
         self.events: list[SpanEvent] = []
+        self.links: list[SpanLink] = []
         self.error: str | None = None
         self._stats = None
         self._stats_at_start: tuple[int, ...] | None = None
@@ -130,6 +179,28 @@ class Span:
     def event(self, name: str, **attributes: Any) -> "Span":
         """Record a point-in-time event (retry, failover, breaker trip...)."""
         self.events.append(SpanEvent(name, self.tracer.now(), attributes))
+        return self
+
+    def link(self, other: "Span | NoopSpan", **attributes: Any) -> "Span":
+        """Record a non-parental edge to ``other`` (usually another trace).
+
+        Linking is one-directional; the coalescer records both
+        directions explicitly (batch → members with ``role="member"``
+        per link target, member → batch with ``role="batch"``) so each
+        side's journey is walkable without a global span index.
+        """
+        self.links.append(SpanLink(other.span_id, other.trace_id, attributes))
+        return self
+
+    def set_stats_delta(self, delta: dict[str, int]) -> "Span":
+        """Attribute an out-of-band counter delta to this span.
+
+        Used where the span's work was measured elsewhere — e.g. a
+        coalesced member's largest-remainder share of the batch totals —
+        instead of live via :meth:`attach_stats`.  A subsequent
+        :meth:`finish` keeps this value unless live stats were attached.
+        """
+        self.stats_delta = dict(delta)
         return self
 
     def attach_stats(self, stats: Any) -> "Span":
@@ -177,6 +248,7 @@ class Span:
         """JSON-able form (one trace-export line)."""
         out: dict[str, Any] = {
             "span_id": self.span_id,
+            "trace_id": self.trace_id,
             "parent_id": self.parent_id,
             "name": self.name,
             "start": self.start,
@@ -188,6 +260,8 @@ class Span:
             out["stats"] = self.stats_delta
         if self.events:
             out["events"] = [e.to_dict() for e in self.events]
+        if self.links:
+            out["links"] = [link.to_dict() for link in self.links]
         if self.error is not None:
             out["error"] = self.error
         return out
@@ -214,18 +288,38 @@ class Tracer:
     def __init__(self, clock: Callable[[], float] | None = None):
         self._clock = clock if clock is not None else time.perf_counter
         self._next_id = 1
+        self._next_trace = 1
         self.spans: list[Span] = []  # finished spans, in finish order
 
     def now(self) -> float:
         return self._clock()
 
     def start_span(
-        self, name: str, parent: "Span | None" = None, **attributes: Any
+        self,
+        name: str,
+        parent: "Span | None" = None,
+        trace_id: int | None = None,
+        **attributes: Any,
     ) -> Span:
+        """Start a span.
+
+        Trace context propagates with the parent edge: a child inherits
+        its parent's ``trace_id``, a root starts a fresh trace.  Pass an
+        explicit ``trace_id`` to join an existing trace without a parent
+        edge (the serving front door does this when work for a request
+        resumes after queueing).
+        """
+        if trace_id is None:
+            if parent is not None:
+                trace_id = parent.trace_id
+            else:
+                trace_id = self._next_trace
+                self._next_trace += 1
         span = Span(
             tracer=self,
             name=name,
             span_id=self._next_id,
+            trace_id=trace_id,
             parent_id=None if parent is None else parent.span_id,
             start=self.now(),
             attributes=attributes,
@@ -255,11 +349,13 @@ class NoopSpan:
     tracer = None
     name = "noop"
     span_id = 0
+    trace_id = 0
     parent_id = None
     start = 0.0
     end = 0.0
     attributes: dict[str, Any] = {}
     events: tuple = ()
+    links: tuple = ()
     error = None
     stats_delta = None
     duration_seconds = 0.0
@@ -271,6 +367,12 @@ class NoopSpan:
         return self
 
     def event(self, name: str, **attributes: Any) -> "NoopSpan":
+        return self
+
+    def link(self, other: Any, **attributes: Any) -> "NoopSpan":
+        return self
+
+    def set_stats_delta(self, delta: dict[str, int]) -> "NoopSpan":
         return self
 
     def attach_stats(self, stats: Any) -> "NoopSpan":
@@ -295,7 +397,9 @@ class NoopTracer:
     def now(self) -> float:
         return 0.0
 
-    def start_span(self, name: str, parent=None, **attributes: Any) -> NoopSpan:
+    def start_span(
+        self, name: str, parent=None, trace_id=None, **attributes: Any
+    ) -> NoopSpan:
         return NOOP_SPAN
 
     def clear(self) -> None:
@@ -361,4 +465,45 @@ def validate_span_tree(spans: Iterable[Span]) -> list[str]:
                 break
             seen.add(current.span_id)
             current = by_id.get(current.parent_id)
+    return problems
+
+
+def validate_span_links(spans: Iterable[Span]) -> list[str]:
+    """Check link well-formedness over a set of spans.
+
+    Returns human-readable problems (empty = well-formed):
+
+    * every link's target span exists in the set;
+    * a span never links to itself;
+    * the link's recorded ``trace_id`` matches the target's;
+    * parent edges stay within one trace (a child inheriting a
+      different trace id than its parent is a propagation bug).
+    """
+    problems: list[str] = []
+    by_id = {span.span_id: span for span in spans}
+    for span in by_id.values():
+        if span.parent_id is not None:
+            parent = by_id.get(span.parent_id)
+            if parent is not None and parent.trace_id != span.trace_id:
+                problems.append(
+                    f"span #{span.span_id} {span.name!r} trace {span.trace_id}"
+                    f" differs from parent #{parent.span_id}"
+                    f" trace {parent.trace_id}"
+                )
+        for link in span.links:
+            if link.span_id == span.span_id:
+                problems.append(f"span #{span.span_id} {span.name!r} links to itself")
+                continue
+            target = by_id.get(link.span_id)
+            if target is None:
+                problems.append(
+                    f"span #{span.span_id} {span.name!r} links to unknown"
+                    f" span #{link.span_id}"
+                )
+                continue
+            if target.trace_id != link.trace_id:
+                problems.append(
+                    f"span #{span.span_id} link records trace {link.trace_id}"
+                    f" but target #{target.span_id} is in trace {target.trace_id}"
+                )
     return problems

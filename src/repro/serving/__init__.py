@@ -13,7 +13,10 @@ package provides that tier on the repo's simulated clock:
 * :mod:`repro.serving.cache` — per-tenant exact result caches with
   structural (generation-keyed) invalidation.
 * :mod:`repro.serving.frontdoor` — the event loop tying it together,
-  with per-tenant latency sketches and SLO burn-rate alerts.
+  with per-tenant latency sketches, SLO burn-rate alerts, per-request
+  journey tracing (span links across the coalescing boundary, latency
+  exemplars), and opt-in windowed telemetry feeding the anomaly
+  monitor (``telemetry=True``).
 * :mod:`repro.serving.traffic` — seeded open-loop load (Poisson
   arrivals, Zipf tenant/query skew, diurnal bursts).
 """

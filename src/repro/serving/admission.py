@@ -75,6 +75,11 @@ class AdmissionController:
     def queue_depth(self, tenant: str) -> int:
         return self._depth[tenant]
 
+    def depths(self) -> dict[str, int]:
+        """Per-tenant queued-request counts (a copy; telemetry scrapes
+        this into the ``vdbms_serving_queue_depth`` gauge each event)."""
+        return dict(self._depth)
+
     def pending(self) -> int:
         return len(self._queued)
 

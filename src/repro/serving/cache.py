@@ -93,12 +93,17 @@ class QueryResultCache:
     def __len__(self) -> int:
         return len(self._entries)
 
-    def info(self) -> dict[str, float]:
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of probes served from cache (0.0 before any probe)."""
         probes = self.hits + self.misses
+        return self.hits / probes if probes else 0.0
+
+    def info(self) -> dict[str, float]:
         return {
             "hits": self.hits,
             "misses": self.misses,
-            "hit_ratio": self.hits / probes if probes else 0.0,
+            "hit_ratio": self.hit_ratio,
             "size": len(self._entries),
             "capacity": self.capacity,
         }

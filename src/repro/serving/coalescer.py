@@ -92,8 +92,28 @@ def _graph_batchable(db, plan, requests) -> bool:
     return bool(db.collection.alive.all())
 
 
+def _audit_members(db, plan, requests, hits_list) -> None:
+    """Offer every batched member to the recall auditor.
+
+    The solo path audits inside ``QueryExecutor.execute``; the batched
+    kernels bypass it, so without this hook a fully-coalesced workload
+    would produce **zero** audit samples and the recall-drift detector
+    would be blind exactly when the serving tier is busiest.
+    """
+    obs = db.observability
+    if not (obs.enabled and obs.auditor is not None):
+        return
+    for request, hits in zip(requests, hits_list):
+        obs.auditor.consider(
+            request.vector, request.k, hits,
+            collection=db.collection, score=db._executor.score,
+            predicate=request.predicate, strategy=plan.strategy,
+            index=plan.index_name,
+        )
+
+
 def execute_coalesced(
-    db, requests: list[ServingRequest]
+    db, requests: list[ServingRequest], span=None
 ) -> tuple[list[list[SearchHit]], list[SearchStats], str, str]:
     """Execute one coalesced group through the cheapest shared path.
 
@@ -103,13 +123,15 @@ def execute_coalesced(
     ``strategy`` is the chosen plan's strategy.  The group must share a
     coalesce key (the admission controller guarantees it), so the lead
     request's plan decision — served from the prepared-query plan cache
-    on repeats — covers every member.
+    on repeats — covers every member.  ``span`` (the front door's batch
+    span) becomes the parent of the planning span so plan selection is
+    visible inside the request journey's trace.
     """
     lead = requests[0]
     query = SearchQuery(
         lead.vector, lead.k, predicate=lead.predicate, params=dict(lead.params)
     )
-    plan, _ = db.plan(query)
+    plan, _ = db.plan(query, parent=span)
     n = len(requests)
     label = f"coalesced[{n}]:{plan.describe()}"
 
@@ -126,6 +148,7 @@ def execute_coalesced(
             index, vectors, lead.k, stats=stats,
             ef_search=lead.params.get("ef_search"),
         )
+        _audit_members(db, plan, requests, per_request)
         return per_request, split_stats(stats, n), "batched_graph", plan.strategy
 
     batch = BatchQuery(
@@ -143,4 +166,5 @@ def execute_coalesced(
         stats_list = [r.stats for r in results]
         for share in stats_list:
             share.plan_name = label
+    _audit_members(db, plan, requests, hits)
     return hits, stats_list, "batched_scan", plan.strategy

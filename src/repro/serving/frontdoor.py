@@ -31,6 +31,25 @@ the observability layer.  ``health()`` returns the database's
 :class:`~repro.observability.slo.HealthReport` with a ``serving``
 section attached, and ``report()`` produces the standalone
 :class:`ServingReport` the E23 experiment renders.
+
+**Journey tracing**: every arriving request opens a ``serve_request``
+root span (a fresh trace), and the request's ``trace_id`` rides along
+through admission, queueing, and coalescing.  A dispatched batch gets
+one ``serve_batch`` span *linked* (not parented — the members keep
+their own traces) to every member's root, the plan span nests under the
+batch span, and completion closes each root with the member's
+largest-remainder stats share, so ``attribution_residual() == 0`` holds
+across the serving spans too.  Latency exemplars (histogram bucket →
+trace id) and slow-log entries cross-reference the same ids.
+
+**Telemetry** (``telemetry=True``): a
+:class:`~repro.observability.timeseries.TimeSeriesStore` scrapes the
+registry and the per-tenant sketches into fixed windows on the
+simulated clock, a :class:`~repro.observability.journey.JourneyLog`
+keeps phase-decomposed journeys, and an
+:class:`~repro.observability.anomaly.AnomalyMonitor` evaluates each
+closed window, attributing any firing to a phase and tenant by walking
+exemplar journeys — surfaced via ``health()``.
 """
 
 from __future__ import annotations
@@ -41,6 +60,7 @@ from dataclasses import dataclass, field
 from typing import Any, Hashable, Iterable, Sequence
 
 from ..observability.sketch import QuantileSketch
+from ..observability.tracing import STAT_FIELDS
 from .admission import AdmissionController, AdmissionRejected
 from .cache import QueryResultCache, result_cache_key
 from .coalescer import execute_coalesced
@@ -107,6 +127,7 @@ class _Inflight:
     service_seconds: float
     strategy: str
     mode: str
+    plan_cached: bool = True
 
 
 @dataclass
@@ -178,6 +199,17 @@ class ServingFrontDoor:
         :class:`~repro.serving.request.ServiceModel`).
     start_seconds:
         Initial simulated clock value.
+    telemetry:
+        Enable windowed time-series scraping, the journey log, and the
+        anomaly monitor (``health()`` then carries attributed
+        anomalies).  Off by default: the plain front door stays as
+        cheap as before.
+    window_seconds / telemetry_retention:
+        Fixed window width and ring retention for the time-series
+        store (telemetry only).
+    detectors:
+        Override the anomaly detector set (telemetry only; defaults to
+        :func:`~repro.observability.anomaly.default_detectors`).
     """
 
     def __init__(
@@ -189,6 +221,10 @@ class ServingFrontDoor:
         coalesce_max: int = 16,
         service_model: ServiceModel | None = None,
         start_seconds: float = 0.0,
+        telemetry: bool = False,
+        window_seconds: float = 1.0,
+        telemetry_retention: int = 120,
+        detectors: Sequence[Any] | None = None,
     ):
         if workers <= 0:
             raise ValueError(f"workers must be positive, got {workers}")
@@ -239,6 +275,47 @@ class ServingFrontDoor:
             )
         else:
             self.slo = None
+        #: Open ``serve_request`` root spans by trace id.  Spans are
+        #: *handed off* here at arrival (they outlive the queueing gap)
+        #: and finished by their terminal disposition.
+        self._spans: dict[int, Any] = {}
+        if telemetry:
+            # Journey/time-series/anomaly are heavyweight observability
+            # modules; per the layering contract they load lazily, only
+            # when telemetry is actually requested.
+            from ..observability.anomaly import AnomalyMonitor
+            from ..observability.journey import Journey, JourneyLog
+            from ..observability.timeseries import TimeSeriesStore
+
+            self._journey_cls: Any = Journey
+            self.telemetry: Any = TimeSeriesStore(
+                self.obs.metrics,
+                width_seconds=window_seconds,
+                retention=telemetry_retention,
+                start_seconds=start_seconds,
+            )
+            for name, state in self._states.items():
+                self.telemetry.track_sketch(f"latency:{name}", state.latency)
+                self.telemetry.track_sketch(
+                    f"queue_wait:{name}", state.queue_wait
+                )
+            self.journeys: Any = JourneyLog()
+            self.monitor: Any = AnomalyMonitor(
+                self.telemetry,
+                journeys=self.journeys,
+                detectors=detectors,
+                metrics=self.obs.metrics,
+                exemplar_fn=self._latency_exemplar,
+            )
+            if self.obs.enabled:
+                # DISABLED is a shared singleton; only a real bundle may
+                # carry the monitor into Database.health().
+                self.obs.anomalies = self.monitor
+        else:
+            self._journey_cls = None
+            self.telemetry = None
+            self.journeys = None
+            self.monitor = None
 
     # -------------------------------------------------------------- the loop
 
@@ -274,12 +351,82 @@ class ServingFrontDoor:
                 i += 1
             else:
                 break
+            self._telemetry_tick()
         return self.responses[first_new:]
+
+    def _telemetry_tick(self) -> None:
+        """Close any elapsed windows and run the detectors over them."""
+        if self.monitor is None:
+            return
+        gauge = self.obs.metrics.gauge(
+            "vdbms_serving_queue_depth", "Queued requests per tenant"
+        )
+        for tenant, depth in self.admission.depths().items():
+            gauge.set(depth, tenant=tenant)
+        self.monitor.tick(self.now)
+
+    def _latency_exemplar(self, tenant: str | None) -> int | None:
+        """p99 exemplar trace id from the serving latency histogram."""
+        labels = {"kind": "serving"}
+        if tenant is not None:
+            labels["tenant"] = tenant
+        witness = self.obs.metrics.histogram(
+            "vdbms_query_seconds", "Per-query latency"
+        ).exemplar(0.99, **labels)
+        return None if witness is None else witness[0]
+
+    def _finish_journey(
+        self,
+        request: ServingRequest,
+        status: str,
+        latency: float,
+        phases: dict[str, float],
+        batch_size: int = 0,
+        stats: Any = None,
+        **attributes: Any,
+    ) -> None:
+        """Close the request's root span and record its journey.
+
+        For executed requests ``stats`` carries the member's
+        largest-remainder share of the batch counters; it is attributed
+        to an ``execute`` child *and* set as the root's delta, so the
+        root's self-stats are exactly zero and the profile partition
+        stays exact across the serving spans.
+        """
+        root = self._spans.pop(request.trace_id, None)
+        if root is not None:
+            if stats is not None:
+                share = {name: getattr(stats, name) for name in STAT_FIELDS}
+                execute = root.child("execute", batch=batch_size)
+                execute.set_stats_delta(share)
+                execute.finish()
+                root.set_stats_delta(share)
+            root.set(status=status, latency_seconds=latency, **attributes)
+            root.finish()
+        if self.journeys is not None:
+            self.journeys.record(self._journey_cls(
+                trace_id=request.trace_id or 0,
+                tenant=request.tenant,
+                status=status,
+                arrival_seconds=request.arrival_seconds,
+                completed_seconds=self.now,
+                latency_seconds=latency,
+                phases=phases,
+                batch_size=batch_size,
+            ))
 
     # --------------------------------------------------------------- arrival
 
     def _arrive(self, request: ServingRequest) -> None:
         state = self._states.get(request.tenant)
+        # Every request gets a journey root span (a fresh trace); its id
+        # is the cross-reference exemplars and the slow log resolve.
+        root = self.obs.tracer.start_span(
+            "serve_request", tenant=request.tenant,
+            arrival_seconds=request.arrival_seconds,
+        )
+        request.trace_id = root.trace_id
+        self._spans[root.trace_id] = root
         if state is not None:
             state.submitted += 1
             if request.deadline_seconds is None:
@@ -292,9 +439,19 @@ class ServingFrontDoor:
                 request.predicate, request.params,
             )
             cached = state.cache.get(key)
+            lookup = root.child("cache_lookup", hit=cached is not None)
+            lookup.finish()
             if cached is not None:
+                self.obs.metrics.counter(
+                    "vdbms_serving_cache_hits_total",
+                    "Result-cache hits at the front door",
+                ).inc(tenant=request.tenant)
                 state.cache_hits += 1
                 latency = self.service_model.cache_hit_seconds
+                self._finish_journey(
+                    request, "cache_hit", latency,
+                    phases={"cache_lookup": latency},
+                )
                 self._emit_response(ServedResponse(
                     request, "cache_hit", hits=cached,
                     queue_wait_seconds=0.0, service_seconds=latency,
@@ -302,6 +459,10 @@ class ServingFrontDoor:
                 ))
                 self._observe_latency(state, request.tenant, latency, 0.0)
                 return
+            self.obs.metrics.counter(
+                "vdbms_serving_cache_misses_total",
+                "Result-cache misses at the front door",
+            ).inc(tenant=request.tenant)
         try:
             self.admission.admit(request, self.now)
         except AdmissionRejected as exc:
@@ -311,6 +472,14 @@ class ServingFrontDoor:
                 "vdbms_serving_rejected_total",
                 "Requests refused at the front door",
             ).inc(tenant=request.tenant, reason=exc.reason)
+            quota = root.child(
+                "admission", outcome="rejected", reason=exc.reason,
+                retry_after_seconds=exc.retry_after_seconds,
+            )
+            quota.finish()
+            self._finish_journey(
+                request, "rejected", 0.0, phases={}, reason=exc.reason,
+            )
             self._emit_response(ServedResponse(
                 request, "rejected", reason=exc.reason,
                 retry_after_seconds=exc.retry_after_seconds,
@@ -338,25 +507,61 @@ class ServingFrontDoor:
     def _record_shed(self, request: ServingRequest) -> None:
         state = self._states[request.tenant]
         state.shed += 1
+        waited = self.now - request.arrival_seconds
         self.obs.metrics.counter(
             "vdbms_serving_shed_total",
             "Admitted requests dropped at dispatch (deadline passed)",
         ).inc(tenant=request.tenant)
+        root = self._spans.get(request.trace_id)
+        if root is not None:
+            drop = root.child(
+                "shed", reason="deadline", waited_seconds=waited,
+            )
+            drop.finish()
+        self._finish_journey(
+            request, "shed", waited,
+            phases={"admission_wait": waited}, reason="deadline",
+        )
         self._emit_response(ServedResponse(
             request, "shed", reason="deadline",
-            queue_wait_seconds=self.now - request.arrival_seconds,
+            queue_wait_seconds=waited,
         ))
 
     def _execute(self, batch: list[ServingRequest]) -> None:
         lead = batch[0]
         generation = self.db.collection.generation
+        plan_cache = self.db.plan_cache
+        hits_before = plan_cache.hits if plan_cache is not None else -1
         with self.obs.tracer.start_span(
             "serve_batch", tenant=lead.tenant, members=len(batch),
             simulated_seconds=self.now,
         ) as span:
-            hits, stats, mode, strategy = execute_coalesced(self.db, batch)
-            service = self.service_model.batch_service_seconds(stats)
-            span.set(mode=mode, strategy=strategy, service_seconds=service)
+            # Coalescer fan-in: the batch span and each member's root
+            # are in different traces, so they reference each other via
+            # span *links*, not parent edges.
+            for request in batch:
+                root = self._spans.get(request.trace_id)
+                if root is not None:
+                    waited = root.child(
+                        "queue_wait",
+                        seconds=self.now - request.arrival_seconds,
+                    )
+                    waited.finish()
+                    span.link(root, role="member")
+                    root.link(span, role="batch")
+            hits, stats, mode, strategy = execute_coalesced(
+                self.db, batch, span=span
+            )
+            plan_cached = (
+                plan_cache is not None and plan_cache.hits > hits_before
+            )
+            service = self.service_model.batch_service_seconds(
+                stats, plan_cached=plan_cached
+            )
+            span.set(
+                mode=mode, strategy=strategy, service_seconds=service,
+                plan_cached=plan_cached,
+            )
         keys = [
             result_cache_key(
                 generation, r.vector, r.k, r.predicate, r.params
@@ -378,7 +583,7 @@ class ServingFrontDoor:
         entry = _Inflight(
             members=batch, hits=hits, stats=stats, cache_keys=keys,
             dispatched_seconds=self.now, service_seconds=service,
-            strategy=strategy, mode=mode,
+            strategy=strategy, mode=mode, plan_cached=plan_cached,
         )
         heapq.heappush(
             self._completions, (self.now + service, self._tick, entry)
@@ -405,8 +610,28 @@ class ServingFrontDoor:
                 "serving", entry.strategy, stats,
                 elapsed_seconds=latency, simulated=True,
                 labels={"tenant": request.tenant},
+                trace_id=request.trace_id,
             )
             self._observe_latency(state, request.tenant, latency, queue_wait)
+            phases = {"admission_wait": queue_wait}
+            phases.update(self.service_model.member_phase_seconds(
+                stats, n, plan_cached=entry.plan_cached
+            ))
+            if n > 1:
+                # A member rides the whole batch, not just its own work
+                # share; the excess residency is the price of being
+                # coalesced, charged to coalesce_batch so a journey's
+                # phases always partition its latency exactly.
+                share = sum(phases.values()) - queue_wait
+                phases["coalesce_batch"] = (
+                    phases.get("coalesce_batch", 0.0)
+                    + entry.service_seconds
+                    - share
+                )
+            self._finish_journey(
+                request, "ok", latency, phases,
+                batch_size=n, stats=stats, mode=entry.mode,
+            )
             self._emit_response(ServedResponse(
                 request, "ok", hits=hits, stats=stats,
                 queue_wait_seconds=queue_wait,

@@ -43,6 +43,10 @@ class ServingRequest:
     #: Latency budget from arrival; ``None`` falls back to the tenant's
     #: default.  The front door resolves it at admission time.
     deadline_seconds: float | None = None
+    #: Journey trace id, stamped by the front door at arrival so every
+    #: span, exemplar, and slow-log entry about this request shares one
+    #: cross-reference.  ``None`` until (or unless) the request is traced.
+    trace_id: int | None = None
 
     def __post_init__(self):
         self.vector = as_vector(self.vector)
@@ -129,8 +133,8 @@ class ServiceModel:
     (isolation, coalescing throughput) is within one model.
     """
 
-    #: Fixed cost per dispatched batch (planning, validation, kernel
-    #: entry) — the cost coalescing amortizes.
+    #: Fixed cost per dispatched batch (validation, kernel entry) — the
+    #: cost coalescing amortizes.
     base_seconds: float = 1e-3
     #: Marginal cost per coalesced member (result split, response copy).
     per_member_seconds: float = 2e-5
@@ -139,18 +143,65 @@ class ServiceModel:
     per_page_seconds: float = 5e-5
     #: Flat cost of answering from the exact result cache.
     cache_hit_seconds: float = 5e-5
+    #: Extra per-batch cost when the plan decision missed (or bypassed)
+    #: the plan cache — the latency the plan-cache-collapse anomaly
+    #: detector exists to notice.
+    planning_seconds: float = 5e-4
 
-    def batch_service_seconds(self, stats_list: Sequence[SearchStats]) -> float:
+    def phase_seconds(
+        self, stats_list: Sequence[SearchStats], plan_cached: bool = True
+    ) -> dict[str, float]:
+        """Simulated batch time, decomposed by journey phase.
+
+        Phases (the vocabulary anomaly attribution names): ``planning``
+        (plan-cache miss penalty), ``coalesce_batch`` (dispatch overhead
+        plus per-member split/copy), ``index_scan`` (distance + node
+        traversal work), ``page_io`` (page reads).  The values sum to
+        :meth:`batch_service_seconds` exactly.
+        """
+        n = len(stats_list)
+        distances = sum(s.distance_computations for s in stats_list)
+        nodes = sum(s.nodes_visited for s in stats_list)
+        pages = sum(s.page_reads for s in stats_list)
+        return {
+            "planning": 0.0 if plan_cached else self.planning_seconds,
+            "coalesce_batch": self.base_seconds + self.per_member_seconds * n,
+            "index_scan": (
+                self.per_distance_seconds * distances
+                + self.per_node_seconds * nodes
+            ),
+            "page_io": self.per_page_seconds * pages,
+        }
+
+    def member_phase_seconds(
+        self, stats: SearchStats, batch_size: int, plan_cached: bool = True
+    ) -> dict[str, float]:
+        """One member's phase decomposition of its batch's time.
+
+        Batch-level terms (planning, dispatch base) divide evenly across
+        the ``batch_size`` members; work terms charge the member's own
+        share — so member phase dicts sum (over the batch) to
+        :meth:`phase_seconds` of the batch.
+        """
+        n = max(1, batch_size)
+        return {
+            "planning": (0.0 if plan_cached else self.planning_seconds) / n,
+            "coalesce_batch": self.base_seconds / n + self.per_member_seconds,
+            "index_scan": (
+                self.per_distance_seconds * stats.distance_computations
+                + self.per_node_seconds * stats.nodes_visited
+            ),
+            "page_io": self.per_page_seconds * stats.page_reads,
+        }
+
+    def batch_service_seconds(
+        self,
+        stats_list: Sequence[SearchStats],
+        plan_cached: bool = True,
+    ) -> float:
         """Simulated execution time of one dispatched batch.
 
         ``stats_list`` holds the per-member shares (they sum to the
         batch totals, so summing here charges exactly the batch's work).
         """
-        seconds = self.base_seconds + self.per_member_seconds * len(stats_list)
-        for stats in stats_list:
-            seconds += (
-                self.per_distance_seconds * stats.distance_computations
-                + self.per_node_seconds * stats.nodes_visited
-                + self.per_page_seconds * stats.page_reads
-            )
-        return seconds
+        return sum(self.phase_seconds(stats_list, plan_cached).values())

@@ -356,6 +356,42 @@ class TestSpanRules:
         (f,) = lint(code, self.PATH, "VDB501")
         assert "dropped" in f.message
 
+    def test_hand_off_to_registered_span_owner_is_clean(self):
+        # The serving front door's journey-tracing idiom: a root span
+        # outlives the creating function by moving into a registered
+        # owner (SPAN_OWNER_ATTRS); the terminal disposition closes it.
+        code = """
+            def arrive(self, tracer, request, inflight):
+                self._spans[request.trace_id] = tracer.start_span("serve")
+
+            def arrive_via_name(self, tracer, request):
+                root = tracer.start_span("serve", tenant=request.tenant)
+                root.set(arrival=request.arrival_seconds)
+                self._spans[root.trace_id] = root
+
+            def attach(self, tracer, inflight):
+                inflight.span = tracer.start_span("batch")
+        """
+        path = "src/repro/serving/fixture.py"
+        assert lint(code, path, "VDB501") == []
+
+    def test_store_into_unregistered_location_fires(self):
+        code = """
+            def arrive(self, tracer, request):
+                self._pending[request.trace_id] = tracer.start_span("serve")
+        """
+        (f,) = lint(code, "src/repro/serving/fixture.py", "VDB501")
+        assert "unregistered" in f.message
+
+    def test_name_assign_without_owner_handoff_still_fires(self):
+        code = """
+            def arrive(self, tracer, request):
+                root = tracer.start_span("serve")
+                self._pending[request.trace_id] = root
+        """
+        (f,) = lint(code, "src/repro/serving/fixture.py", "VDB501")
+        assert "handed off" in f.message
+
     def test_conditional_on_observability_component_fires(self):
         code = """
             def record(self, n):
