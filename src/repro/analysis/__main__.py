@@ -5,4 +5,10 @@ import sys
 from .driver import main
 
 if __name__ == "__main__":
-    sys.exit(main())
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # ``vdblint --list-rules | head`` closes the pipe early; exit
+        # quietly like any well-behaved filter.
+        sys.stderr.close()
+        sys.exit(141)

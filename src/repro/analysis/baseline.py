@@ -8,7 +8,10 @@ counted and reported as suppressed.  Every entry carries a mandatory
 Entries match on ``(rule, path, context)`` where ``context`` is the
 stripped source line, so suppressions survive unrelated line-number
 drift but die with the code they covered (a stale entry is reported so
-the baseline shrinks monotonically).
+the baseline shrinks monotonically).  Interprocedural (VDB7xx) findings
+may additionally pin ``via`` — the call chain rendered by
+``Finding.via`` — so a suppression covers one blame path through the
+call graph rather than every path that lands on the same line.
 """
 
 from __future__ import annotations
@@ -35,6 +38,7 @@ _HEADER = """\
 # rule = "VDB301"
 # path = "src/repro/foo.py"
 # context = "stats.nodes_visited += 1"
+# via = "caller -> callee"        # optional; VDB7xx call-chain pin
 # justification = "why this one violation is tolerated"
 
 version = 1
@@ -46,6 +50,7 @@ class Suppression:
     rule: str
     path: str
     context: str = ""
+    via: str = ""
     justification: str = ""
 
     def matches(self, finding: Finding) -> bool:
@@ -53,6 +58,7 @@ class Suppression:
             self.rule == finding.rule
             and self.path == finding.path
             and (not self.context or self.context == finding.context)
+            and (not self.via or self.via == finding.via)
         )
 
 
@@ -81,6 +87,7 @@ class Baseline:
                     rule=entry["rule"],
                     path=entry["path"],
                     context=entry.get("context", ""),
+                    via=entry.get("via", ""),
                     justification=entry["justification"],
                 )
             )
@@ -124,12 +131,16 @@ class Baseline:
         for finding in sorted(
             findings, key=lambda f: (f.path, f.line, f.rule)
         ):
+            via_line = (
+                f"via = {_toml_str(finding.via)}\n" if finding.trace else ""
+            )
             chunks.append(
                 "\n[[suppress]]\n"
                 f'rule = "{finding.rule}"\n'
                 f'path = "{finding.path}"\n'
                 f'context = {_toml_str(finding.context)}\n'
-                f"justification = {_toml_str(reason)}\n"
+                + via_line
+                + f"justification = {_toml_str(reason)}\n"
             )
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self.path.write_text("".join(chunks))

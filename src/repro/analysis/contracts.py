@@ -415,3 +415,150 @@ RAW_FS_MUTATION_CALLS = frozenset(
         "shutil.rmtree",
     }
 )
+
+# --------------------------------------------------------------------------
+# Interprocedural flow (VDB7xx) — the vdbflow engine's contract tables.
+#
+# Hot entry points: the roots of the hot region.  Everything the call
+# graph can reach from these (without crossing the cold boundary) is
+# per-query serving-path code, where an avoidable copy or dtype
+# promotion is a real regression; everything else is build/train/admin
+# code where the same pattern is merely advisory.
+
+#: Top-level function names that ARE the hot path (the vectorized
+#: kernels and their reference twins — kept hot so the differential
+#: oracles obey the same allocation discipline they measure against).
+HOT_ENTRY_FUNCTIONS = frozenset(
+    {
+        "beam_search",
+        "batched_beam_search",
+        "greedy_walk",
+        "fastscan_accumulate",
+        "topk_indices",
+    }
+)
+
+#: Hand-tuned kernel internals VDB703 does not second-guess: their
+#: float64 accumulators are the documented precision boundary (heap
+#: order must be stable across batch shapes) and their per-round
+#: gathers/merges are the algorithm, not an accident.  The boundary
+#: rules (VDB401/402/701) police what *enters* them instead.
+ALLOC_TUNED_MODULES = frozenset(
+    {
+        "repro.index._kernels",
+        "repro.index._graph",
+        "repro.index._tree",
+    }
+)
+
+#: ``Class.method`` suffixes declared hot: the executor dispatch
+#: surface, the serving front door's batch execution, and the ADC
+#: searchers.
+HOT_ENTRY_METHODS = frozenset(
+    {
+        "QueryExecutor.execute",
+        "QueryExecutor.execute_range",
+        "QueryExecutor.execute_batch",
+        "QueryExecutor.execute_multivector",
+        "ServingFrontDoor._execute",
+        "IvfAdc.search",
+        "IvfAdc._search_blocked",
+        "FastScanPQ.search",
+    }
+)
+
+#: Method names that are hot when defined on an index-contract class
+#: (the same class set VDB302/303 govern): every in-repo index search
+#: override is a hot root, so resolution gaps on duck-typed dispatch
+#: cannot silently cool the index layer.
+HOT_ENTRY_SEARCH_METHODS = frozenset({"search", "_search", "range_search"})
+
+#: Function names whose call edges LEAVE the hot region: reachable
+#: build/train/calibration work is charged to ingest, not to queries.
+COLD_BOUNDARY_NAMES = frozenset(
+    {"build", "train", "fit", "calibrate", "rebuild", "merge_now"}
+)
+
+# --- clock-domain taint (VDB702) -----------------------------------------
+#
+# VDB101 bans wall-clock *sources*; VDB702 tracks the one approved
+# probe's *flows*.  ``time.perf_counter`` exists to measure durations
+# for observability — a perf_counter-derived value that steers control
+# flow, feeds a scheduling/admission decision, or lands in a persisted
+# artifact silently reintroduces the nondeterminism VDB101 exists to
+# prevent.
+
+#: Call suffixes that mint a wall-clock-domain value.
+CLOCK_WALL_PROBES = frozenset(
+    {
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "process_time",
+        "process_time_ns",
+    }
+)
+
+#: Packages whose *job* is timing: durations may be compared, ranked,
+#: and exported there (slow-query thresholds, profiler buckets, bench
+#: reporting).  Everywhere else a wall-clock value reaching a decision
+#: is a determinism hole.
+CLOCK_FLOW_EXEMPT_PACKAGES = frozenset(
+    {"observability", "bench", "analysis", "torture"}
+)
+
+#: Blessed persistence entry points: a wall-clock-tainted argument
+#: handed to these lands in an on-disk artifact, breaking bit-for-bit
+#: crash-recovery comparison.
+CLOCK_PERSIST_SINKS = frozenset({"atomic_write_bytes", "npz_bytes"})
+
+# --- hot-path allocation lints (VDB703) ----------------------------------
+
+#: numpy namespace calls that reallocate-and-copy on every invocation;
+#: inside a per-query loop they turn O(n) work into O(n^2).
+HOT_ALLOC_GROWTH_CALLS = frozenset(
+    {
+        "concatenate",
+        "append",
+        "vstack",
+        "hstack",
+        "stack",
+        "column_stack",
+        "block",
+    }
+)
+
+#: numpy namespace calls assumed to return an ndarray — the local-type
+#: seed for the Python-iteration and fancy-indexing heuristics.
+NP_ARRAY_RETURNING = frozenset(
+    {
+        "array",
+        "asarray",
+        "ascontiguousarray",
+        "arange",
+        "linspace",
+        "zeros",
+        "ones",
+        "empty",
+        "full",
+        "argsort",
+        "argpartition",
+        "nonzero",
+        "flatnonzero",
+        "where",
+        "take",
+        "concatenate",
+        "vstack",
+        "hstack",
+        "stack",
+        "unique",
+        "sort",
+        "copy",
+    }
+)
+
+#: Spellings of the float64 dtype in ``astype``/constructor position.
+FLOAT64_MARKERS = frozenset({"float64", "double", "float_"})

@@ -2,26 +2,42 @@
 
 Public entry points:
 
-* :func:`analyze_source` — run the rules over one source string with a
-  virtual repo-relative path (what the fixture tests use);
+* :func:`analyze_source` — run the file rules over one source string
+  with a virtual repo-relative path (what the fixture tests use);
+* :func:`analyze_project_sources` — run the project (VDB7xx) rules over
+  a dict of virtual files (interprocedural fixture tests);
 * :func:`analyze_paths` — walk real files and aggregate findings;
 * :func:`main` — the CLI behind ``python -m repro.analysis`` and the
   ``vdblint`` console script.
 
-Exit codes: 0 clean, 1 non-baselined findings (or stale baseline in
-``--check`` mode), 2 usage/configuration errors.
+Every file is parsed exactly once per run: the same :class:`Module`
+cache feeds the per-file rules and the whole-project
+:class:`~repro.analysis.flow.engine.Project` the VDB7xx rules consume.
+``--jobs N`` fans the per-file rules out over a process pool (each
+worker parses only its chunk); the project rules always run in the
+parent over the shared cache, since they need the whole call graph.
+
+Exit codes: 0 clean, 1 non-baselined failing findings (or stale
+baseline in ``--check`` mode, or ``--budget-seconds`` exceeded),
+2 usage/configuration errors.
 """
 
 from __future__ import annotations
 
 import argparse
 import ast
+import json
+import subprocess
 import sys
+import time
 import tomllib
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
 from pathlib import Path
 
 from .baseline import DEFAULT_BASELINE_PATH, Baseline
-from .registry import Finding, Module, Rule, all_rules
+from .flow.engine import Project
+from .registry import Finding, Module, ProjectRule, Rule, all_rules
 from .reporting import render_json, render_rule_catalog, render_text
 
 #: Directory names never descended into.
@@ -52,15 +68,15 @@ def parse_module(source: str, rel_path: str) -> Module:
     )
 
 
-def analyze_source(
-    source: str, rel_path: str, rules: list[Rule] | None = None
-) -> list[Finding]:
-    """Run rules over one source string under a virtual path."""
-    module = parse_module(source, rel_path)
-    findings: list[Finding] = []
-    for rule in rules if rules is not None else all_rules():
-        findings.extend(rule.check(module))
-    return findings
+def _syntax_error_finding(rel: str, exc: SyntaxError) -> Finding:
+    return Finding(
+        rule="VDB000",
+        severity="error",
+        path=rel,
+        line=exc.lineno or 1,
+        col=(exc.offset or 0) + 1,
+        message=f"syntax error: {exc.msg}",
+    )
 
 
 def iter_python_files(paths: list[str], repo_root: Path) -> list[Path]:
@@ -78,35 +94,233 @@ def iter_python_files(paths: list[str], repo_root: Path) -> list[Path]:
     return out
 
 
+def load_modules(
+    files: list[Path], repo_root: Path
+) -> tuple[list[Module], list[Finding]]:
+    """Parse every file once; syntax errors become VDB000 findings."""
+    modules: list[Module] = []
+    findings: list[Finding] = []
+    for path in files:
+        rel = path.relative_to(repo_root).as_posix()
+        try:
+            modules.append(parse_module(path.read_text(), rel))
+        except SyntaxError as exc:
+            findings.append(_syntax_error_finding(rel, exc))
+    return modules, findings
+
+
+# --------------------------------------------------------------------------
+# rule execution
+
+
+@dataclass
+class AnalysisResult:
+    findings: list[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+    #: Per-rule wall time.  Under ``--jobs`` the file-rule entries are
+    #: summed CPU seconds across workers, not elapsed wall time.
+    rule_seconds: dict[str, float] = field(default_factory=dict)
+
+
+def _split_rules(rules: list[Rule]) -> tuple[list[Rule], list[ProjectRule]]:
+    file_rules = [r for r in rules if not isinstance(r, ProjectRule)]
+    project_rules = [r for r in rules if isinstance(r, ProjectRule)]
+    return file_rules, project_rules
+
+
+def _run_file_rules(
+    modules: list[Module],
+    rules: list[Rule],
+    rule_seconds: dict[str, float],
+) -> list[Finding]:
+    findings: list[Finding] = []
+    for rule in rules:
+        start = time.perf_counter()
+        for module in modules:
+            findings.extend(rule.check(module))
+        rule_seconds[rule.id] = (
+            rule_seconds.get(rule.id, 0.0) + time.perf_counter() - start
+        )
+    return findings
+
+
+def _run_project_rules(
+    modules: list[Module],
+    rules: list[ProjectRule],
+    rule_seconds: dict[str, float],
+) -> list[Finding]:
+    if not rules:
+        return []
+    project = Project(modules)
+    findings: list[Finding] = []
+    for rule in rules:
+        start = time.perf_counter()
+        findings.extend(rule.check_project(project))
+        rule_seconds[rule.id] = (
+            rule_seconds.get(rule.id, 0.0) + time.perf_counter() - start
+        )
+    return findings
+
+
+def _worker_analyze(
+    chunk: list[tuple[str, str]], rule_ids: list[str]
+) -> tuple[list[Finding], dict[str, float]]:
+    """Process-pool worker: parse one chunk, run the file rules."""
+    from .registry import get_rule
+
+    rules = [get_rule(rid) for rid in rule_ids]
+    modules: list[Module] = []
+    findings: list[Finding] = []
+    for abs_path, rel in chunk:
+        try:
+            modules.append(parse_module(Path(abs_path).read_text(), rel))
+        except SyntaxError as exc:
+            findings.append(_syntax_error_finding(rel, exc))
+    rule_seconds: dict[str, float] = {}
+    findings.extend(_run_file_rules(modules, rules, rule_seconds))
+    return findings, rule_seconds
+
+
+def run_analysis(
+    paths: list[str],
+    repo_root: Path,
+    rules: list[Rule] | None = None,
+    jobs: int = 1,
+    changed_only: bool = False,
+) -> AnalysisResult:
+    """The full pipeline: discover, parse once, run every rule tier."""
+    rules = rules if rules is not None else all_rules()
+    file_rules, project_rules = _split_rules(rules)
+    files = iter_python_files(paths, repo_root)
+    result = AnalysisResult(files_scanned=len(files))
+
+    changed: set[str] | None = None
+    if changed_only:
+        changed = _changed_paths(repo_root)
+        if changed is not None:
+            files = [
+                f
+                for f in files
+                if f.relative_to(repo_root).as_posix() in changed
+            ]
+            result.files_scanned = len(files)
+
+    if jobs > 1 and len(files) > 1 and file_rules:
+        rule_ids = [r.id for r in file_rules]
+        pairs = [
+            (str(f), f.relative_to(repo_root).as_posix()) for f in files
+        ]
+        jobs = min(jobs, len(pairs))
+        chunks = [pairs[i::jobs] for i in range(jobs)]
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            for findings, seconds in pool.map(
+                _worker_analyze, chunks, [rule_ids] * len(chunks)
+            ):
+                result.findings.extend(findings)
+                for rid, sec in seconds.items():
+                    result.rule_seconds[rid] = (
+                        result.rule_seconds.get(rid, 0.0) + sec
+                    )
+        modules: list[Module] = []
+        if project_rules:
+            # The interprocedural rules need the whole project parsed
+            # in-process regardless of how file rules were distributed.
+            modules, _ = load_modules(files, repo_root)
+    else:
+        modules, syntax = load_modules(files, repo_root)
+        result.findings.extend(syntax)
+        result.findings.extend(
+            _run_file_rules(modules, file_rules, result.rule_seconds)
+        )
+
+    if project_rules:
+        if changed is not None:
+            # Project rules see the WHOLE project (a changed caller can
+            # break an unchanged callee's contract); only the findings
+            # are scoped to the changed files.
+            all_files = iter_python_files(paths, repo_root)
+            modules, _ = load_modules(all_files, repo_root)
+        elif not modules:
+            modules, _ = load_modules(files, repo_root)
+        project_findings = _run_project_rules(
+            modules, project_rules, result.rule_seconds
+        )
+        if changed is not None:
+            project_findings = [
+                f for f in project_findings if f.path in changed
+            ]
+        result.findings.extend(project_findings)
+    return result
+
+
+def _changed_paths(repo_root: Path) -> set[str] | None:
+    """Repo-relative paths changed vs HEAD (tracked) plus untracked.
+
+    Returns None when git is unavailable — the caller falls back to a
+    full scan rather than silently checking nothing.
+    """
+    out: set[str] = set()
+    for args in (
+        ["diff", "--name-only", "HEAD", "--"],
+        ["ls-files", "--others", "--exclude-standard"],
+    ):
+        try:
+            proc = subprocess.run(
+                ["git", "-C", str(repo_root), *args],
+                capture_output=True,
+                text=True,
+                timeout=30,
+            )
+        except (OSError, subprocess.TimeoutExpired):
+            return None
+        if proc.returncode != 0:
+            return None
+        out.update(line.strip() for line in proc.stdout.splitlines() if line.strip())
+    return out
+
+
+# --------------------------------------------------------------------------
+# fixture-test helpers
+
+
+def analyze_source(
+    source: str, rel_path: str, rules: list[Rule] | None = None
+) -> list[Finding]:
+    """Run the per-file rules over one source string."""
+    module = parse_module(source, rel_path)
+    findings: list[Finding] = []
+    file_rules, _ = _split_rules(
+        rules if rules is not None else all_rules()
+    )
+    for rule in file_rules:
+        findings.extend(rule.check(module))
+    return findings
+
+
+def analyze_project_sources(
+    sources: dict[str, str], rules: list[Rule] | None = None
+) -> list[Finding]:
+    """Run the project (VDB7xx) rules over virtual files.
+
+    ``sources`` maps repo-relative paths to source strings; the whole
+    dict forms one project, so fixtures can exercise interprocedural
+    paths that span modules.
+    """
+    modules = [parse_module(src, rel) for rel, src in sources.items()]
+    _, project_rules = _split_rules(
+        rules if rules is not None else all_rules()
+    )
+    return _run_project_rules(modules, project_rules, {})
+
+
 def analyze_paths(
     paths: list[str],
     repo_root: Path,
     rules: list[Rule] | None = None,
 ) -> tuple[list[Finding], int]:
     """(findings, files_scanned) over every python file under paths."""
-    rules = rules if rules is not None else all_rules()
-    findings: list[Finding] = []
-    files = iter_python_files(paths, repo_root)
-    for path in files:
-        rel = path.relative_to(repo_root).as_posix()
-        source = path.read_text()
-        try:
-            module = parse_module(source, rel)
-        except SyntaxError as exc:
-            findings.append(
-                Finding(
-                    rule="VDB000",
-                    severity="error",
-                    path=rel,
-                    line=exc.lineno or 1,
-                    col=(exc.offset or 0) + 1,
-                    message=f"syntax error: {exc.msg}",
-                )
-            )
-            continue
-        for rule in rules:
-            findings.extend(rule.check(module))
-    return findings, len(files)
+    result = run_analysis(paths, repo_root, rules)
+    return result.findings, result.files_scanned
 
 
 def find_repo_root(start: Path) -> Path:
@@ -117,13 +331,19 @@ def find_repo_root(start: Path) -> Path:
     return start
 
 
+# --------------------------------------------------------------------------
+# CLI
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="vdblint",
         description=(
             "AST-based invariant checker for the repro vector database: "
             "determinism, import layering, stats accounting, kernel "
-            "boundaries, and exception-safe observability."
+            "boundaries, exception-safe observability, and the vdbflow "
+            "interprocedural tier (call-graph blessing, clock-domain "
+            "taint, hot-path allocation lints)."
         ),
     )
     parser.add_argument(
@@ -155,7 +375,7 @@ def main(argv: list[str] | None = None) -> int:
         metavar="REASON",
         default=None,
         help=(
-            "regenerate the baseline from the current findings, "
+            "regenerate the baseline from the current failing findings, "
             "stamping REASON as the justification on every entry"
         ),
     )
@@ -173,7 +393,43 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--list-rules",
         action="store_true",
-        help="print the rule catalog and exit",
+        help=(
+            "print the rule catalog (with per-rule wall time measured "
+            "over the given paths) and exit"
+        ),
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run the per-file rules across N processes",
+    )
+    parser.add_argument(
+        "--changed-only",
+        action="store_true",
+        help=(
+            "scope to files changed vs HEAD (plus untracked); the "
+            "interprocedural rules still see the whole project but "
+            "only report into changed files"
+        ),
+    )
+    parser.add_argument(
+        "--graph",
+        action="store_true",
+        help="dump the resolved call graph (JSON) and exit",
+    )
+    parser.add_argument(
+        "--info",
+        action="store_true",
+        help="list info-severity advisories (default: count them only)",
+    )
+    parser.add_argument(
+        "--budget-seconds",
+        type=float,
+        default=None,
+        metavar="S",
+        help="fail (exit 1) when analysis wall time exceeds S seconds",
     )
     parser.add_argument(
         "--root",
@@ -181,10 +437,6 @@ def main(argv: list[str] | None = None) -> int:
         help="repository root (default: nearest pyproject.toml)",
     )
     args = parser.parse_args(argv)
-
-    if args.list_rules:
-        print(render_rule_catalog())
-        return 0
 
     repo_root = (
         Path(args.root).resolve()
@@ -202,20 +454,38 @@ def main(argv: list[str] | None = None) -> int:
             return 2
         rules = [r for r in rules if r.id in wanted]
 
+    if args.graph:
+        files = iter_python_files(args.paths, repo_root)
+        modules, _ = load_modules(files, repo_root)
+        print(json.dumps(Project(modules).graph_dump(), indent=2))
+        return 0
+
+    started = time.perf_counter()
     try:
-        findings, files_scanned = analyze_paths(
-            args.paths, repo_root, rules
+        result = run_analysis(
+            args.paths,
+            repo_root,
+            rules,
+            jobs=max(1, args.jobs),
+            changed_only=args.changed_only,
         )
     except OSError as exc:
         print(f"vdblint: {exc}", file=sys.stderr)
         return 2
+    elapsed = time.perf_counter() - started
 
+    if args.list_rules:
+        print(render_rule_catalog(result.rule_seconds))
+        return 0
+
+    findings = result.findings
     baseline_path = repo_root / (args.baseline or DEFAULT_BASELINE_PATH)
     if args.write_baseline is not None:
         baseline = Baseline(path=baseline_path)
-        baseline.write(findings, args.write_baseline)
+        failing = [f for f in findings if f.fails]
+        baseline.write(failing, args.write_baseline)
         print(
-            f"vdblint: wrote {len(findings)} suppression(s) to "
+            f"vdblint: wrote {len(failing)} suppression(s) to "
             f"{baseline_path}"
         )
         return 0
@@ -231,10 +501,30 @@ def main(argv: list[str] | None = None) -> int:
         new, suppressed, stale = baseline.split(findings)
 
     renderer = render_json if args.format == "json" else render_text
-    print(renderer(new, suppressed, stale, files_scanned))
+    print(
+        renderer(
+            new,
+            suppressed,
+            stale,
+            result.files_scanned,
+            show_info=args.info,
+        )
+    )
 
-    if new:
+    over_budget = (
+        args.budget_seconds is not None and elapsed > args.budget_seconds
+    )
+    if over_budget:
+        print(
+            f"vdblint: analysis took {elapsed:.2f}s, over the "
+            f"--budget-seconds limit of {args.budget_seconds:.2f}s",
+            file=sys.stderr,
+        )
+
+    if any(f.fails for f in new):
         return 1
     if args.check and stale:
+        return 1
+    if over_budget:
         return 1
     return 0

@@ -1,0 +1,36 @@
+"""vdbflow — the interprocedural dataflow engine under the VDB7xx rules.
+
+Three layers, each usable on its own:
+
+* :mod:`~repro.analysis.flow.symbols` — a project-wide symbol table:
+  module / class / function resolution for in-repo names, aware of
+  aliases, re-exports through ``__init__`` chains, relative imports,
+  and function-scope (lazy) imports;
+* :mod:`~repro.analysis.flow.callgraph` — a call graph over those
+  symbols: direct calls, ``self.``/``cls.`` method dispatch with
+  subclass overrides, constructor-typed locals, annotated parameters,
+  and nested-function edges, with argument→parameter binding per edge;
+* :mod:`~repro.analysis.flow.lattice` — a small monotone fixed-point
+  solver the analyses share (demand propagation, taint summaries,
+  reachability), guaranteed to terminate on cyclic call graphs.
+
+:mod:`~repro.analysis.flow.engine` ties them into a :class:`Project` —
+the object a :class:`~repro.analysis.registry.ProjectRule` receives.
+The linter stays import-free of the system under test: everything here
+works on ASTs alone, so a tree too broken to import still analyzes.
+"""
+
+from .callgraph import CallGraph, CallSite
+from .engine import Project
+from .lattice import FixedPoint
+from .symbols import ClassInfo, FunctionInfo, SymbolTable
+
+__all__ = [
+    "CallGraph",
+    "CallSite",
+    "ClassInfo",
+    "FixedPoint",
+    "FunctionInfo",
+    "Project",
+    "SymbolTable",
+]

@@ -1,0 +1,300 @@
+"""The project call graph: resolved in-repo call edges with argument
+binding.
+
+Every :class:`~repro.analysis.flow.symbols.FunctionInfo` becomes a
+node; an edge is a :class:`CallSite` — the ``ast.Call``, its resolved
+callee(s), and enough information to bind argument expressions to
+callee parameters.  Resolution covers:
+
+* direct calls to module functions (through aliases, re-exports, and
+  lazy imports — the symbol table's job);
+* ``self.m()`` / ``cls.m()`` with base-chain lookup **and** subclass
+  overrides (a call through a base class fans out to every in-repo
+  override, approximating virtual dispatch);
+* method calls on constructor-typed locals (``x = Klass(); x.m()``),
+  annotated parameters (``def f(ix: VectorIndex)``), and
+  ``self.attr.m()`` through inferred attribute types;
+* ``super().m()``, ``Klass.m(...)``, constructors (edge to
+  ``__init__``), and nested functions (including bare references passed
+  as callbacks — they keep callback-driven code in the hot region).
+
+Unresolvable receivers (ducks, externals) simply produce no edge; the
+analyses built on top are designed to stay sound-for-their-purpose
+under that under-approximation.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from ..registry import Module
+from .symbols import ClassInfo, FunctionInfo, SymbolTable, _dotted
+
+
+@dataclass
+class CallSite:
+    """One resolved call edge (possibly polymorphic: many callees)."""
+
+    caller: str  # FunctionInfo qualname
+    call: ast.Call
+    callees: tuple[str, ...]
+    module: Module
+    #: True when the receiver is an instance (``self.m()`` / ``x.m()``)
+    #: or a constructor, so the callee's first parameter binds
+    #: implicitly.
+    implicit_self: bool = False
+    #: True for a bare reference passed as a callback rather than a
+    #: direct call — it counts for reachability, not for arg binding.
+    reference_only: bool = False
+
+    def bind_args(
+        self, callee: FunctionInfo
+    ) -> dict[str, ast.expr]:
+        """Map callee parameter names to argument expressions."""
+        if self.reference_only:
+            return {}
+        params = callee.params
+        if self.implicit_self and params:
+            params = params[1:]
+        bound: dict[str, ast.expr] = {}
+        for i, arg in enumerate(self.call.args):
+            if isinstance(arg, ast.Starred):
+                break
+            if i < len(params):
+                bound[params[i]] = arg
+        for kw in self.call.keywords:
+            if kw.arg is not None:
+                bound[kw.arg] = kw.value
+        return bound
+
+
+class CallGraph:
+    """Call edges over the symbol table, indexed both ways."""
+
+    def __init__(self, symtab: SymbolTable) -> None:
+        self.symtab = symtab
+        self.edges: list[CallSite] = []
+        self._out: dict[str, list[CallSite]] = {}
+        self._in: dict[str, list[CallSite]] = {}
+        for fn in list(symtab.functions.values()):
+            self._analyze_function(fn)
+
+    # -------------------------------------------------------------- queries
+
+    def out_edges(self, qualname: str) -> list[CallSite]:
+        return self._out.get(qualname, [])
+
+    def in_edges(self, qualname: str) -> list[CallSite]:
+        return self._in.get(qualname, [])
+
+    def successors(self, qualname: str) -> list[str]:
+        return [c for site in self.out_edges(qualname) for c in site.callees]
+
+    def callers(self, qualname: str) -> list[str]:
+        return [site.caller for site in self.in_edges(qualname)]
+
+    # ------------------------------------------------------------- building
+
+    def _add(self, site: CallSite) -> None:
+        self.edges.append(site)
+        self._out.setdefault(site.caller, []).append(site)
+        for callee in site.callees:
+            self._in.setdefault(callee, []).append(site)
+
+    def _analyze_function(self, fn: FunctionInfo) -> None:
+        type_env = self._local_types(fn)
+        for node in _own_body_walk(fn.node):
+            if isinstance(node, ast.Call):
+                self._resolve_call(fn, node, type_env)
+                # Callback references: a bare in-project function name
+                # passed as an argument keeps its body reachable.
+                for arg in [*node.args, *[k.value for k in node.keywords]]:
+                    self._maybe_reference(fn, node, arg)
+
+    def _maybe_reference(
+        self, fn: FunctionInfo, call: ast.Call, arg: ast.expr
+    ) -> None:
+        if not isinstance(arg, ast.Name):
+            return
+        nested = self.symtab.functions.get(f"{fn.qualname}.{arg.id}")
+        target = nested or self.symtab.resolve_name(
+            arg.id, fn.module, fn
+        )
+        if isinstance(target, FunctionInfo):
+            self._add(
+                CallSite(
+                    caller=fn.qualname,
+                    call=call,
+                    callees=(target.qualname,),
+                    module=fn.module,
+                    reference_only=True,
+                )
+            )
+
+    def _local_types(self, fn: FunctionInfo) -> dict[str, ClassInfo]:
+        """Constructor-typed locals and class-annotated parameters."""
+        env: dict[str, ClassInfo] = {}
+        args = fn.node.args
+        for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+            if arg.annotation is not None:
+                typ = self.symtab._annotation_class(
+                    arg.annotation, fn.module, fn
+                )
+                if typ is not None:
+                    env[arg.arg] = typ
+        for node in _own_body_walk(fn.node):
+            target = None
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target, value = node.targets[0], node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                target, value = node.target, node.value
+            else:
+                continue
+            if not isinstance(target, ast.Name):
+                continue
+            if isinstance(value, ast.Call):
+                resolved = self.symtab.resolve_expr(
+                    value.func, fn.module, fn
+                )
+                if isinstance(resolved, ClassInfo):
+                    env[target.id] = resolved
+            elif (
+                isinstance(value, ast.Attribute)
+                and isinstance(value.value, ast.Name)
+                and value.value.id == "self"
+                and fn.owner is not None
+            ):
+                typ = fn.owner.attr_types.get(value.attr)
+                if typ is not None:
+                    env[target.id] = typ
+        return env
+
+    def _resolve_call(
+        self,
+        fn: FunctionInfo,
+        call: ast.Call,
+        type_env: dict[str, ClassInfo],
+    ) -> None:
+        func = call.func
+        targets: list[FunctionInfo] = []
+        implicit_self = False
+
+        if isinstance(func, ast.Name):
+            nested = self.symtab.functions.get(f"{fn.qualname}.{func.id}")
+            resolved = nested or self.symtab.resolve_name(
+                func.id, fn.module, fn
+            )
+            if isinstance(resolved, FunctionInfo):
+                targets.append(resolved)
+            elif isinstance(resolved, ClassInfo):
+                init = resolved.find_method("__init__")
+                if init is not None:
+                    targets.append(init)
+                    implicit_self = True
+        elif isinstance(func, ast.Attribute):
+            method_name = func.attr
+            receiver = func.value
+            # super().m()
+            if (
+                isinstance(receiver, ast.Call)
+                and isinstance(receiver.func, ast.Name)
+                and receiver.func.id == "super"
+                and fn.owner is not None
+            ):
+                for base in fn.owner.bases:
+                    method = base.find_method(method_name)
+                    if method is not None:
+                        targets.append(method)
+                        implicit_self = True
+                        break
+            else:
+                cls = self._receiver_class(fn, receiver, type_env)
+                if cls is not None:
+                    targets.extend(_virtual_targets(cls, method_name))
+                    implicit_self = True
+                else:
+                    resolved = self.symtab.resolve_expr(
+                        func, fn.module, fn
+                    )
+                    if isinstance(resolved, FunctionInfo):
+                        targets.append(resolved)
+                        # ``Klass.method(obj, ...)`` binds self explicitly.
+                        implicit_self = False
+                    elif isinstance(resolved, ClassInfo):
+                        init = resolved.find_method("__init__")
+                        if init is not None:
+                            targets.append(init)
+                            implicit_self = True
+
+        if targets:
+            self._add(
+                CallSite(
+                    caller=fn.qualname,
+                    call=call,
+                    callees=tuple(
+                        dict.fromkeys(t.qualname for t in targets)
+                    ),
+                    module=fn.module,
+                    implicit_self=implicit_self,
+                )
+            )
+
+    def _receiver_class(
+        self,
+        fn: FunctionInfo,
+        receiver: ast.expr,
+        type_env: dict[str, ClassInfo],
+    ) -> ClassInfo | None:
+        """The class of an instance receiver, when inferable."""
+        if isinstance(receiver, ast.Name):
+            if receiver.id in ("self", "cls") and fn.owner is not None:
+                return fn.owner
+            return type_env.get(receiver.id)
+        if (
+            isinstance(receiver, ast.Attribute)
+            and isinstance(receiver.value, ast.Name)
+        ):
+            if receiver.value.id == "self" and fn.owner is not None:
+                return fn.owner.attr_types.get(receiver.attr)
+            base = type_env.get(receiver.value.id)
+            if base is not None:
+                return base.attr_types.get(receiver.attr)
+        if isinstance(receiver, ast.Call):
+            resolved = self.symtab.resolve_expr(
+                receiver.func, fn.module, fn
+            )
+            if isinstance(resolved, ClassInfo):
+                return resolved
+        return None
+
+
+def _virtual_targets(cls: ClassInfo, method_name: str) -> list[FunctionInfo]:
+    """The statically-resolved method plus every subclass override."""
+    out: list[FunctionInfo] = []
+    method = cls.find_method(method_name)
+    if method is not None:
+        out.append(method)
+    for sub in cls.all_subclasses():
+        override = sub.methods.get(method_name)
+        if override is not None:
+            out.append(override)
+    return out
+
+
+def _own_body_walk(
+    fn: ast.FunctionDef | ast.AsyncFunctionDef,
+):
+    """Walk a function body without descending into nested defs (nested
+    functions are their own call-graph nodes; lambdas stay inline)."""
+    stack: list[ast.AST] = list(
+        ast.iter_child_nodes(fn)
+    )
+    while stack:
+        node = stack.pop()
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))

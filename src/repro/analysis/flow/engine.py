@@ -1,0 +1,140 @@
+"""The :class:`Project` — what a ``ProjectRule`` receives.
+
+One ``Project`` is built per lint run from the shared parsed-module
+cache; the symbol table and call graph are built lazily (a run with
+``--select VDB101`` never pays for them) and cached, so every VDB7xx
+rule sees the same graph.  The hot region — the call-graph closure of
+the contract-declared hot entry points, cut at the cold boundary
+(build/train edges) — is computed here because two analyses and the
+``--graph`` dump all need it.
+"""
+
+from __future__ import annotations
+
+import ast
+from fnmatch import fnmatch
+
+from .. import contracts
+from ..registry import Module
+from .callgraph import CallGraph
+from .lattice import reachable
+from .symbols import FunctionInfo, SymbolTable
+
+
+class Project:
+    """All parsed modules of one lint run plus the derived graphs."""
+
+    def __init__(self, modules: list[Module]) -> None:
+        self.modules = list(modules)
+        self.by_path: dict[str, Module] = {m.path: m for m in modules}
+        self._symtab: SymbolTable | None = None
+        self._callgraph: CallGraph | None = None
+        self._hot: set[str] | None = None
+
+    @property
+    def symtab(self) -> SymbolTable:
+        if self._symtab is None:
+            self._symtab = SymbolTable(self.modules)
+        return self._symtab
+
+    @property
+    def callgraph(self) -> CallGraph:
+        if self._callgraph is None:
+            self._callgraph = CallGraph(self.symtab)
+        return self._callgraph
+
+    # ------------------------------------------------------------ hot region
+
+    def hot_entry_points(self) -> list[FunctionInfo]:
+        """Functions the contracts declare as hot-path roots."""
+        roots: list[FunctionInfo] = []
+        for fn in self.symtab.functions.values():
+            if self._is_hot_entry(fn):
+                roots.append(fn)
+        return roots
+
+    def _is_hot_entry(self, fn: FunctionInfo) -> bool:
+        if fn.owner is None and fn.parent is None:
+            if fn.name in contracts.HOT_ENTRY_FUNCTIONS:
+                return True
+        if fn.owner is not None:
+            suffix = f"{fn.owner.name}.{fn.name}"
+            if suffix in contracts.HOT_ENTRY_METHODS:
+                return True
+            if fn.name in contracts.HOT_ENTRY_SEARCH_METHODS and (
+                fn.owner.inherits_any(contracts.INDEX_BASE_NAMES)
+                or (fn.owner.module.module, fn.owner.name)
+                in contracts.STATS_THREADING_CLASSES
+            ):
+                return True
+        return False
+
+    def hot_region(self) -> set[str]:
+        """Qualnames reachable from the hot entry points, not crossing
+        the cold boundary (build/train/calibrate edges leave the
+        serving hot path by declaration)."""
+        if self._hot is None:
+            roots = [
+                fn.qualname
+                for fn in self.hot_entry_points()
+                if fn.name not in contracts.COLD_BOUNDARY_NAMES
+            ]
+            graph = self.callgraph
+
+            def successors(qualname: str):
+                for callee in graph.successors(qualname):
+                    fn = self.symtab.functions.get(callee)
+                    if fn is not None and (
+                        fn.name in contracts.COLD_BOUNDARY_NAMES
+                    ):
+                        continue
+                    yield callee
+
+            self._hot = reachable(roots, successors)
+        return self._hot
+
+    def is_hot(self, qualname: str) -> bool:
+        return qualname in self.hot_region()
+
+    # ---------------------------------------------------------------- dumps
+
+    def graph_dump(self) -> dict:
+        """JSON-ready call-graph dump (the ``--graph`` CLI flag)."""
+        hot = self.hot_region()
+        edges = []
+        for site in self.callgraph.edges:
+            for callee in site.callees:
+                edges.append(
+                    {
+                        "caller": site.caller,
+                        "callee": callee,
+                        "path": site.module.path,
+                        "line": site.call.lineno,
+                        "kind": (
+                            "ref" if site.reference_only else "call"
+                        ),
+                    }
+                )
+        return {
+            "functions": len(self.symtab.functions),
+            "classes": len(self.symtab.classes),
+            "edges": edges,
+            "hot_entry_points": sorted(
+                fn.qualname for fn in self.hot_entry_points()
+            ),
+            "hot_region": sorted(hot),
+        }
+
+
+def module_matches(module: Module, globs: tuple[str, ...]) -> bool:
+    return any(fnmatch(module.path, g) for g in globs)
+
+
+def call_name(node: ast.Call) -> str | None:
+    """Trailing name of the called expression (VDB401's convention)."""
+    fn = node.func
+    if isinstance(fn, ast.Name):
+        return fn.id
+    if isinstance(fn, ast.Attribute):
+        return fn.attr
+    return None

@@ -1,0 +1,92 @@
+"""A small monotone fixed-point solver shared by the flow analyses.
+
+The VDB7xx analyses are all instances of the same shape: a fact per
+call-graph node, a monotone transfer function that recomputes a node's
+fact from its own body plus the current facts of its dependencies, and
+a worklist that re-enqueues dependents when a fact grows.  Facts must
+only ever *grow* (by ``!=`` comparison after a join-like transfer), so
+on a finite lattice the solver terminates even when the call graph is
+cyclic — each node is revisited at most ``height(lattice)`` times.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Generic, Hashable, Iterable, TypeVar
+
+N = TypeVar("N", bound=Hashable)
+F = TypeVar("F")
+
+
+class FixedPoint(Generic[N, F]):
+    """Worklist iteration to a fixed point over a dependency graph.
+
+    Parameters
+    ----------
+    transfer:
+        ``transfer(node, facts)`` returns the node's new fact given the
+        current fact map.  It must be monotone: enlarging any input
+        fact may only enlarge the output.
+    dependents:
+        ``dependents(node)`` yields the nodes whose facts must be
+        recomputed when ``node``'s fact changes (for call-graph
+        summaries: the node's callers).
+    max_rounds:
+        Safety valve: an analysis whose transfer is accidentally
+        non-monotone raises instead of spinning.  The default is far
+        above anything a real repo produces.
+    """
+
+    def __init__(
+        self,
+        transfer: Callable[[N, dict[N, F]], F],
+        dependents: Callable[[N], Iterable[N]],
+        max_rounds: int = 1_000_000,
+    ) -> None:
+        self._transfer = transfer
+        self._dependents = dependents
+        self._max_rounds = max_rounds
+
+    def solve(self, nodes: Iterable[N], initial: F) -> dict[N, F]:
+        """Iterate ``transfer`` until every node's fact is stable."""
+        facts: dict[N, F] = {}
+        order = list(nodes)
+        for node in order:
+            facts[node] = initial
+        work: deque[N] = deque(order)
+        queued = set(order)
+        rounds = 0
+        while work:
+            rounds += 1
+            if rounds > self._max_rounds:
+                raise RuntimeError(
+                    "fixed-point solver exceeded its round budget — "
+                    "a transfer function is not monotone"
+                )
+            node = work.popleft()
+            queued.discard(node)
+            new = self._transfer(node, facts)
+            if new != facts[node]:
+                facts[node] = new
+                for dep in self._dependents(node):
+                    if dep in facts and dep not in queued:
+                        work.append(dep)
+                        queued.add(dep)
+        return facts
+
+
+def reachable(
+    roots: Iterable[N], successors: Callable[[N], Iterable[N]]
+) -> set[N]:
+    """Forward closure of ``roots`` under ``successors`` (plain BFS —
+    the degenerate boolean instance of the solver, kept direct because
+    the hot-region computation runs on every lint invocation)."""
+    seen: set[N] = set()
+    work = deque(roots)
+    while work:
+        node = work.popleft()
+        if node in seen:
+            continue
+        seen.add(node)
+        work.extend(successors(node))
+    return seen

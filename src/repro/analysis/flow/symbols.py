@@ -1,0 +1,458 @@
+"""Project-wide symbol table: who defines what, and what names mean.
+
+Built once per lint run from the already-parsed :class:`Module` cache
+(no re-parsing, no importing).  The table answers two questions:
+
+* *definition*: every function, method, and class in the project gets a
+  :class:`FunctionInfo` / :class:`ClassInfo` keyed by dotted qualname
+  (``repro.core.executor.QueryExecutor.execute``);
+* *resolution*: given a name as written at some scope — through
+  ``import x as y`` aliases, ``from .foo import bar`` relative imports,
+  re-export chains in ``__init__`` modules, module-level ``alias =
+  target`` assignments, and function-scope (lazy) imports — find the
+  symbol it denotes, or ``None`` for anything outside the project.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from ..registry import Module
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition (nested defs included)."""
+
+    qualname: str
+    module: Module
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    owner: "ClassInfo | None" = None
+    parent: "FunctionInfo | None" = None  # enclosing function, if nested
+    #: Function-scope import bindings (lazy imports): local name -> fq.
+    scope_imports: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+    @property
+    def params(self) -> list[str]:
+        a = self.node.args
+        return [p.arg for p in (*a.posonlyargs, *a.args, *a.kwonlyargs)]
+
+    @property
+    def is_method(self) -> bool:
+        return self.owner is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FunctionInfo({self.qualname})"
+
+
+@dataclass
+class ClassInfo:
+    """One class definition plus its resolved hierarchy."""
+
+    qualname: str
+    module: Module
+    node: ast.ClassDef
+    methods: dict[str, FunctionInfo] = field(default_factory=dict)
+    bases: list["ClassInfo"] = field(default_factory=list)
+    subclasses: list["ClassInfo"] = field(default_factory=list)
+    #: Raw base names as written (for contract tables that match on
+    #: e.g. ``VectorIndex`` without resolving it).
+    base_names: set[str] = field(default_factory=set)
+    #: ``self.<attr>`` -> ClassInfo, inferred from constructor-typed
+    #: assignments and annotated parameters stored on self.
+    attr_types: dict[str, "ClassInfo"] = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+    def find_method(self, name: str) -> FunctionInfo | None:
+        """Method lookup through the (DFS-linearized) base chain."""
+        seen: set[str] = set()
+        stack: list[ClassInfo] = [self]
+        while stack:
+            cls = stack.pop(0)
+            if cls.qualname in seen:
+                continue
+            seen.add(cls.qualname)
+            if name in cls.methods:
+                return cls.methods[name]
+            stack.extend(cls.bases)
+        return None
+
+    def all_subclasses(self) -> list["ClassInfo"]:
+        out: list[ClassInfo] = []
+        seen: set[str] = set()
+        stack = list(self.subclasses)
+        while stack:
+            cls = stack.pop()
+            if cls.qualname in seen:
+                continue
+            seen.add(cls.qualname)
+            out.append(cls)
+            stack.extend(cls.subclasses)
+        return out
+
+    def inherits_any(self, names: frozenset[str] | set[str]) -> bool:
+        """True when this class or any ancestor names a base in ``names``."""
+        seen: set[str] = set()
+        stack: list[ClassInfo] = [self]
+        while stack:
+            cls = stack.pop()
+            if cls.qualname in seen:
+                continue
+            seen.add(cls.qualname)
+            if cls.base_names & names:
+                return True
+            stack.extend(cls.bases)
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ClassInfo({self.qualname})"
+
+
+@dataclass
+class _ModuleEntry:
+    module: Module
+    #: Module-scope bindings: local name -> fully-qualified target.
+    imports: dict[str, str] = field(default_factory=dict)
+    #: Module-scope ``alias = target`` assignments (re-export idiom).
+    aliases: dict[str, str] = field(default_factory=dict)
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: dict[str, ClassInfo] = field(default_factory=dict)
+
+
+def _import_bindings(
+    node: ast.Import | ast.ImportFrom, module_name: str, is_package: bool
+) -> dict[str, str]:
+    """Local-name -> fully-qualified-target for one import statement."""
+    out: dict[str, str] = {}
+    if isinstance(node, ast.Import):
+        for a in node.names:
+            # ``import a.b.c`` binds ``a``; ``import a.b.c as x`` binds x.
+            if a.asname:
+                out[a.asname] = a.name
+            else:
+                out[a.name.split(".")[0]] = a.name.split(".")[0]
+    else:
+        base = node.module or ""
+        if node.level:
+            parts = module_name.split(".")
+            if not is_package:
+                parts = parts[:-1]
+            parts = parts[: len(parts) - (node.level - 1)]
+            base = ".".join(parts + ([node.module] if node.module else []))
+        for a in node.names:
+            if a.name == "*":
+                continue
+            out[a.asname or a.name] = f"{base}.{a.name}" if base else a.name
+    return out
+
+
+class SymbolTable:
+    """Definitions and name resolution across a set of parsed modules."""
+
+    def __init__(self, modules: list[Module]) -> None:
+        self._entries: dict[str, _ModuleEntry] = {}
+        self._by_path: dict[str, _ModuleEntry] = {}
+        self.functions: dict[str, FunctionInfo] = {}
+        self.classes: dict[str, ClassInfo] = {}
+        for module in modules:
+            self._index_module(module)
+        self._resolve_hierarchy()
+        self._infer_attr_types()
+
+    # ------------------------------------------------------------ indexing
+
+    def _index_module(self, module: Module) -> None:
+        entry = _ModuleEntry(module=module)
+        is_package = module.path.endswith("__init__.py")
+        self._entries[module.module] = entry
+        self._by_path[module.path] = entry
+        assert isinstance(module.tree, ast.Module)
+        for stmt in module.tree.body:
+            self._index_statement(stmt, module, entry, is_package)
+
+    def _index_statement(
+        self,
+        stmt: ast.stmt,
+        module: Module,
+        entry: _ModuleEntry,
+        is_package: bool,
+    ) -> None:
+        if isinstance(stmt, (ast.Import, ast.ImportFrom)):
+            entry.imports.update(
+                _import_bindings(stmt, module.module, is_package)
+            )
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            info = self._index_function(stmt, module, None, None)
+            entry.functions[info.name] = info
+        elif isinstance(stmt, ast.ClassDef):
+            info = self._index_class(stmt, module)
+            entry.classes[info.name] = info
+        elif isinstance(stmt, ast.Assign):
+            target = stmt.targets[0] if len(stmt.targets) == 1 else None
+            dotted = _dotted(stmt.value)
+            if isinstance(target, ast.Name) and dotted:
+                entry.aliases[target.id] = dotted
+        elif isinstance(stmt, (ast.If, ast.Try)):
+            # TYPE_CHECKING guards and import fallbacks still bind names.
+            for sub in ast.iter_child_nodes(stmt):
+                if isinstance(sub, ast.stmt):
+                    self._index_statement(sub, module, entry, is_package)
+
+    def _index_function(
+        self,
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+        module: Module,
+        owner: ClassInfo | None,
+        parent: FunctionInfo | None,
+    ) -> FunctionInfo:
+        if owner is not None:
+            qual = f"{owner.qualname}.{node.name}"
+        elif parent is not None:
+            qual = f"{parent.qualname}.{node.name}"
+        else:
+            qual = f"{module.module}.{node.name}"
+        info = FunctionInfo(
+            qualname=qual, module=module, node=node, owner=owner,
+            parent=parent,
+        )
+        is_package = module.path.endswith("__init__.py")
+        for stmt in node.body:
+            self._collect_scope(stmt, info, module, is_package)
+        self.functions[qual] = info
+        return info
+
+    def _collect_scope(
+        self,
+        stmt: ast.stmt,
+        info: FunctionInfo,
+        module: Module,
+        is_package: bool,
+    ) -> None:
+        """Record lazy imports and nested defs directly under ``info``."""
+        if isinstance(stmt, (ast.Import, ast.ImportFrom)):
+            info.scope_imports.update(
+                _import_bindings(stmt, module.module, is_package)
+            )
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            self._index_function(stmt, module, None, info)
+        elif isinstance(stmt, ast.ClassDef):
+            pass  # function-local classes stay out of the global table
+        else:
+            for sub in ast.iter_child_nodes(stmt):
+                if isinstance(sub, ast.stmt):
+                    self._collect_scope(sub, info, module, is_package)
+
+    def _index_class(self, node: ast.ClassDef, module: Module) -> ClassInfo:
+        qual = f"{module.module}.{node.name}"
+        info = ClassInfo(qualname=qual, module=module, node=node)
+        for base in node.bases:
+            name = _dotted(base)
+            if name:
+                info.base_names.add(name.split(".")[-1])
+        for stmt in node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                method = self._index_function(stmt, module, info, None)
+                info.methods[method.name] = method
+        self.classes[qual] = info
+        return info
+
+    # -------------------------------------------------------- hierarchy
+
+    def _resolve_hierarchy(self) -> None:
+        for cls in self.classes.values():
+            for base in cls.node.bases:
+                resolved = self.resolve_expr(base, cls.module, None)
+                if isinstance(resolved, ClassInfo):
+                    cls.bases.append(resolved)
+                    resolved.subclasses.append(cls)
+
+    def _infer_attr_types(self) -> None:
+        """``self.x = Klass(...)`` / annotated params stored on self."""
+        for cls in self.classes.values():
+            for method in cls.methods.values():
+                ann: dict[str, ClassInfo] = {}
+                for arg in (
+                    *method.node.args.posonlyargs,
+                    *method.node.args.args,
+                    *method.node.args.kwonlyargs,
+                ):
+                    if arg.annotation is not None:
+                        typ = self._annotation_class(
+                            arg.annotation, cls.module, method
+                        )
+                        if typ is not None:
+                            ann[arg.arg] = typ
+                for node in ast.walk(method.node):
+                    target = None
+                    if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                        target, value = node.targets[0], node.value
+                    elif isinstance(node, ast.AnnAssign):
+                        target, value = node.target, node.value
+                    else:
+                        continue
+                    if not (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        continue
+                    typ = None
+                    if isinstance(value, ast.Call):
+                        resolved = self.resolve_expr(
+                            value.func, cls.module, method
+                        )
+                        if isinstance(resolved, ClassInfo):
+                            typ = resolved
+                    elif isinstance(value, ast.Name):
+                        typ = ann.get(value.id)
+                    if isinstance(node, ast.AnnAssign) and typ is None:
+                        typ = self._annotation_class(
+                            node.annotation, cls.module, method
+                        )
+                    if typ is not None:
+                        cls.attr_types.setdefault(target.attr, typ)
+
+    def _annotation_class(
+        self,
+        annotation: ast.expr,
+        module: Module,
+        fn: FunctionInfo | None,
+    ) -> ClassInfo | None:
+        if isinstance(annotation, ast.Constant) and isinstance(
+            annotation.value, str
+        ):
+            try:
+                annotation = ast.parse(annotation.value, mode="eval").body
+            except SyntaxError:
+                return None
+        # ``X | None`` → try X; ``Optional[X]`` / ``list[X]`` stay opaque.
+        if isinstance(annotation, ast.BinOp) and isinstance(
+            annotation.op, ast.BitOr
+        ):
+            for side in (annotation.left, annotation.right):
+                resolved = self._annotation_class(side, module, fn)
+                if resolved is not None:
+                    return resolved
+            return None
+        resolved = self.resolve_expr(annotation, module, fn)
+        return resolved if isinstance(resolved, ClassInfo) else None
+
+    # ------------------------------------------------------- resolution
+
+    def module_entry(self, name: str) -> _ModuleEntry | None:
+        return self._entries.get(name)
+
+    def resolve_expr(
+        self,
+        expr: ast.expr,
+        module: Module,
+        fn: FunctionInfo | None,
+    ) -> FunctionInfo | ClassInfo | None:
+        """Resolve a Name/Attribute expression at the given scope."""
+        dotted = _dotted(expr)
+        if dotted is None:
+            return None
+        return self.resolve_name(dotted, module, fn)
+
+    def resolve_name(
+        self,
+        dotted: str,
+        module: Module,
+        fn: FunctionInfo | None,
+    ) -> FunctionInfo | ClassInfo | None:
+        entry = self._entries.get(module.module)
+        if entry is None:
+            return None
+        head, _, rest = dotted.partition(".")
+        target: str | None = None
+        scope = fn
+        while scope is not None and target is None:
+            target = scope.scope_imports.get(head)
+            scope = scope.parent
+        if target is None:
+            target = entry.imports.get(head)
+        if target is None and head in entry.functions:
+            target = entry.functions[head].qualname
+        if target is None and head in entry.classes:
+            target = entry.classes[head].qualname
+        if target is None and head in entry.aliases:
+            return self.resolve_name(
+                entry.aliases[head] + (f".{rest}" if rest else ""),
+                module,
+                fn,
+            )
+        if target is None:
+            return None
+        return self.resolve_qualname(f"{target}.{rest}" if rest else target)
+
+    def resolve_qualname(
+        self, qualname: str, _depth: int = 0
+    ) -> FunctionInfo | ClassInfo | None:
+        """Canonicalize a dotted name through re-export chains."""
+        if _depth > 16:  # re-export cycle guard
+            return None
+        if qualname in self.functions:
+            return self.functions[qualname]
+        if qualname in self.classes:
+            return self.classes[qualname]
+        # Longest module prefix, then follow that module's bindings.
+        parts = qualname.split(".")
+        for cut in range(len(parts) - 1, 0, -1):
+            mod_name = ".".join(parts[:cut])
+            entry = self._entries.get(mod_name)
+            if entry is None:
+                continue
+            head, rest = parts[cut], parts[cut + 1 :]
+            target: str | None = None
+            if head in entry.functions:
+                target = entry.functions[head].qualname
+            elif head in entry.classes:
+                target = entry.classes[head].qualname
+            elif head in entry.imports:
+                target = entry.imports[head]
+            elif head in entry.aliases:
+                # module-scope alias may itself be a local name
+                resolved = self.resolve_name(
+                    ".".join([entry.aliases[head], *rest]),
+                    entry.module,
+                    None,
+                )
+                if resolved is not None:
+                    return resolved
+                target = None
+            if target is not None:
+                return self.resolve_qualname(
+                    ".".join([target, *rest]), _depth + 1
+                )
+            # Class attribute chain: Klass.method
+            if rest == [] and cut < len(parts):
+                pass
+            break
+        # ``repro.x.Klass.method`` — resolve the class, then the method.
+        for cut in range(len(parts) - 1, 0, -1):
+            cls_name = ".".join(parts[:cut])
+            if cls_name in self.classes and len(parts) - cut == 1:
+                method = self.classes[cls_name].find_method(parts[-1])
+                if method is not None:
+                    return method
+        return None
+
+
+def _dotted(node: ast.expr) -> str | None:
+    parts: list[str] = []
+    cur = node
+    while isinstance(cur, ast.Attribute):
+        parts.append(cur.attr)
+        cur = cur.value
+    if isinstance(cur, ast.Name):
+        parts.append(cur.id)
+        return ".".join(reversed(parts))
+    return None

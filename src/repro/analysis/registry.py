@@ -19,7 +19,7 @@ class Finding:
     """One violation at a precise source position."""
 
     rule: str
-    severity: str  # "error" | "warning"
+    severity: str  # "error" | "warning" | "info"
     path: str  # repo-relative posix path
     line: int
     col: int  # 1-based column, matching editors
@@ -27,6 +27,19 @@ class Finding:
     #: The stripped source line — baseline entries match on it so a
     #: suppression survives unrelated line-number drift.
     context: str = ""
+    #: For interprocedural findings: the call path (function qualnames)
+    #: the violation rides on.  Baseline entries may key on it (``via``)
+    #: so a suppression covers one path, not every finding on the line.
+    trace: tuple[str, ...] = ()
+
+    @property
+    def via(self) -> str:
+        return " -> ".join(self.trace)
+
+    @property
+    def fails(self) -> bool:
+        """info findings are advisory: reported, never build-breaking."""
+        return self.severity != "info"
 
     def render(self) -> str:
         return (
@@ -43,6 +56,7 @@ class Finding:
             "col": self.col,
             "message": self.message,
             "context": self.context,
+            "trace": list(self.trace),
         }
 
 
@@ -134,19 +148,43 @@ class Rule:
     # ------------------------------------------------------------- helpers
 
     def finding(
-        self, module: Module, node: ast.AST, message: str
+        self,
+        module: Module,
+        node: ast.AST,
+        message: str,
+        severity: str | None = None,
+        trace: tuple[str, ...] = (),
     ) -> Finding:
         line = getattr(node, "lineno", 1)
         col = getattr(node, "col_offset", 0) + 1
         return Finding(
             rule=self.id,
-            severity=self.severity,
+            severity=severity or self.severity,
             path=module.path,
             line=line,
             col=col,
             message=message,
             context=module.source_line(line),
+            trace=trace,
         )
+
+
+class ProjectRule(Rule):
+    """A whole-program rule: sees the :class:`~repro.analysis.flow.
+    engine.Project` (symbol table + call graph) instead of one module.
+
+    The driver builds the project once per run from the shared parsed-
+    module cache and hands the same instance to every project rule, so
+    the graphs are computed once no matter how many VDB7xx rules run.
+    """
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        # Project rules only run at whole-project granularity.
+        return iter(())
+
+    def check_project(self, project) -> Iterator[Finding]:  # pragma: no cover
+        raise NotImplementedError
+        yield
 
 
 _REGISTRY: dict[str, Rule] = {}

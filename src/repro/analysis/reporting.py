@@ -14,22 +14,36 @@ def render_text(
     suppressed: list[Finding],
     stale: list[Suppression],
     files_scanned: int,
+    show_info: bool = False,
 ) -> str:
+    failing = [f for f in new if f.fails]
+    info = [f for f in new if not f.fails]
+    shown = new if show_info else failing
     lines: list[str] = []
-    for finding in sorted(new, key=lambda f: (f.path, f.line, f.col, f.rule)):
+    for finding in sorted(
+        shown, key=lambda f: (f.path, f.line, f.col, f.rule)
+    ):
         lines.append(finding.render())
         if finding.context:
             lines.append(f"    | {finding.context}")
+        if finding.trace:
+            lines.append(f"    | via {finding.via}")
     for sup in stale:
         lines.append(
             f"{sup.path}: stale baseline entry for {sup.rule} "
             f"({sup.context or 'any line'}) — the violation it covered is "
             "gone; prune it"
         )
-    by_rule = Counter(f.rule for f in new)
+    by_rule = Counter(f.rule for f in failing)
     summary = (
-        f"vdblint: {files_scanned} files, {len(new)} finding(s)"
+        f"vdblint: {files_scanned} files, {len(failing)} finding(s)"
         + (f" [{', '.join(f'{r}×{n}' for r, n in sorted(by_rule.items()))}]" if by_rule else "")
+        + (
+            f", {len(info)} advisor(y/ies)"
+            + ("" if show_info else " (--info to list)")
+            if info
+            else ""
+        )
         + (f", {len(suppressed)} baselined" if suppressed else "")
         + (f", {len(stale)} stale baseline entr(y/ies)" if stale else "")
     )
@@ -42,11 +56,14 @@ def render_json(
     suppressed: list[Finding],
     stale: list[Suppression],
     files_scanned: int,
+    show_info: bool = True,
 ) -> str:
+    shown = new if show_info else [f for f in new if f.fails]
     return json.dumps(
         {
             "files_scanned": files_scanned,
-            "findings": [f.to_dict() for f in new],
+            "findings": [f.to_dict() for f in shown],
+            "advisories": sum(1 for f in new if not f.fails),
             "suppressed": [f.to_dict() for f in suppressed],
             "stale_suppressions": [
                 {"rule": s.rule, "path": s.path, "context": s.context}
@@ -57,10 +74,18 @@ def render_json(
     )
 
 
-def render_rule_catalog() -> str:
-    """The --list-rules table (mirrored in docs/static-analysis.md)."""
+def render_rule_catalog(rule_seconds: dict[str, float] | None = None) -> str:
+    """The --list-rules table (mirrored in docs/static-analysis.md).
+
+    With ``rule_seconds`` (per-rule wall time from a driver run), each
+    row carries its measured cost, so slow rules are visible before
+    they blow the CI budget.
+    """
     lines = []
     for rule in all_rules():
-        lines.append(f"{rule.id}  {rule.name} [{rule.severity}]")
+        timing = ""
+        if rule_seconds is not None and rule.id in rule_seconds:
+            timing = f"  ({rule_seconds[rule.id]:.3f}s)"
+        lines.append(f"{rule.id}  {rule.name} [{rule.severity}]{timing}")
         lines.append(f"    {rule.invariant}")
     return "\n".join(lines)

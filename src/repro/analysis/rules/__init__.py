@@ -14,13 +14,16 @@ VDB5xx      exception-safe observability: spans are ``with``-scoped,
             no bare conditionals around no-op-able components
 VDB6xx      atomic storage writes: storage modules mutate files only
             through the blessed atomic writer's ``Filesystem`` seam
+VDB7xx      interprocedural flow (vdbflow): f32c/packed blessing across
+            call edges, clock-domain taint, hot-path allocation lints
 ==========  ==============================================================
 """
 
-from . import determinism, kernels, layering, spans, stats, storagefs
+from . import determinism, flow, kernels, layering, spans, stats, storagefs
 
 __all__ = [
     "determinism",
+    "flow",
     "kernels",
     "layering",
     "spans",

@@ -14,8 +14,13 @@ A vector-matrix argument is *blessed* when it is:
 * an attribute the ingest paths guarantee (``._vectors`` /
   ``.vectors`` — enforced in ``VectorIndex.build`` and collection
   ingest),
-* a subscript/slice of a blessed expression, or
-* a local name assigned from a blessed expression in the same function.
+* a subscript/slice of a blessed expression,
+* a local name assigned from a blessed expression in the same function,
+  or
+* a bare function parameter — the function is then *demand-forwarding*
+  and VDB701 (interprocedural blessing) enforces the contract at the
+  first unblessed call edge instead of forcing a redundant local
+  re-blessing in every wrapper.
 """
 
 from __future__ import annotations
@@ -83,6 +88,17 @@ def _blessed_locals(
     return blessed
 
 
+def _param_names(
+    fn: ast.FunctionDef | ast.AsyncFunctionDef | None,
+) -> set[str]:
+    """Parameter names of ``fn`` — a bare parameter forwarded into a
+    kernel makes the function demand-forwarding (VDB701 takes over)."""
+    if fn is None:
+        return set()
+    args = fn.args
+    return {a.arg for a in (*args.posonlyargs, *args.args, *args.kwonlyargs)}
+
+
 @register
 class KernelBoundaryRule(Rule):
     id = "VDB401"
@@ -91,8 +107,9 @@ class KernelBoundaryRule(Rule):
         "Every matrix passed to a vectorized kernel entry point "
         "(beam_search / beam_search_reference / batched_beam_search / "
         "greedy_walk) must be ensure_f32c-blessed in the calling "
-        "function or come from an ingest-guaranteed attribute "
-        "(._vectors / .vectors)."
+        "function, come from an ingest-guaranteed attribute "
+        "(._vectors / .vectors), or be a forwarded parameter — in "
+        "which case VDB701 enforces blessing at the call edges."
     )
 
     def check(self, module: Module) -> Iterator[Finding]:
@@ -116,6 +133,7 @@ class KernelBoundaryRule(Rule):
                 continue  # malformed call; not this rule's concern
             fn = module.enclosing_function(node)
             blessed_names = _blessed_locals(fn) if fn is not None else set()
+            blessed_names |= _param_names(fn)
             if not _is_blessed(matrix, blessed_names):
                 yield self.finding(
                     module,
@@ -200,7 +218,11 @@ class PackedLayoutBoundaryRule(Rule):
             producer_names = (
                 _packed_producer_locals(fn) if fn is not None else set()
             )
-            if not _is_packed_blessed(packed, producer_names):
+            params = _param_names(fn)
+            forwarded = (
+                isinstance(packed, ast.Name) and packed.id in params
+            ) or _is_packed_blessed(packed, producer_names | params)
+            if not forwarded:
                 yield self.finding(
                     module,
                     packed,

@@ -63,7 +63,7 @@ def _group_queries(queries: np.ndarray, group_size: int):
 def _entry_positions(index, centroid, k, ef, stats, id_to_pos, fallback_entries):
     """One full search for the group's shared route -> entry positions."""
     centroid_hits = index.search(
-        centroid.astype(np.float32), k, ef_search=ef, stats=stats
+        centroid.astype(np.float32, copy=False), k, ef_search=ef, stats=stats
     )
     entries = [
         hit.id if id_to_pos is None else id_to_pos[hit.id] for hit in centroid_hits

@@ -72,7 +72,9 @@ class QueryExecutor:
     def _live_table_scan(self) -> TableScan:
         live = np.flatnonzero(self.collection.alive)
         return TableScan(
-            self.collection.vectors[live], live.astype(np.int64), self.score
+            self.collection.vectors[live],
+            live.astype(np.int64, copy=False),
+            self.score,
         )
 
     # ------------------------------------------------------------- execution
@@ -196,7 +198,8 @@ class QueryExecutor:
                     live = np.flatnonzero(self.collection.alive)
                     flat = FlatIndex(self.score)
                     flat.build(
-                        self.collection.vectors[live], ids=live.astype(np.int64)
+                        self.collection.vectors[live],
+                        ids=live.astype(np.int64, copy=False),
                     )
                     hits = flat.range_search(
                         query.vector, query.radius, allowed=mask, stats=stats
@@ -240,7 +243,7 @@ class QueryExecutor:
                     per_query = batched_table_scan(
                         batch.vectors,
                         self.collection.vectors[live],
-                        live.astype(np.int64),
+                        live.astype(np.int64, copy=False),
                         self.score,
                         batch.k,
                         stats=shared,

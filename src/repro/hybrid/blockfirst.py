@@ -75,6 +75,6 @@ def prefilter_scan(
         return []
     with span.child("table_scan", survivors=int(positions.size)).attach_stats(stats):
         scan = TableScan(
-            collection.vectors[positions], positions.astype(np.int64), score
+            collection.vectors[positions], positions.astype(np.int64, copy=False), score
         )
         return scan.run(query, k, stats=stats)

@@ -34,13 +34,13 @@ _POPCOUNT = np.array([bin(i).count("1") for i in range(256)], dtype=np.uint8)
 
 def pack_bits(bits: np.ndarray) -> np.ndarray:
     """(n, nbits) {0,1} -> (n, ceil(nbits/8)) packed uint8 codes."""
-    return np.packbits(np.atleast_2d(bits).astype(np.uint8), axis=1)
+    return np.packbits(np.atleast_2d(bits).astype(np.uint8, copy=False), axis=1)
 
 
 def hamming_to_all(query_code: np.ndarray, codes: np.ndarray) -> np.ndarray:
     """Hamming distances from one packed code to many (popcount LUT)."""
     xor = np.bitwise_xor(codes, query_code[None, :])
-    return _POPCOUNT[xor].sum(axis=1).astype(np.int64)
+    return _POPCOUNT[xor].sum(axis=1).astype(np.int64, copy=False)
 
 
 class BinaryHashIndex(VectorIndex):
@@ -96,7 +96,9 @@ class BinaryHashIndex(VectorIndex):
         n = hd.shape[0]
         take = min(budget, n)
         part = np.argpartition(hd, take - 1)[:take] if n > take else np.arange(n)
-        return self._brute_force(query, k, part.astype(np.int64), allowed, stats)
+        return self._brute_force(
+            query, k, part.astype(np.int64, copy=False), allowed, stats
+        )
 
     def memory_bytes(self) -> int:
         return 0 if self._codes is None else self._codes.nbytes
@@ -136,7 +138,7 @@ class SpectralHashIndex(BinaryHashIndex):
             phase = np.pi / 2 + mode * np.pi * (
                 (proj[:, axis] - self._lo[axis]) / self._span[axis]
             )
-            bits[:, out] = (np.sin(phase) >= 0).astype(np.uint8)
+            bits[:, out] = (np.sin(phase) >= 0).astype(np.uint8, copy=False)
         return bits
 
 
@@ -178,4 +180,4 @@ class ItqHashIndex(BinaryHashIndex):
 
     def _bits(self, vectors: np.ndarray) -> np.ndarray:
         proj = (vectors - self._mean) @ self._axes @ self._rotation
-        return (proj >= 0).astype(np.uint8)
+        return (proj >= 0).astype(np.uint8, copy=False)

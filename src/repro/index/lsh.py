@@ -130,11 +130,11 @@ class LshIndex(VectorIndex):
         perturbations (multi-probe LSH), ordered by confidence."""
         proj = np.einsum("lkd,d->lk", self._projections, query)
         if self.hash_family == "hyperplane":
-            base_codes = (proj >= 0).astype(np.int64)
+            base_codes = (proj >= 0).astype(np.int64, copy=False)
             confidence = np.abs(proj)  # distance to each hyperplane
         else:
             shifted = (proj + self._offsets) / self.bucket_width
-            base_codes = np.floor(shifted).astype(np.int64)
+            base_codes = np.floor(shifted).astype(np.int64, copy=False)
             frac = shifted - base_codes
             # Distance to the nearer bucket boundary.
             confidence = np.minimum(frac, 1.0 - frac)

@@ -151,7 +151,9 @@ class SpannIndex(VectorIndex):
             raise TypeError(f"SpannIndex.search got unknown params {sorted(params)}")
         nprobe = max(1, min(nprobe if nprobe is not None else self.nprobe,
                             len(self._posting_pages)))
-        cd = self.score.distances(query, self.centroids.astype(VECTOR_DTYPE))
+        cd = self.score.distances(
+            query, self.centroids.astype(VECTOR_DTYPE, copy=False)
+        )
         stats.distance_computations += self.centroids.shape[0]
         probe_order = topk_indices(cd, nprobe)
         if self.prune_epsilon is not None and probe_order.size:

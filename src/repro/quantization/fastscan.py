@@ -77,7 +77,7 @@ def quantize_table(table: np.ndarray) -> QuantizedTable:
     # uint8 cast undefined.
     if scale == 0.0 or not np.isfinite(scale):
         return QuantizedTable(np.zeros_like(table, dtype=np.uint8), 0.0, lo)
-    q = np.rint((table - lo) / scale).astype(np.uint8)
+    q = np.rint((table - lo) / scale).astype(np.uint8, copy=False)
     return QuantizedTable(q, scale, lo)
 
 
@@ -261,7 +261,7 @@ def quantize_tables(tables: np.ndarray, paired: bool) -> QuantizedLuts:
         q = np.zeros((c, m, ks), dtype=np.uint8)
         scale = 0.0
     else:
-        q = np.rint((tables - lo) / scale).astype(np.uint8)
+        q = np.rint((tables - lo) / scale).astype(np.uint8, copy=False)
     if paired:
         if m % 2 != 0 or ks > 16:
             raise ValueError("paired LUTs need even m and ks <= 16")
@@ -269,7 +269,9 @@ def quantize_tables(tables: np.ndarray, paired: bool) -> QuantizedLuts:
         # output of the broadcast add follows its inputs' (transposed)
         # iteration order, so force the scan-order layout explicitly —
         # the kernel's per-row take assumes contiguous rows.
-        fused = q.transpose(1, 0, 2)[0::2, :, :, None].astype(np.uint16) + q.transpose(
+        fused = q.transpose(1, 0, 2)[0::2, :, :, None].astype(
+            np.uint16, copy=False
+        ) + q.transpose(
             1, 0, 2
         )[1::2, :, None, :]
         luts = np.ascontiguousarray(fused.reshape(m // 2, c, ks * ks))
@@ -281,7 +283,9 @@ def quantize_tables(tables: np.ndarray, paired: bool) -> QuantizedLuts:
             full[:, :, grid] = luts
             luts = full
     else:
-        luts = np.ascontiguousarray(q.transpose(1, 0, 2).astype(np.uint16))
+        luts = np.ascontiguousarray(
+            q.transpose(1, 0, 2).astype(np.uint16, copy=False)
+        )
     return QuantizedLuts(luts=luts, scale=scale, offset=lo, m=m)
 
 
@@ -334,8 +338,9 @@ def fastscan_accumulate(
         for p in range(m_eff):
             np.add(acc, flat[p].take(packed[p]), out=acc, casting="unsafe")
     else:
-        idx = packed.astype(np.int32)
-        idx += slot_offsets.astype(np.int32)[None, :]
+        # uint8 + int32 broadcasts straight to an int32 result: one
+        # temporary, and no mutate-after-astype aliasing hazard.
+        idx = packed + slot_offsets.astype(np.int32, copy=False)[None, :]
         for p in range(m_eff):
             np.add(acc, flat[p].take(idx[p]), out=acc, casting="unsafe")
     return acc

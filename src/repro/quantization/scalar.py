@@ -66,7 +66,9 @@ class ScalarQuantizer:
         """Reconstruct approximate float vectors from codes."""
         self._require_trained()
         codes = np.atleast_2d(codes)
-        return (codes.astype(np.float64) * self._scale + self._lo).astype(VECTOR_DTYPE)
+        return (codes.astype(np.float64) * self._scale + self._lo).astype(
+            VECTOR_DTYPE, copy=False
+        )
 
     def squared_distances(self, query: np.ndarray, codes: np.ndarray) -> np.ndarray:
         """Asymmetric squared L2 between a float query and coded vectors."""

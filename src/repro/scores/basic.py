@@ -230,7 +230,7 @@ class HammingScore(Score):
     def _binarize(x: np.ndarray) -> np.ndarray:
         if np.issubdtype(x.dtype, np.floating):
             return x >= 0.5
-        return x.astype(bool) if x.dtype != bool else x
+        return x.astype(bool, copy=False) if x.dtype != bool else x
 
     def distances(self, query: np.ndarray, vectors: np.ndarray) -> np.ndarray:
         q = self._binarize(np.asarray(query))

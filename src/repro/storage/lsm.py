@@ -392,7 +392,7 @@ class LsmVectorStore:
         if not items:
             return np.empty(0, dtype=np.int64), np.empty((0, self.dim), VECTOR_DTYPE)
         ids = np.array([k for k, _, _ in items], dtype=np.int64)
-        matrix = np.vstack([v for _, v, _ in items]).astype(VECTOR_DTYPE)
+        matrix = np.vstack([v for _, v, _ in items]).astype(VECTOR_DTYPE, copy=False)
         return ids, matrix
 
     def __len__(self) -> int:

@@ -39,11 +39,11 @@ class TestRegistry:
         ids = [r.id for r in rules]
         assert ids == sorted(ids)
         assert len(ids) == len(set(ids))
-        assert len(rules) == 12
+        assert len(rules) == 15
         for rule in rules:
             assert rule.id.startswith("VDB")
             assert rule.invariant
-            assert rule.severity in ("error", "warning")
+            assert rule.severity in ("error", "warning", "info")
 
     def test_module_name_for(self):
         assert module_name_for("src/repro/index/hnsw.py") == "repro.index.hnsw"
@@ -223,11 +223,21 @@ class TestKernelBoundaryRule:
 
     def test_unblessed_matrix_fires(self):
         code = """
-            def route(adj, raw, q):
-                return beam_search(adj, raw, q)
+            def route(adj, xs, q):
+                mat = np.stack(xs)
+                return beam_search(adj, mat, q)
         """
         (f,) = lint(code, self.PATH, "VDB401")
         assert "ensure_f32c" in f.message
+
+    def test_bare_parameter_forwarding_is_deferred_to_vdb701(self):
+        # A parameter forwarded whole is a demand-forwarding wrapper:
+        # VDB401 stays silent and VDB701 enforces at the call edges.
+        code = """
+            def route(adj, raw, q):
+                return beam_search(adj, raw, q)
+        """
+        assert lint(code, self.PATH, "VDB401") == []
 
     def test_direct_ensure_f32c_and_blessed_attr_are_clean(self):
         code = """
@@ -257,7 +267,8 @@ class TestKernelBoundaryRule:
 
     def test_batched_kernel_is_covered(self):
         code = """
-            def route(adj, raw, qs):
+            def route(adj, xs, qs):
+                raw = np.stack(xs)
                 return batched_beam_search(qs, raw, adj, [0], 16, None)
         """
         (f,) = lint(code, self.PATH, "VDB401")
@@ -602,8 +613,9 @@ class TestCli:
         doc = json.loads(capsys.readouterr().out)
         assert doc["findings"][0]["rule"] == "VDB102"
 
-    def test_list_rules_shows_every_id(self, capsys):
-        assert main(["--list-rules"]) == 0
+    def test_list_rules_shows_every_id(self, lint_repo, capsys):
+        # Point at the miniature repo so the timing run stays fast.
+        assert main(["--root", str(lint_repo), "src/repro", "--list-rules"]) == 0
         out = capsys.readouterr().out
         for rule in all_rules():
             assert rule.id in out
@@ -616,8 +628,9 @@ class TestRepoSelfCheck:
         findings, files = analyze_paths(["src/repro"], ROOT)
         baseline = Baseline.load(ROOT / "analysis" / "baseline.toml")
         new, _suppressed, _stale = baseline.split(findings)
+        failing = [f for f in new if f.fails]
         assert files > 50
-        assert new == [], "\n".join(f.render() for f in new)
+        assert failing == [], "\n".join(f.render() for f in failing)
 
     def test_cli_check_mode_passes_at_head(self, capsys):
         assert main(["--root", str(ROOT), "src/repro", "--check"]) == 0

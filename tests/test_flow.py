@@ -1,0 +1,676 @@
+"""Tests for the vdbflow interprocedural tier (repro.analysis.flow).
+
+Covers the engine itself (symbol table resolution through aliases,
+re-exports, and lazy imports; call-graph edges; fixed-point
+termination on cycles), each VDB7xx rule with positive and negative
+fixtures, the new driver features (--jobs, --changed-only, --info,
+--graph, --budget-seconds, per-rule timing), and the repo self-check:
+the tree at head must carry zero failing VDB7xx findings.
+"""
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.baseline import Baseline, Suppression
+from repro.analysis.driver import (
+    analyze_project_sources,
+    analyze_source,
+    main,
+    parse_module,
+    run_analysis,
+)
+from repro.analysis.flow.engine import Project
+from repro.analysis.flow.lattice import FixedPoint, reachable
+from repro.analysis.registry import get_rule
+
+ROOT = Path(__file__).resolve().parents[1]
+
+
+def project(sources: dict[str, str]) -> Project:
+    return Project(
+        [parse_module(textwrap.dedent(src), rel) for rel, src in sources.items()]
+    )
+
+
+def flow_lint(sources: dict[str, str], rule_id: str):
+    dedented = {rel: textwrap.dedent(src) for rel, src in sources.items()}
+    return analyze_project_sources(dedented, [get_rule(rule_id)])
+
+
+# --------------------------------------------------------------------------
+# call-graph resolution
+
+
+class TestCallGraphResolution:
+    def test_direct_import_and_alias(self):
+        proj = project({
+            "src/repro/core/a.py": """
+                def helper(x):
+                    return x
+            """,
+            "src/repro/core/b.py": """
+                from .a import helper
+                from .a import helper as h2
+
+                def caller(x):
+                    return helper(x) + h2(x)
+            """,
+        })
+        succ = proj.callgraph.successors("repro.core.b.caller")
+        assert set(succ) == {"repro.core.a.helper"}
+        assert sum(
+            1 for s in proj.callgraph.out_edges("repro.core.b.caller")
+        ) == 2
+
+    def test_reexport_through_package_init(self):
+        proj = project({
+            "src/repro/core/inner.py": """
+                def helper(x):
+                    return x
+            """,
+            "src/repro/core/__init__.py": """
+                from .inner import helper
+            """,
+            "src/repro/storage/b.py": """
+                from repro.core import helper
+
+                def caller(x):
+                    return helper(x)
+            """,
+        })
+        assert proj.callgraph.successors("repro.storage.b.caller") == [
+            "repro.core.inner.helper"
+        ]
+
+    def test_lazy_function_scope_import(self):
+        proj = project({
+            "src/repro/core/a.py": """
+                def helper(x):
+                    return x
+            """,
+            "src/repro/storage/b.py": """
+                def caller(x):
+                    from repro.core.a import helper
+                    return helper(x)
+            """,
+        })
+        assert proj.callgraph.successors("repro.storage.b.caller") == [
+            "repro.core.a.helper"
+        ]
+
+    def test_method_call_on_locally_constructed_instance(self):
+        proj = project({
+            "src/repro/core/a.py": """
+                class Engine:
+                    def run(self, x):
+                        return x
+
+                def caller(x):
+                    eng = Engine()
+                    return eng.run(x)
+            """,
+        })
+        assert proj.callgraph.successors("repro.core.a.caller") == [
+            "repro.core.a.Engine.run"
+        ]
+        (site,) = proj.callgraph.out_edges("repro.core.a.caller")
+        callee = proj.symtab.functions["repro.core.a.Engine.run"]
+        # implicit self: positional args bind past the self slot.
+        assert "x" in site.bind_args(callee)
+
+    def test_callers_is_the_reverse_of_successors(self):
+        proj = project({
+            "src/repro/core/a.py": """
+                def leaf(x):
+                    return x
+
+                def mid(x):
+                    return leaf(x)
+
+                def top(x):
+                    return mid(x)
+            """,
+        })
+        assert proj.callgraph.callers("repro.core.a.leaf") == [
+            "repro.core.a.mid"
+        ]
+        assert proj.callgraph.callers("repro.core.a.mid") == [
+            "repro.core.a.top"
+        ]
+
+
+class TestFixedPoint:
+    def test_terminates_on_cyclic_graph(self):
+        # a <-> b mutual recursion: facts must reach the closed-over
+        # union and stop.
+        deps = {"a": ["b"], "b": ["a"]}
+
+        def transfer(node, facts):
+            other = facts.get("b" if node == "a" else "a", frozenset())
+            return frozenset({node}) | other
+
+        solver = FixedPoint(transfer, dependents=lambda n: deps[n])
+        facts = solver.solve(["a", "b"], frozenset())
+        assert facts["a"] == facts["b"] == frozenset({"a", "b"})
+
+    def test_non_monotone_transfer_raises(self):
+        flip = {"n": False}
+
+        def transfer(node, facts):
+            flip["n"] = not flip["n"]
+            return flip["n"]
+
+        solver = FixedPoint(
+            transfer, dependents=lambda n: ["n"], max_rounds=50
+        )
+        with pytest.raises(RuntimeError, match="not monotone"):
+            solver.solve(["n"], None)
+
+    def test_reachable_cuts_nothing_it_should_keep(self):
+        succ = {"r": ["a"], "a": ["b", "r"], "b": [], "x": ["y"], "y": []}
+        assert reachable(["r"], lambda n: succ[n]) == {"r", "a", "b"}
+
+
+# --------------------------------------------------------------------------
+# VDB701 — interprocedural blessing
+
+
+class TestInterproceduralBlessing:
+    def test_unblessed_matrix_through_wrapper_flags_first_edge(self):
+        found = flow_lint({
+            "src/repro/index/wrap.py": """
+                from ._kernels import beam_search
+
+                def route(adj, raw, q):
+                    return beam_search(adj, raw, q)
+            """,
+            "src/repro/index/use.py": """
+                import numpy as np
+                from .wrap import route
+
+                def query(adj, xs, q):
+                    mat = np.stack(xs)
+                    return route(adj, mat, q)
+            """,
+        }, "VDB701")
+        edge = [f for f in found if f.path == "src/repro/index/use.py"]
+        assert len(edge) == 1
+        assert edge[0].severity == "error"
+        # The blame chain walks caller -> wrapper -> kernel.
+        assert "repro.index.use.query" in edge[0].via
+        assert "repro.index.wrap.route" in edge[0].via
+        assert "beam_search" in edge[0].via
+
+    def test_blessing_at_the_first_edge_is_clean(self):
+        found = flow_lint({
+            "src/repro/index/wrap.py": """
+                from ._kernels import beam_search
+
+                def route(adj, raw, q):
+                    return beam_search(adj, raw, q)
+            """,
+            "src/repro/index/use.py": """
+                import numpy as np
+                from .wrap import route
+                from ._kernels import ensure_f32c
+
+                def query(adj, xs, q):
+                    mat = ensure_f32c(np.stack(xs))
+                    return route(adj, mat, q)
+            """,
+        }, "VDB701")
+        assert [f for f in found if f.severity == "error"] == []
+
+    def test_uncalled_public_wrapper_gets_boundary_warning(self):
+        found = flow_lint({
+            "src/repro/index/wrap.py": """
+                from ._kernels import beam_search
+
+                def route(adj, raw, q):
+                    return beam_search(adj, raw, q)
+            """,
+        }, "VDB701")
+        (f,) = found
+        assert f.severity == "warning"
+        assert "no in-repo callers" in f.message
+        assert "beam_search" in f.via
+
+    def test_packed_demand_propagates_too(self):
+        found = flow_lint({
+            "src/repro/quantization/wrap.py": """
+                from .fastscan import fastscan_accumulate
+
+                def scan(luts, packed):
+                    return fastscan_accumulate(luts, packed)
+            """,
+            "src/repro/quantization/use.py": """
+                import numpy as np
+                from .wrap import scan
+
+                def query(luts, codes):
+                    raw = np.ascontiguousarray(codes)
+                    return scan(luts, raw)
+            """,
+        }, "VDB701")
+        edge = [f for f in found if f.path.endswith("use.py")]
+        assert len(edge) == 1 and edge[0].severity == "error"
+
+    def test_packer_blessed_at_edge_is_clean(self):
+        found = flow_lint({
+            "src/repro/quantization/wrap.py": """
+                from .fastscan import fastscan_accumulate
+
+                def scan(luts, packed):
+                    return fastscan_accumulate(luts, packed)
+            """,
+            "src/repro/quantization/use.py": """
+                from .wrap import scan
+                from .fastscan import pack_codes_blocked
+
+                def query(luts, codes, ks):
+                    blocked = pack_codes_blocked(codes, ks)
+                    return scan(luts, blocked.packed)
+            """,
+        }, "VDB701")
+        assert [f for f in found if f.severity == "error"] == []
+
+
+# --------------------------------------------------------------------------
+# VDB702 — clock-domain taint
+
+
+class TestClockDomainTaint:
+    PATH = "src/repro/core/fixture.py"
+
+    def test_duration_steering_control_flow_fires(self):
+        found = flow_lint({self.PATH: """
+            import time
+
+            def adapt(work):
+                start = time.perf_counter()
+                work()
+                elapsed = time.perf_counter() - start
+                if elapsed > 0.1:
+                    return "slow"
+                return "fast"
+        """}, "VDB702")
+        (f,) = found
+        assert "control-flow decision" in f.message or "decision" in f.message
+        assert f.via == "repro.core.fixture.adapt"
+
+    def test_taint_crosses_function_returns(self):
+        found = flow_lint({self.PATH: """
+            import time
+
+            def probe():
+                return time.perf_counter()
+
+            def adapt(work):
+                start = probe()
+                work()
+                took = probe() - start
+                while took > 1.0:
+                    took -= 1.0
+        """}, "VDB702")
+        assert len(found) == 1
+        assert found[0].via == "repro.core.fixture.adapt"
+
+    def test_taint_reaching_callee_decision_param_fires_at_call(self):
+        found = flow_lint({self.PATH: """
+            import time
+
+            def pick(budget):
+                if budget > 1.0:
+                    return "wide"
+                return "narrow"
+
+            def adapt(work):
+                start = time.perf_counter()
+                work()
+                spent = time.perf_counter() - start
+                return pick(spent)
+        """}, "VDB702")
+        assert any("decision inside" in f.message for f in found)
+
+    def test_recording_into_stats_is_the_approved_pattern(self):
+        found = flow_lint({self.PATH: """
+            import time
+
+            def measure(work, stats):
+                start = time.perf_counter()
+                work()
+                elapsed = time.perf_counter() - start
+                if stats is not None:
+                    stats.elapsed_seconds = elapsed
+                return SearchStats(elapsed_seconds=elapsed)
+        """}, "VDB702")
+        assert found == []
+
+    def test_persisted_artifact_sink_fires(self):
+        found = flow_lint({self.PATH: """
+            import time
+
+            def snapshot(path, arr):
+                start = time.perf_counter()
+                build = time.perf_counter() - start
+                atomic_write_bytes(path, npz_bytes(arr=arr, took=build))
+        """}, "VDB702")
+        assert any("persisted artifact" in f.message for f in found)
+
+    def test_timing_owning_packages_are_exempt(self):
+        found = flow_lint({"src/repro/bench/fixture.py": """
+            import time
+
+            def adapt(work):
+                start = time.perf_counter()
+                work()
+                if time.perf_counter() - start > 0.1:
+                    return "slow"
+        """}, "VDB702")
+        assert found == []
+
+
+# --------------------------------------------------------------------------
+# VDB703 — hot-path allocation
+
+
+class TestHotPathAllocation:
+    # ``beam_search`` is a contract-declared hot entry point; ``helper``
+    # is unreachable from any hot root, so the same pattern downgrades
+    # to an info advisory there.
+    def test_self_growth_in_loop_is_error_when_hot(self):
+        found = flow_lint({"src/repro/index/fixture.py": """
+            import numpy as np
+
+            def beam_search(adj, vectors, q):
+                frontier = np.empty(0, dtype=np.int64)
+                for step in range(8):
+                    frontier = np.append(frontier, adj[step])
+                return frontier
+        """}, "VDB703")
+        growth = [f for f in found if "array growth" in f.message]
+        assert len(growth) == 1
+        assert growth[0].severity == "error" and growth[0].fails
+
+    def test_same_pattern_off_hot_path_is_advisory(self):
+        found = flow_lint({"src/repro/index/fixture.py": """
+            import numpy as np
+
+            def helper(adj):
+                acc = np.empty(0, dtype=np.int64)
+                for step in range(8):
+                    acc = np.append(acc, adj[step])
+                return acc
+        """}, "VDB703")
+        growth = [f for f in found if "array growth" in f.message]
+        assert len(growth) == 1
+        assert growth[0].severity == "info" and not growth[0].fails
+
+    def test_fresh_per_round_merge_is_not_growth(self):
+        found = flow_lint({"src/repro/index/fixture.py": """
+            import numpy as np
+
+            def beam_search(adj, vectors, q):
+                for step in range(8):
+                    nbrs = np.concatenate([adj[step], adj[step + 1]])
+                return nbrs
+        """}, "VDB703")
+        assert [f for f in found if "array growth" in f.message] == []
+
+    def test_matrix_float64_promotion_is_error_when_hot(self):
+        found = flow_lint({"src/repro/index/fixture.py": """
+            import numpy as np
+
+            def beam_search(adj, index, q):
+                mat = index._vectors.astype(np.float64)
+                return mat @ q
+        """}, "VDB703")
+        promo = [f for f in found if "float64 promotion" in f.message]
+        assert len(promo) == 1 and promo[0].severity == "error"
+
+    def test_query_float64_promotion_stays_advisory(self):
+        found = flow_lint({"src/repro/index/fixture.py": """
+            import numpy as np
+
+            def beam_search(adj, vectors, q):
+                qd = q.astype(np.float64)
+                return vectors @ qd
+        """}, "VDB703")
+        promo = [f for f in found if "float64 promotion" in f.message]
+        assert len(promo) == 1 and promo[0].severity == "info"
+
+    def test_hidden_copy_policed_only_on_hot_path(self):
+        hot = flow_lint({"src/repro/index/fixture.py": """
+            import numpy as np
+
+            def beam_search(adj, vectors, ids):
+                return ids.astype(np.int64)
+        """}, "VDB703")
+        assert any("hidden copy" in f.message for f in hot)
+        fixed = flow_lint({"src/repro/index/fixture.py": """
+            import numpy as np
+
+            def beam_search(adj, vectors, ids):
+                return ids.astype(np.int64, copy=False)
+        """}, "VDB703")
+        assert [f for f in fixed if "hidden copy" in f.message] == []
+        cold = flow_lint({"src/repro/index/fixture.py": """
+            import numpy as np
+
+            def helper(ids):
+                return ids.astype(np.int64)
+        """}, "VDB703")
+        assert [f for f in cold if "hidden copy" in f.message] == []
+
+    def test_loop_invariant_gather_flagged_rebinding_is_not(self):
+        invariant = flow_lint({"src/repro/index/fixture.py": """
+            import numpy as np
+
+            def beam_search(adj, vectors, order):
+                idx = np.argsort(order)
+                mat = np.asarray(vectors)
+                for step in range(8):
+                    sub = mat[idx]
+                return sub
+        """}, "VDB703")
+        assert any("loop-invariant" in f.message for f in invariant)
+        rebinding = flow_lint({"src/repro/index/fixture.py": """
+            import numpy as np
+
+            def beam_search(adj, vectors, order):
+                mat = np.asarray(vectors)
+                idx = np.argsort(order)
+                for step in range(8):
+                    idx = np.argsort(mat[idx][:, 0])
+                return idx
+        """}, "VDB703")
+        assert [f for f in rebinding if "loop-invariant" in f.message] == []
+
+    def test_hand_tuned_kernel_modules_are_exempt(self):
+        found = flow_lint({"src/repro/index/_kernels.py": """
+            import numpy as np
+
+            def beam_search(adj, vectors, q):
+                acc = np.empty(0, dtype=np.int64)
+                for step in range(8):
+                    acc = np.append(acc, adj[step])
+                return acc
+        """}, "VDB703")
+        assert found == []
+
+
+# --------------------------------------------------------------------------
+# driver features
+
+
+@pytest.fixture()
+def flow_repo(tmp_path):
+    """A miniature repo with one interprocedural VDB701 violation."""
+    (tmp_path / "pyproject.toml").write_text("[project]\nname='x'\n")
+    pkg = tmp_path / "src" / "repro" / "index"
+    pkg.mkdir(parents=True)
+    (pkg / "wrap.py").write_text(
+        "from ._kernels import beam_search\n\n\n"
+        "def route(adj, raw, q):\n"
+        "    return beam_search(adj, raw, q)\n"
+    )
+    (pkg / "use.py").write_text(
+        "import numpy as np\n\nfrom .wrap import route\n\n\n"
+        "def query(adj, xs, q):\n"
+        "    mat = np.stack(xs)\n"
+        "    return route(adj, mat, q)\n"
+    )
+    return tmp_path
+
+
+class TestDriverFeatures:
+    def test_project_rules_run_from_the_cli(self, flow_repo, capsys):
+        assert main(["--root", str(flow_repo), "src/repro"]) == 1
+        out = capsys.readouterr().out
+        assert "VDB701" in out and "use.py" in out
+        assert "via" in out  # the blame chain is rendered
+
+    def test_jobs_matches_serial_results(self, flow_repo, capsys):
+        serial = main(["--root", str(flow_repo), "src/repro"])
+        serial_out = capsys.readouterr().out
+        parallel = main(["--root", str(flow_repo), "src/repro", "--jobs", "2"])
+        parallel_out = capsys.readouterr().out
+        assert serial == parallel == 1
+        assert sorted(serial_out.splitlines()) == sorted(
+            parallel_out.splitlines()
+        )
+
+    def test_info_findings_do_not_fail_and_are_summarized(self, tmp_path, capsys):
+        (tmp_path / "pyproject.toml").write_text("[project]\nname='x'\n")
+        pkg = tmp_path / "src" / "repro" / "index"
+        pkg.mkdir(parents=True)
+        (pkg / "cold.py").write_text(
+            "import numpy as np\n\n\ndef helper(adj):\n"
+            "    acc = np.empty(0, dtype=np.int64)\n"
+            "    for step in range(8):\n"
+            "        acc = np.append(acc, adj[step])\n"
+            "    return acc\n"
+        )
+        assert main(["--root", str(tmp_path), "src/repro"]) == 0
+        out = capsys.readouterr().out
+        assert "advisor" in out and "VDB703" not in out
+        assert main(["--root", str(tmp_path), "src/repro", "--info"]) == 0
+        assert "VDB703" in capsys.readouterr().out
+
+    def test_graph_dump_is_json(self, flow_repo, capsys):
+        assert main(["--root", str(flow_repo), "src/repro", "--graph"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["functions"] == 2
+        edges = {(e["caller"], e["callee"]) for e in doc["edges"]}
+        assert ("repro.index.use.query", "repro.index.wrap.route") in edges
+
+    def test_budget_seconds_gate(self, flow_repo, capsys):
+        assert main(
+            ["--root", str(flow_repo), "src/repro", "--select", "VDB101",
+             "--budget-seconds", "60"]
+        ) == 0
+        assert main(
+            ["--root", str(flow_repo), "src/repro", "--select", "VDB101",
+             "--budget-seconds", "0"]
+        ) == 1
+        capsys.readouterr()
+
+    def test_changed_only_outside_git_falls_back_to_full_scan(
+        self, flow_repo, capsys
+    ):
+        assert main(
+            ["--root", str(flow_repo), "src/repro", "--changed-only"]
+        ) == 1
+        assert "VDB701" in capsys.readouterr().out
+
+    def test_list_rules_reports_per_rule_time(self, flow_repo, capsys):
+        assert main(
+            ["--root", str(flow_repo), "src/repro", "--list-rules"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "VDB701" in out and "s)" in out
+
+    def test_via_pinned_suppression_matches_one_chain(self):
+        found = flow_lint({
+            "src/repro/index/wrap.py": """
+                from ._kernels import beam_search
+
+                def route(adj, raw, q):
+                    return beam_search(adj, raw, q)
+            """,
+            "src/repro/index/use.py": """
+                import numpy as np
+                from .wrap import route
+
+                def query(adj, xs, q):
+                    mat = np.stack(xs)
+                    return route(adj, mat, q)
+            """,
+        }, "VDB701")
+        (finding,) = [f for f in found if f.severity == "error"]
+        pinned = Suppression(
+            rule="VDB701",
+            path=finding.path,
+            via=finding.via,
+            justification="grandfathered edge",
+        )
+        wrong_chain = Suppression(
+            rule="VDB701",
+            path=finding.path,
+            via="repro.other.path -> beam_search",
+            justification="covers a different chain",
+        )
+        new, suppressed, stale = Baseline(suppressions=[pinned]).split([finding])
+        assert new == [] and len(suppressed) == 1
+        new, suppressed, stale = Baseline(
+            suppressions=[wrong_chain]
+        ).split([finding])
+        assert len(new) == 1 and stale == [wrong_chain]
+
+    def test_write_baseline_emits_via_and_round_trips(self, flow_repo, capsys):
+        root = ["--root", str(flow_repo), "src/repro"]
+        assert main(root + ["--write-baseline", "grandfathered"]) == 0
+        capsys.readouterr()
+        text = (flow_repo / "analysis" / "baseline.toml").read_text()
+        assert 'via = "' in text
+        assert main(root + ["--check"]) == 0
+
+
+# --------------------------------------------------------------------------
+# repo self-check
+
+
+class TestRepoSelfCheck:
+    def test_flow_rules_are_clean_at_head(self):
+        result = run_analysis(
+            ["src/repro"],
+            ROOT,
+            [get_rule("VDB701"), get_rule("VDB702"), get_rule("VDB703")],
+        )
+        failing = [f for f in result.findings if f.fails]
+        assert failing == [], "\n".join(f.render() for f in failing)
+        assert {"VDB701", "VDB702", "VDB703"} <= set(result.rule_seconds)
+
+    def test_hot_region_covers_the_kernel_stack(self):
+        from repro.analysis.driver import iter_python_files, load_modules
+
+        files = iter_python_files(["src/repro"], ROOT)
+        modules, _ = load_modules(files, ROOT)
+        proj = Project(modules)
+        hot = proj.hot_region()
+        assert "repro.index._graph.beam_search" in hot
+        assert "repro.core.executor.QueryExecutor.execute" in hot
+        # Build-time work is cut at the cold boundary.
+        assert not any(q.endswith(".build") for q in hot)
+
+    def test_file_rule_fixture_helper_still_skips_project_rules(self):
+        # analyze_source is the per-file fixture path: VDB7xx must not
+        # run there (they need whole-project context).
+        found = analyze_source(
+            "import numpy as np\nx = np.zeros(3)\n",
+            "src/repro/index/fixture.py",
+        )
+        assert all(not f.rule.startswith("VDB7") for f in found)
